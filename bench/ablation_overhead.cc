@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Ablation A2: resource overhead of dynamic assertions, quantified
+ * against (a) the uninstrumented payload and (b) an error-correction
+ * style parity readout (the paper's motivation: assertions are far
+ * cheaper than QEC because they only *check*).
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+#include "qra.hh"
+
+using namespace qra;
+
+namespace {
+
+struct Cost
+{
+    std::size_t qubits;
+    std::size_t gates;
+    std::size_t twoQubit;
+    std::size_t depth;
+};
+
+Cost
+costOf(const Circuit &c)
+{
+    std::size_t gates = 0;
+    for (const Operation &op : c.ops())
+        if (opIsUnitary(op.kind) || op.kind == OpKind::Measure)
+            ++gates;
+    return {c.numQubits(), gates, c.twoQubitGateCount(), c.depth()};
+}
+
+void
+costRow(const std::string &label, const Cost &cost)
+{
+    bench::note("  " + label + ": " + std::to_string(cost.qubits) +
+                " qubits, " + std::to_string(cost.gates) + " ops, " +
+                std::to_string(cost.twoQubit) + " 2q gates, depth " +
+                std::to_string(cost.depth));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation A2",
+                  "overhead of dynamic assertions vs payload and "
+                  "vs QEC-style checking");
+    bool ok = true;
+
+    // Payload: GHZ-3 with measurement.
+    Circuit payload(3, 3, "ghz3");
+    payload.h(0).cx(0, 1).cx(1, 2);
+    payload.measureAll();
+    const Cost base = costOf(payload);
+    costRow("payload (GHZ-3)", base);
+
+    // One paper-style entanglement assertion.
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(3);
+    spec.targets = {0, 1, 2};
+    spec.insertAt = 3;
+    InstrumentOptions opts;
+    opts.barriers = false;
+    const InstrumentedCircuit asserted =
+        instrument(payload, {spec}, opts);
+    const Cost with_assert = costOf(asserted.circuit());
+    costRow("payload + assertion", with_assert);
+
+    // QEC-style alternative: the [[3,1]] bit-flip-code syndrome
+    // readout — two ancillas, four CNOTs, repeated each round, plus
+    // it must be followed by classically-controlled correction. We
+    // count one round of syndrome extraction only (a lower bound on
+    // real QEC cost).
+    Circuit qec(5, 5, "bitflip_syndrome");
+    qec.h(0).cx(0, 1).cx(1, 2);
+    qec.cx(0, 3).cx(1, 3); // syndrome s1 = q0 xor q1
+    qec.cx(1, 4).cx(2, 4); // syndrome s2 = q1 xor q2
+    qec.measure(3, 3).measure(4, 4);
+    qec.measure(0, 0).measure(1, 1).measure(2, 2);
+    const Cost qec_cost = costOf(qec);
+    costRow("payload + QEC syndrome round", qec_cost);
+
+    bench::note("");
+    bench::rowHeader();
+    bench::row("assertion ancillas", "1",
+               std::to_string(with_assert.qubits - base.qubits));
+    bench::row("assertion extra 2q gates", "4 (Fig. 4)",
+               std::to_string(with_assert.twoQubit - base.twoQubit));
+    bench::row("QEC ancillas (1 round)", "2",
+               std::to_string(qec_cost.qubits - base.qubits));
+    bench::row("QEC extra 2q gates", "4 + correction",
+               std::to_string(qec_cost.twoQubit - base.twoQubit));
+
+    ok = ok && with_assert.qubits - base.qubits == 1;
+    ok = ok && with_assert.twoQubit - base.twoQubit == 4;
+
+    // Scaling with payload size: assertion cost stays one ancilla
+    // and ~n CNOTs for an n-qubit GHZ check.
+    bench::note("");
+    bench::note("assertion cost scaling with GHZ size:");
+    for (std::size_t n : {2u, 4u, 8u, 16u}) {
+        const EntanglementAssertion a(n);
+        bench::note("  n = " + std::to_string(n) + ": ancillas = " +
+                    std::to_string(a.numAncillas()) + ", CNOTs = " +
+                    std::to_string(a.pairParityCnotCount()));
+        ok = ok && a.numAncillas() == 1;
+    }
+
+    // Runtime cost on the ibmqx4 model: extra wall-clock time.
+    const DeviceModel device = DeviceModel::ibmqx4();
+    auto duration = [&](const Circuit &c) {
+        return scheduleDuration(computeTimedMoments(
+            c, [&](const Operation &op) {
+                return device.noiseModel().opDuration(op);
+            }));
+    };
+    const double t_base = duration(payload);
+    const double t_assert = duration(asserted.circuit());
+    bench::note("");
+    bench::row("schedule length (ns)", "-",
+               formatDouble(t_base, 0) + " -> " +
+                   formatDouble(t_assert, 0),
+               "payload -> instrumented");
+    ok = ok && t_assert > t_base;
+
+    bench::verdict(ok,
+                   "a dynamic assertion costs one ancilla and an "
+                   "even handful of CNOTs — far below even one QEC "
+                   "syndrome round with correction");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Ablation A6: assertion checking at scale on the stabilizer
+ * backend. Every assertion circuit in the paper is Clifford, so the
+ * runtime-assertion methodology extends to register sizes far beyond
+ * state-vector simulation — the scalability direction the paper's
+ * conclusion points at. Also demonstrates bug *localisation*: a
+ * chain-mode assertion pinpoints which link of a 100-qubit GHZ
+ * preparation was dropped.
+ */
+
+#include <chrono>
+
+#include "bench_util.hh"
+#include "qra.hh"
+
+using namespace qra;
+
+namespace {
+
+/** GHZ prep with an optional missing entangling link. */
+Circuit
+ghzChain(std::size_t n, int broken_link)
+{
+    Circuit c(n, 0, "ghz");
+    c.h(0);
+    for (Qubit q = 0; q + 1 < n; ++q) {
+        if (static_cast<int>(q) == broken_link)
+            continue; // planted bug: this CX is missing
+        c.cx(q, q + 1);
+    }
+    return c;
+}
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation A6",
+                  "assertion checking at scale (stabilizer backend)");
+    bool ok = true;
+
+    // Scaling sweep: pair-parity assertion on GHZ-n, 128 shots.
+    bench::note("GHZ-n + pair-parity assertion, 128 shots:");
+    std::printf("  %-10s %14s %14s\n", "n", "time (ms)",
+                "assertion errors");
+    for (std::size_t n : {16u, 64u, 128u, 256u}) {
+        Circuit payload = ghzChain(n, -1);
+        const Qubit anc = payload.addQubits(1);
+        payload.addClbits(1);
+        payload.cx(0, anc).cx(1, anc);
+        payload.measure(anc, 0);
+
+        StabilizerSimulator sim(5);
+        std::size_t errors = 0;
+        const double ms = wallMs([&] {
+            const Result r = sim.run(payload, 128);
+            errors = r.count(std::uint64_t{1});
+        });
+        std::printf("  %-10zu %14s %14zu\n", n,
+                    formatDouble(ms, 1).c_str(), errors);
+        ok = ok && errors == 0;
+    }
+    bench::note("(a 256-qubit state vector would need 2^256 "
+                "amplitudes; the tableau needs ~0.5 MB)");
+
+    // Bug localisation at n = 60: break one link, instrument with
+    // the chain assertion, and read off the failing check index.
+    // (n is bounded by the 63-bit classical register here — one
+    // clbit per adjacent pair; examples/scale_debugging.cpp shows
+    // the binary-search variant that scales past that limit.)
+    bench::note("");
+    bench::note("bug localisation on GHZ-60 (chain assertion, one "
+                "ancilla per adjacent pair):");
+    const std::size_t n = 60;
+    const int broken = 41; // missing cx(41, 42)
+
+    Circuit payload = ghzChain(n, broken);
+    const Qubit first_anc = payload.addQubits(n - 1);
+    payload.addClbits(n - 1);
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+        const Qubit anc = first_anc + static_cast<Qubit>(j);
+        payload.cx(static_cast<Qubit>(j), anc);
+        payload.cx(static_cast<Qubit>(j + 1), anc);
+        payload.measure(anc, static_cast<Clbit>(j));
+    }
+
+    StabilizerSimulator sim(7);
+    const Result r = sim.run(payload, 256);
+
+    // Count errors per check.
+    std::vector<std::size_t> errors(n - 1, 0);
+    for (const auto &[reg, count] : r.rawCounts())
+        for (std::size_t j = 0; j + 1 < n; ++j)
+            if ((reg >> j) & 1)
+                errors[j] += count;
+
+    int flagged = -1;
+    std::size_t flagged_count = 0;
+    std::size_t other_errors = 0;
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+        if (errors[j] > flagged_count) {
+            // Track the dominant failing check.
+            if (flagged >= 0)
+                other_errors += flagged_count;
+            flagged = static_cast<int>(j);
+            flagged_count = errors[j];
+        } else {
+            other_errors += errors[j];
+        }
+    }
+
+    bench::rowHeader();
+    bench::row("failing check index", std::to_string(broken),
+               std::to_string(flagged),
+               "(pair (q41, q42) decoupled)");
+    bench::row("its error rate", "~50%",
+               formatPercent(double(flagged_count) /
+                             double(r.shots())));
+    bench::row("all other checks", "0 errors",
+               std::to_string(other_errors) + " errors");
+    ok = ok && flagged == broken && other_errors == 0 &&
+         flagged_count > r.shots() / 3;
+
+    bench::verdict(ok,
+                   "assertion checking is Clifford, so it scales to "
+                   "hundreds of qubits and localises the broken GHZ "
+                   "link exactly");
+    return ok ? 0 : 1;
+}

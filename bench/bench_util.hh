@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared output helpers for the benchmark harness: every bench prints
+ * a banner, a paper-vs-measured table, and a verdict line, so the
+ * whole harness can be eyeballed (or grepped) in one pass.
+ */
+
+#ifndef QRA_BENCH_BENCH_UTIL_HH
+#define QRA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+
+namespace qra {
+namespace bench {
+
+/** Print the bench banner. */
+inline void
+banner(const std::string &artefact, const std::string &description)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s — %s\n", artefact.c_str(), description.c_str());
+    std::printf("==============================================="
+                "=================\n");
+}
+
+/** Print one aligned row of label / paper / measured / note. */
+inline void
+row(const std::string &label, const std::string &paper,
+    const std::string &measured, const std::string &note = "")
+{
+    std::printf("  %-28s %14s %14s   %s\n", label.c_str(),
+                paper.c_str(), measured.c_str(), note.c_str());
+}
+
+/** Print the table header for row(). */
+inline void
+rowHeader()
+{
+    std::printf("  %-28s %14s %14s\n", "", "paper", "measured");
+}
+
+/** Print a free-form note line. */
+inline void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+/** Print the final verdict: does the measured shape match? */
+inline void
+verdict(bool ok, const std::string &claim)
+{
+    std::printf("  -> %s: %s\n\n", ok ? "SHAPE OK" : "SHAPE MISMATCH",
+                claim.c_str());
+}
+
+} // namespace bench
+} // namespace qra
+
+#endif // QRA_BENCH_BENCH_UTIL_HH

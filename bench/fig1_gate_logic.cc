@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 1 reproduction: the logic functions of the Hadamard and CNOT
+ * gates, verified on the simulator against the truth tables the paper
+ * states as background.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "qra.hh"
+
+using namespace qra;
+
+namespace {
+
+std::string
+stateString(const StateVector &sv)
+{
+    std::string out;
+    for (BasisIndex i = 0; i < sv.dim(); ++i) {
+        const Complex a = sv.amplitude(i);
+        if (std::abs(a) < 1e-9)
+            continue;
+        if (!out.empty())
+            out += " + ";
+        if (std::abs(a.imag()) < 1e-9) {
+            out += formatDouble(a.real(), 3);
+        } else {
+            out += "(" + formatDouble(a.real(), 3) + "," +
+                   formatDouble(a.imag(), 3) + ")";
+        }
+        out += "|" + toBitstring(i, sv.numQubits()) + ">";
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 1", "logic functions of H and CNOT");
+
+    bool ok = true;
+
+    // H|0> = (|0> + |1>)/sqrt2.
+    {
+        StateVector sv(1);
+        sv.applyUnitary({.kind = OpKind::H, .qubits = {0}});
+        bench::row("H|0>", "(|0>+|1>)/sqrt2", stateString(sv));
+        ok = ok && std::abs(sv.amplitude(0).real() - kInvSqrt2) < 1e-9
+                && std::abs(sv.amplitude(1).real() - kInvSqrt2) < 1e-9;
+    }
+
+    // H|1> = (|0> - |1>)/sqrt2.
+    {
+        StateVector sv(1);
+        sv.applyUnitary({.kind = OpKind::X, .qubits = {0}});
+        sv.applyUnitary({.kind = OpKind::H, .qubits = {0}});
+        bench::row("H|1>", "(|0>-|1>)/sqrt2", stateString(sv));
+        ok = ok && std::abs(sv.amplitude(0).real() - kInvSqrt2) < 1e-9
+                && std::abs(sv.amplitude(1).real() + kInvSqrt2) < 1e-9;
+    }
+
+    // CNOT truth table: |psi, delta> -> |psi, psi XOR delta>.
+    // Register rendering is |q1 q0> with q0 = control.
+    for (int control = 0; control < 2; ++control) {
+        for (int target = 0; target < 2; ++target) {
+            StateVector sv(2);
+            if (control)
+                sv.applyUnitary({.kind = OpKind::X, .qubits = {0}});
+            if (target)
+                sv.applyUnitary({.kind = OpKind::X, .qubits = {1}});
+            sv.applyUnitary({.kind = OpKind::CX, .qubits = {0, 1}});
+
+            const int expect_target = target ^ control;
+            const BasisIndex expect =
+                static_cast<BasisIndex>(control) |
+                (static_cast<BasisIndex>(expect_target) << 1);
+            const std::string label =
+                "CNOT |t=" + std::to_string(target) + ",c=" +
+                std::to_string(control) + ">";
+            const std::string paper =
+                "|t=" + std::to_string(expect_target) + ",c=" +
+                std::to_string(control) + ">";
+            bench::row(label, paper, stateString(sv));
+            ok = ok && std::abs(std::abs(sv.amplitude(expect)) - 1.0)
+                           < 1e-9;
+        }
+    }
+
+    // The algebraic identities behind the assertion circuits.
+    bench::note("");
+    bench::note("gate-algebra identities used by the proofs:");
+    const bool hh = (gates::h() * gates::h()).isIdentity();
+    const bool cxcx = (gates::cx() * gates::cx()).isIdentity();
+    const bool hxh = (gates::h() * gates::x() * gates::h())
+                         .approxEqual(gates::z(), 1e-12);
+    bench::row("H·H == I", "true", hh ? "true" : "false");
+    bench::row("CNOT·CNOT == I", "true", cxcx ? "true" : "false");
+    bench::row("H·X·H == Z", "true", hxh ? "true" : "false");
+    ok = ok && hh && cxcx && hxh;
+
+    bench::verdict(ok, "H and CNOT implement the paper's Fig. 1 "
+                       "logic functions");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fig. 4 reproduction: asserting that three (and more) qubits are
+ * entangled with a single ancilla and an *even* number of CNOTs, the
+ * structural rule Sec. 3.2 derives.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+#include "qra.hh"
+
+using namespace qra;
+
+namespace {
+
+/** GHZ state preparation over n qubits. */
+Circuit
+ghz(std::size_t n)
+{
+    Circuit c(n, 0, "ghz" + std::to_string(n));
+    c.h(0);
+    for (Qubit q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4",
+                  "entanglement assertion for 3+ qubits (even CNOT "
+                  "count)");
+    bench::rowHeader();
+    bool ok = true;
+
+    for (std::size_t n : {2u, 3u, 4u, 5u}) {
+        const EntanglementAssertion assertion(n);
+        const std::size_t cnots = assertion.pairParityCnotCount();
+
+        // Build and run the check on a GHZ payload.
+        Circuit payload = ghz(n);
+        AssertionSpec spec;
+        spec.assertion = std::make_shared<EntanglementAssertion>(n);
+        std::vector<Qubit> targets(n);
+        for (Qubit q = 0; q < n; ++q)
+            targets[q] = q;
+        spec.targets = targets;
+        spec.insertAt = payload.size();
+        InstrumentOptions opts;
+        opts.barriers = false;
+        const InstrumentedCircuit inst =
+            instrument(payload, {spec}, opts);
+
+        // Exact: ancilla must read 0, GHZ must survive.
+        Circuit no_measure(inst.circuit().numQubits(), 0);
+        for (const Operation &op : inst.circuit().ops())
+            if (op.kind != OpKind::Measure)
+                no_measure.append(op);
+        StatevectorSimulator sim(1);
+        const StateVector sv = sim.finalState(no_measure);
+        const Qubit anc = inst.checks()[0].ancillas[0];
+
+        const double p_err = sv.probabilityOfOne(anc);
+        const double purity = sv.qubitPurity(anc);
+        bench::row(std::to_string(n) + "-qubit GHZ: CNOTs",
+                   n % 2 ? std::to_string(n + 1)
+                         : std::to_string(n),
+                   std::to_string(cnots),
+                   "(even count required)");
+        bench::row("  P(assertion error)", "0",
+                   formatDouble(p_err, 6));
+        bench::row("  ancilla purity", "1", formatDouble(purity, 6));
+        ok = ok && cnots % 2 == 0 && p_err < 1e-12 &&
+             std::abs(purity - 1.0) < 1e-9;
+    }
+
+    // GHZ survives the measurement: full payload marginal intact.
+    bench::note("");
+    {
+        Circuit payload = ghz(3);
+        AssertionSpec spec;
+        spec.assertion = std::make_shared<EntanglementAssertion>(3);
+        spec.targets = {0, 1, 2};
+        spec.insertAt = payload.size();
+        const InstrumentedCircuit inst = instrument(payload, {spec});
+        StatevectorSimulator sim(2);
+        const StateVector sv =
+            sim.evolveWithMeasurements(inst.circuit());
+        const auto marginal = sv.marginalProbabilities({0, 1, 2});
+        bench::row("GHZ after measured check", "0.5 / 0.5",
+                   formatDouble(marginal[0b000], 3) + " / " +
+                       formatDouble(marginal[0b111], 3),
+                   "(P(000) / P(111))");
+        ok = ok && std::abs(marginal[0b000] - 0.5) < 1e-9 &&
+             std::abs(marginal[0b111] - 0.5) < 1e-9;
+    }
+
+    bench::verdict(ok, "multi-qubit entanglement assertion uses an "
+                       "even CNOT count and leaves GHZ intact");
+    return ok ? 0 : 1;
+}

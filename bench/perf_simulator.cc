@@ -1,0 +1,173 @@
+/**
+ * @file
+ * P1: simulator performance micro-benchmarks (google-benchmark).
+ * Gate application throughput, qubit-count scaling, backend
+ * comparison, and the cost of assertion instrumentation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "qra.hh"
+
+using namespace qra;
+
+namespace {
+
+Circuit
+randomCircuit(std::size_t num_qubits, std::size_t num_gates,
+              std::uint64_t seed)
+{
+    Circuit c(num_qubits, num_qubits, "random");
+    Rng rng(seed);
+    for (std::size_t i = 0; i < num_gates; ++i) {
+        const Qubit q = static_cast<Qubit>(rng.below(num_qubits));
+        switch (rng.below(4)) {
+          case 0:
+            c.h(q);
+            break;
+          case 1:
+            c.t(q);
+            break;
+          case 2:
+            c.ry(rng.uniform() * M_PI, q);
+            break;
+          default:
+          {
+            const Qubit r = static_cast<Qubit>(
+                (q + 1 + rng.below(num_qubits - 1)) % num_qubits);
+            c.cx(q, r);
+          }
+        }
+    }
+    return c;
+}
+
+void
+BM_SingleQubitGate(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    StateVector sv(n);
+    const Operation h{.kind = OpKind::H, .qubits = {0}};
+    for (auto _ : state) {
+        sv.applyUnitary(h);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(std::size_t{1} << n));
+}
+BENCHMARK(BM_SingleQubitGate)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_CnotGate(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    StateVector sv(n);
+    const Operation cx{.kind = OpKind::CX,
+                       .qubits = {0, static_cast<Qubit>(n - 1)}};
+    for (auto _ : state) {
+        sv.applyUnitary(cx);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(std::size_t{1} << n));
+}
+BENCHMARK(BM_CnotGate)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_RandomCircuitStatevector(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const Circuit c = randomCircuit(n, 100, 7);
+    StatevectorSimulator sim(1);
+    for (auto _ : state) {
+        const StateVector sv = sim.finalState(c);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_RandomCircuitStatevector)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_DensityVsStatevector_Density(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const Circuit c = randomCircuit(n, 40, 11);
+    DensityMatrixSimulator sim(1);
+    for (auto _ : state) {
+        const DensityMatrix dm = sim.finalState(c);
+        benchmark::DoNotOptimize(dm.matrix().data().data());
+    }
+}
+BENCHMARK(BM_DensityVsStatevector_Density)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_NoisyDensityIbmqx4(benchmark::State &state)
+{
+    const DeviceModel device = DeviceModel::ibmqx4();
+    Circuit c(5, 2, "bell");
+    c.h(1).cx(1, 0).measure(1, 0).measure(0, 1);
+    DensityMatrixSimulator sim(1);
+    sim.setNoiseModel(&device.noiseModel());
+    for (auto _ : state) {
+        const auto dist = sim.exactDistribution(c);
+        benchmark::DoNotOptimize(&dist);
+    }
+}
+BENCHMARK(BM_NoisyDensityIbmqx4);
+
+void
+BM_TrajectoryShots(benchmark::State &state)
+{
+    const DeviceModel device = DeviceModel::ibmqx4();
+    Circuit c(5, 2, "bell");
+    c.h(1).cx(1, 0).measure(1, 0).measure(0, 1);
+    TrajectorySimulator sim(1);
+    sim.setNoiseModel(&device.noiseModel());
+    const std::size_t shots =
+        static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const Result r = sim.run(c, shots);
+        benchmark::DoNotOptimize(&r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(shots));
+}
+BENCHMARK(BM_TrajectoryShots)->Arg(64)->Arg(512);
+
+void
+BM_AssertionInstrumentation(benchmark::State &state)
+{
+    const Circuit payload = randomCircuit(8, 60, 3);
+    std::vector<AssertionSpec> specs;
+    for (Qubit q = 0; q < 4; ++q) {
+        AssertionSpec spec;
+        spec.assertion = std::make_shared<ClassicalAssertion>(0);
+        spec.targets = {q};
+        spec.insertAt = 10 * (q + 1);
+        specs.push_back(spec);
+    }
+    for (auto _ : state) {
+        const InstrumentedCircuit inst = instrument(payload, specs);
+        benchmark::DoNotOptimize(&inst);
+    }
+}
+BENCHMARK(BM_AssertionInstrumentation);
+
+void
+BM_TranspileToIbmqx4(benchmark::State &state)
+{
+    const DeviceModel device = DeviceModel::ibmqx4();
+    const Circuit c = randomCircuit(5, 60, 5);
+    for (auto _ : state) {
+        const TranspileResult r =
+            transpile(c, device.couplingMap());
+        benchmark::DoNotOptimize(&r);
+    }
+}
+BENCHMARK(BM_TranspileToIbmqx4);
+
+} // namespace

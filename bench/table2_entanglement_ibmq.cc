@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Table 2 reproduction: the entanglement assertion on the ibmqx4
+ * device model. The paper entangles q1 and q2 into (|00>+|11>)/sqrt2
+ * and uses q0 as the parity ancilla (both CNOTs q1->q0 and q2->q0
+ * are native edges).
+ *
+ * Paper numbers (labels q0 q1 q2, q0 = ancilla): raw error 18.4% ->
+ * filtered 12.6%, a 31.5% improvement.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+#include "qra.hh"
+
+using namespace qra;
+
+int
+main()
+{
+    bench::banner("Table 2",
+                  "entanglement assertion on Bell(q1, q2), ancilla "
+                  "q0, ibmqx4 model, 8192 shots");
+
+    const DeviceModel device = DeviceModel::ibmqx4();
+
+    // Logical payload: Bell pair, both qubits measured.
+    Circuit payload(2, 2, "table2");
+    payload.h(0).cx(0, 1);
+    payload.measure(0, 0).measure(1, 1);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, 1};
+    spec.insertAt = 2;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    // Paper placement: virtual {0, 1} -> physical {q1, q2}, the
+    // ancilla (virtual 2) -> physical q0.
+    const Layout paper_layout({1, 2, 0, 3, 4});
+    const RoutedCircuit routed =
+        routeCircuit(inst.circuit(), device.couplingMap(),
+                     paper_layout);
+    const DirectionFixResult directed =
+        fixDirections(routed.circuit, device.couplingMap());
+
+    bench::note("physical circuit (Bell on q1,q2; parity ancilla "
+                "q0):");
+    std::printf("%s\n", directed.circuit.draw().c_str());
+
+    DensityMatrixSimulator sim(2021);
+    sim.setNoiseModel(&device.noiseModel());
+    const Result result = sim.run(directed.circuit, 8192);
+    const auto &dist = *result.exactDistribution();
+
+    // Paper table rows, labels q0 q1 q2 (ancilla first). Our
+    // register: bit0 = q1 payload, bit1 = q2 payload, bit2 = ancilla.
+    struct Row
+    {
+        const char *label;
+        std::uint64_t reg;
+        double paper;
+        const char *meaning;
+    };
+    const Row rows[] = {
+        {"000", 0b000, 0.391, "pass, q1 q2 entangled"},
+        {"001", 0b010, 0.063, "pass, q1 q2 differ (FN)"},
+        {"010", 0b001, 0.044, "pass, q1 q2 differ (FN)"},
+        {"011", 0b011, 0.346, "pass, q1 q2 entangled"},
+        {"100", 0b100, 0.040, "error flagged (potential FP)"},
+        {"101", 0b110, 0.056, "error flagged, q1 q2 differ"},
+        {"110", 0b101, 0.021, "error flagged, q1 q2 differ"},
+        {"111", 0b111, 0.039, "error flagged (potential FP)"},
+    };
+
+    bench::rowHeader();
+    for (const Row &r : rows) {
+        const auto it = dist.find(r.reg);
+        const double p = it == dist.end() ? 0.0 : it->second;
+        bench::row(std::string("q0q1q2 = ") + r.label,
+                   formatPercent(r.paper), formatPercent(p),
+                   r.meaning);
+    }
+
+    // Error accounting: payload error = Bell qubits disagree.
+    const stats::ErrorRateReport report = errorRates(
+        inst, result, [](std::uint64_t payload_bits) {
+            return payload_bits == 0b01 || payload_bits == 0b10;
+        });
+
+    bench::note("");
+    bench::row("raw error rate", "18.4%",
+               formatPercent(report.rawErrorRate));
+    bench::row("filtered error rate", "12.6%",
+               formatPercent(report.filteredErrorRate));
+    bench::row("error-rate reduction", "31.5%",
+               formatPercent(report.reduction()));
+    bench::row("kept fraction", "~86%",
+               formatPercent(report.keptFraction));
+
+    const bool ok = report.rawErrorRate > 0.04 &&
+                    report.rawErrorRate < 0.35 &&
+                    report.filteredErrorRate < report.rawErrorRate &&
+                    report.reduction() > 0.10 &&
+                    report.reduction() < 0.60;
+    bench::verdict(ok,
+                   "parity-ancilla filtering reduces the Bell "
+                   "mismatch rate by a double-digit percentage "
+                   "(paper: 18.4% -> 12.6%, -31.5%)");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Debugging Grover's search with dynamic assertions — the paper's
+ * motivating use-case. A planted bug (a missing Hadamard in the
+ * superposition preamble) silently corrupts the search result; a
+ * superposition assertion placed after the preamble pinpoints it at
+ * runtime, without stopping the program.
+ *
+ * Run: ./build/examples/grover_debug
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "qra.hh"
+
+using namespace qra;
+
+namespace {
+
+/** 2-qubit Grover searching for |11>, with an optional planted bug. */
+Circuit
+grover(bool buggy)
+{
+    Circuit c(2, 2, buggy ? "grover[BUGGY]" : "grover");
+    // Superposition preamble.
+    c.h(0);
+    if (!buggy)
+        c.h(1); // the bug: this line is "forgotten"
+    // Oracle marking |11>.
+    c.cz(0, 1);
+    // Diffusion operator.
+    c.h(0).h(1).x(0).x(1).cz(0, 1).x(0).x(1).h(0).h(1);
+    c.measureAll();
+    return c;
+}
+
+/** Attach |+> assertions on both qubits after the preamble. */
+InstrumentedCircuit
+instrumented(const Circuit &payload)
+{
+    std::vector<AssertionSpec> specs;
+    for (Qubit q : {Qubit{0}, Qubit{1}}) {
+        AssertionSpec spec;
+        spec.assertion = std::make_shared<SuperpositionAssertion>();
+        spec.targets = {q};
+        spec.insertAt = 2; // after the (intended) two H gates
+        spec.label = "preamble q" + std::to_string(q);
+        specs.push_back(spec);
+    }
+    return instrument(payload, specs);
+}
+
+void
+runAndReport(bool buggy)
+{
+    const Circuit payload = grover(buggy);
+    const InstrumentedCircuit inst = instrumented(payload);
+
+    StatevectorSimulator sim(99);
+    const Result r = sim.run(inst.circuit(), 8192);
+    const AssertionReport report = analyze(inst, r);
+
+    std::printf("--- %s ---\n", payload.name().c_str());
+    std::printf("%s", report.str(inst).c_str());
+
+    // What would the program print? The most frequent payload.
+    std::uint64_t best = 0;
+    double best_p = -1.0;
+    for (const auto &[payload_bits, p] : report.rawPayload) {
+        if (p > best_p) {
+            best = payload_bits;
+            best_p = p;
+        }
+    }
+    std::printf("search result: |%s> with probability %s\n\n",
+                toBitstring(best, 2).c_str(),
+                formatPercent(best_p).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Grover search for |11>, with superposition "
+                "assertions on the preamble.\n\n");
+
+    // Correct program: assertions silent, |11> found ~100%.
+    runAndReport(false);
+
+    // Buggy program: note the q1 assertion firing ~50% of the time
+    // while the q0 assertion stays quiet — the error is localised to
+    // qubit 1's preamble, which is exactly where the bug is.
+    runAndReport(true);
+
+    std::printf("The ~50%% error rate on 'preamble q1' localises "
+                "the missing H without halting execution —\n"
+                "a statistical assertion would have needed a "
+                "separate, result-destroying measurement run.\n");
+    return 0;
+}

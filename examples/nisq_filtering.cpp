@@ -1,0 +1,81 @@
+/**
+ * @file
+ * NISQ error filtering on the ibmqx4 device model — the paper's
+ * Section 4 use-case as a standalone application. Builds a GHZ
+ * state, attaches an entanglement assertion, and compares the raw
+ * and assertion-filtered output distributions against the ideal.
+ *
+ * Run: ./build/examples/nisq_filtering
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "qra.hh"
+
+using namespace qra;
+
+int
+main()
+{
+    const DeviceModel device = DeviceModel::ibmqx4();
+    std::printf("device: %s, coupling {%s}\n\n",
+                device.name().c_str(),
+                device.couplingMap().str().c_str());
+
+    // Payload: GHZ-3 measured in full.
+    Circuit payload(3, 3, "ghz3");
+    payload.h(0).cx(0, 1).cx(1, 2);
+    payload.measureAll();
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(3);
+    spec.targets = {0, 1, 2};
+    spec.insertAt = 3;
+    spec.label = "ghz parity";
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    const TranspileResult mapped =
+        transpile(inst.circuit(), device.couplingMap());
+    std::printf("%s\n\n", mapped.str().c_str());
+
+    DensityMatrixSimulator sim(777);
+    sim.setNoiseModel(&device.noiseModel());
+    const Result r = sim.run(mapped.circuit, 8192);
+    const AssertionReport report = analyze(inst, r);
+
+    // Ideal reference distribution: 50/50 on 000 / 111.
+    stats::Distribution ideal{{0b000, 0.5}, {0b111, 0.5}};
+
+    const double tv_raw =
+        stats::totalVariation(report.rawPayload, ideal);
+    const double tv_filtered =
+        stats::totalVariation(report.filteredPayload, ideal);
+
+    std::printf("assertion error rate: %s (shots kept: %s)\n",
+                formatPercent(report.anyErrorRate).c_str(),
+                formatPercent(report.keptFraction).c_str());
+    std::printf("raw payload:      %s\n",
+                stats::distributionToString(report.rawPayload, 3)
+                    .c_str());
+    std::printf("filtered payload: %s\n",
+                stats::distributionToString(report.filteredPayload, 3)
+                    .c_str());
+    std::printf("distance to ideal (total variation): raw %s -> "
+                "filtered %s\n",
+                formatDouble(tv_raw, 4).c_str(),
+                formatDouble(tv_filtered, 4).c_str());
+
+    const stats::ErrorRateReport err = errorRates(
+        inst, r, [](std::uint64_t payload_bits) {
+            return payload_bits != 0b000 && payload_bits != 0b111;
+        });
+    std::printf("GHZ error rate: %s\n", err.str().c_str());
+
+    const bool ok = tv_filtered < tv_raw;
+    std::printf("\n%s\n",
+                ok ? "assertion filtering moved the NISQ output "
+                     "measurably closer to the ideal distribution"
+                   : "UNEXPECTED: filtering did not help");
+    return ok ? 0 : 1;
+}

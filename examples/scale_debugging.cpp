@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Assertion-based debugging at scale: a 150-qubit GHZ preparation
+ * with one broken entangling link, located at runtime by a *binary
+ * search* over pair-parity assertions on the stabilizer backend.
+ *
+ * Why binary search: for a connected GHZ cluster, the parity of any
+ * qubit pair is deterministically even, so a pair-parity assertion
+ * between q0 and qm fires ~50% of the time exactly when the broken
+ * link lies between them. Each probe needs one ancilla and one
+ * classical bit, so log2(n) probe runs localise the break — and
+ * every probe is Clifford, so 150 qubits cost milliseconds on the
+ * tableau backend (a state vector would need 2^150 amplitudes).
+ *
+ * Run: ./build/examples/scale_debugging
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "qra.hh"
+
+using namespace qra;
+
+namespace {
+
+constexpr std::size_t kQubits = 150;
+constexpr std::size_t kBrokenLink = 73; // cx(73, 74) silently dropped
+constexpr std::size_t kShots = 64;
+
+/** GHZ preparation with the planted bug. */
+Circuit
+buggyGhz()
+{
+    Circuit c(kQubits, 0, "ghz150_buggy");
+    c.h(0);
+    for (Qubit q = 0; q + 1 < kQubits; ++q) {
+        if (q == kBrokenLink)
+            continue;
+        c.cx(q, q + 1);
+    }
+    return c;
+}
+
+/**
+ * Probe: assert the pair (q0, qm) is GHZ-correlated. Fires ~50%
+ * when the break lies in (0, m]; stays silent otherwise.
+ */
+double
+probePair(Qubit m, StabilizerSimulator &sim)
+{
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, m};
+    spec.insertAt = std::size_t(-1); // end of the preparation
+    const InstrumentedCircuit inst =
+        instrument(buggyGhz(), {spec});
+
+    const Result r = sim.run(inst.circuit(), kShots);
+    double error_rate = 0.0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if (!inst.passed(reg))
+            error_rate += double(n) / double(r.shots());
+    return error_rate;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("GHZ-%zu preparation with a planted bug: the "
+                "entangling CX(%zu, %zu) is missing.\n\n",
+                kQubits, kBrokenLink, kBrokenLink + 1);
+    std::printf("binary search with pair-parity assertions "
+                "(q0 vs qm), %zu shots per probe:\n", kShots);
+
+    StabilizerSimulator sim(23);
+
+    // Invariant: parity(0, lo) silent, parity(0, hi) firing.
+    std::size_t lo = 0;
+    std::size_t hi = kQubits - 1;
+    std::size_t probes = 0;
+    while (hi - lo > 1) {
+        const std::size_t mid = (lo + hi) / 2;
+        const double rate = probePair(static_cast<Qubit>(mid), sim);
+        ++probes;
+        std::printf("  probe (q0, q%-3zu): assertion error rate "
+                    "%6s -> break is %s q%zu\n",
+                    mid, formatPercent(rate).c_str(),
+                    rate > 0.1 ? "before" : "after", mid);
+        if (rate > 0.1)
+            hi = mid;
+        else
+            lo = mid;
+    }
+
+    std::printf("\nlocalised after %zu probes: the broken link is "
+                "cx(q%zu, q%zu)\n", probes, lo, hi);
+    if (lo == kBrokenLink && hi == kBrokenLink + 1) {
+        std::printf("which is exactly the planted bug. Each probe "
+                    "ran %zu qubits on the stabilizer backend.\n",
+                    kQubits + 1);
+        return 0;
+    }
+    std::printf("UNEXPECTED: localisation failed (expected %zu)\n",
+                kBrokenLink);
+    return 1;
+}

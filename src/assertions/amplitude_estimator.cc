@@ -1,0 +1,69 @@
+#include "assertions/amplitude_estimator.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "stats/distance.hh"
+
+namespace qra {
+
+std::string
+Estimate::str() const
+{
+    std::ostringstream os;
+    os << formatDouble(value, 4) << " +/- "
+       << formatDouble(halfWidth95, 4);
+    return os.str();
+}
+
+ClassicalAmplitudeEstimate
+estimateFromClassicalAssertion(std::size_t error_count,
+                               std::size_t shots)
+{
+    if (shots == 0)
+        QRA_FATAL("amplitude estimation needs at least one shot");
+    if (error_count > shots)
+        QRA_FATAL("error count exceeds shot count");
+
+    const double p_err = static_cast<double>(error_count) /
+                         static_cast<double>(shots);
+    const double hw = stats::wilsonHalfWidth(p_err, shots);
+
+    ClassicalAmplitudeEstimate est;
+    est.probOne = {p_err, hw};
+    est.probZero = {1.0 - p_err, hw};
+    return est;
+}
+
+SuperpositionAmplitudeEstimate
+estimateFromSuperpositionAssertion(std::size_t error_count,
+                                   std::size_t shots)
+{
+    if (shots == 0)
+        QRA_FATAL("amplitude estimation needs at least one shot");
+    if (error_count > shots)
+        QRA_FATAL("error count exceeds shot count");
+
+    const double p_err = static_cast<double>(error_count) /
+                         static_cast<double>(shots);
+    const double hw = stats::wilsonHalfWidth(p_err, shots);
+
+    SuperpositionAmplitudeEstimate est;
+    // P(error) = (1 - 2ab)/2  =>  ab = (1 - 2 P(error))/2.
+    const double ab = (1.0 - 2.0 * p_err) / 2.0;
+    // d(ab)/d(p) = -1: the half-width carries over unchanged.
+    est.product = {ab, hw};
+
+    // |a|^2 and |b|^2 solve t^2 - t + (ab)^2 = 0.
+    const double discriminant = 1.0 - 4.0 * ab * ab;
+    if (discriminant >= 0.0) {
+        const double root = std::sqrt(discriminant);
+        est.probMajor = 0.5 * (1.0 + root);
+        est.probMinor = 0.5 * (1.0 - root);
+    }
+    return est;
+}
+
+} // namespace qra

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Amplitude estimation from assertion-error statistics.
+ *
+ * The paper remarks (Secs. 3.1 and 3.3) that the probability
+ * distribution of assertion errors over repeated runs can be used to
+ * estimate the amplitudes of the qubit under test. This module turns
+ * those remarks into estimators with confidence intervals.
+ */
+
+#ifndef QRA_ASSERTIONS_AMPLITUDE_ESTIMATOR_HH
+#define QRA_ASSERTIONS_AMPLITUDE_ESTIMATOR_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace qra {
+
+/** Point estimate with a 95% Wilson confidence half-width. */
+struct Estimate
+{
+    double value = 0.0;
+    double halfWidth95 = 0.0;
+
+    std::string str() const;
+};
+
+/**
+ * From a classical ==|0> assertion on |psi> = a|0> + b|1>:
+ * P(error) = |b|^2 directly (Sec. 3.1).
+ */
+struct ClassicalAmplitudeEstimate
+{
+    Estimate probZero; ///< |a|^2
+    Estimate probOne;  ///< |b|^2
+};
+
+/**
+ * @param error_count Shots flagging an assertion error.
+ * @param shots Total shots.
+ */
+ClassicalAmplitudeEstimate
+estimateFromClassicalAssertion(std::size_t error_count,
+                               std::size_t shots);
+
+/**
+ * From a |+> superposition assertion on a real-amplitude state
+ * a|0> + b|1>: P(error) = (2 - 4ab)/4 (Sec. 3.3), so
+ * ab = (1 - 2 P(error))/2 and {|a|^2, |b|^2} are the roots of
+ * t^2 - t + (ab)^2 = 0. The assignment of the two roots to a and b
+ * is not identifiable from this statistic alone.
+ */
+struct SuperpositionAmplitudeEstimate
+{
+    /** Estimated product a*b (signed; negative means |->-like). */
+    Estimate product;
+
+    /** Larger of {|a|^2, |b|^2}; nullopt when inconsistent (noise). */
+    std::optional<double> probMajor;
+    /** Smaller of {|a|^2, |b|^2}. */
+    std::optional<double> probMinor;
+};
+
+SuperpositionAmplitudeEstimate
+estimateFromSuperpositionAssertion(std::size_t error_count,
+                                   std::size_t shots);
+
+} // namespace qra
+
+#endif // QRA_ASSERTIONS_AMPLITUDE_ESTIMATOR_HH

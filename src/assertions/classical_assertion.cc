@@ -1,0 +1,60 @@
+#include "assertions/classical_assertion.hh"
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qra {
+
+ClassicalAssertion::ClassicalAssertion(int expected_bit)
+    : expected_(expected_bit ? 1 : 0), numTargets_(1)
+{
+    if (expected_bit != 0 && expected_bit != 1)
+        throw AssertionError("classical assertion expects bit 0 or 1");
+}
+
+ClassicalAssertion::ClassicalAssertion(std::uint64_t expected_bits,
+                                       std::size_t num_targets)
+    : expected_(expected_bits), numTargets_(num_targets)
+{
+    if (num_targets == 0 || num_targets > 63)
+        throw AssertionError("classical assertion supports 1..63 "
+                             "targets");
+    if (num_targets < 64 &&
+        (expected_bits >> num_targets) != 0) {
+        throw AssertionError("expected value has more bits than "
+                             "targets");
+    }
+}
+
+void
+ClassicalAssertion::emit(Circuit &circuit,
+                         const std::vector<Qubit> &targets,
+                         const std::vector<Qubit> &ancillas,
+                         const std::vector<Clbit> &clbits) const
+{
+    checkOperands(targets, ancillas, clbits);
+
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+        const int expected_bit =
+            static_cast<int>((expected_ >> j) & 1);
+        // Ancilla carries the expected value...
+        if (expected_bit)
+            circuit.x(ancillas[j]);
+        // ...XORed with the target: |0> iff they match.
+        circuit.cx(targets[j], ancillas[j]);
+        circuit.measure(ancillas[j], clbits[j]);
+    }
+}
+
+std::string
+ClassicalAssertion::describe() const
+{
+    if (numTargets_ == 1) {
+        return std::string("assert qubit == |") +
+               (expected_ ? "1" : "0") + ">";
+    }
+    return "assert register == |" +
+           toBitstring(expected_, numTargets_) + ">";
+}
+
+} // namespace qra

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dynamic assertion for classical values (paper Sec. 3.1, Fig. 2).
+ *
+ * One ancilla and one CNOT per asserted qubit. The ancilla is
+ * initialised to the expected bit value, then CNOT(target -> ancilla)
+ * computes target XOR expected into the ancilla: |0> on match, |1> on
+ * mismatch. Side effect proved in the paper: if the target was in a
+ * superposition because of a bug, a passing check *projects* it onto
+ * the asserted classical state.
+ */
+
+#ifndef QRA_ASSERTIONS_CLASSICAL_ASSERTION_HH
+#define QRA_ASSERTIONS_CLASSICAL_ASSERTION_HH
+
+#include "assertions/assertion.hh"
+
+namespace qra {
+
+/** Assert that a register of qubits equals a classical bitstring. */
+class ClassicalAssertion : public Assertion
+{
+  public:
+    /**
+     * Assert a single qubit equals @p expected_bit (0 or 1).
+     */
+    explicit ClassicalAssertion(int expected_bit);
+
+    /**
+     * Assert a multi-qubit register equals @p expected_bits, where
+     * bit j of the value is the expected state of target j.
+     */
+    ClassicalAssertion(std::uint64_t expected_bits,
+                       std::size_t num_targets);
+
+    AssertionKind kind() const override
+    {
+        return AssertionKind::Classical;
+    }
+
+    std::size_t numTargets() const override { return numTargets_; }
+
+    /** One ancilla per asserted qubit. */
+    std::size_t numAncillas() const override { return numTargets_; }
+
+    void emit(Circuit &circuit, const std::vector<Qubit> &targets,
+              const std::vector<Qubit> &ancillas,
+              const std::vector<Clbit> &clbits) const override;
+
+    std::string describe() const override;
+
+    std::uint64_t expectedBits() const { return expected_; }
+
+  private:
+    std::uint64_t expected_;
+    std::size_t numTargets_;
+};
+
+} // namespace qra
+
+#endif // QRA_ASSERTIONS_CLASSICAL_ASSERTION_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Assertion directives embedded in OpenQASM comments, so existing
+ * QASM programs can be instrumented without touching the code that
+ * generated them. Syntax (each on its own line, between statements):
+ *
+ *   // qra:assert-classical q[0] == 0
+ *   // qra:assert-classical q[2], q[1] == 10
+ *   // qra:assert-superposition q[1] +
+ *   // qra:assert-superposition q[1] -
+ *   // qra:assert-entangled q[0], q[1]
+ *   // qra:assert-entangled q[0], q[1], q[2] chain
+ *   // qra:assert-entangled q[0], q[1] odd
+ *
+ * The directive applies at its position in the program: the check
+ * runs after every statement that precedes it in the file.
+ */
+
+#ifndef QRA_ASSERTIONS_DIRECTIVES_HH
+#define QRA_ASSERTIONS_DIRECTIVES_HH
+
+#include <string>
+#include <vector>
+
+#include "assertions/injector.hh"
+#include "circuit/circuit.hh"
+
+namespace qra {
+
+/** A parsed QASM program together with its assertion directives. */
+struct AnnotatedProgram
+{
+    Circuit payload{1};
+    std::vector<AssertionSpec> specs;
+};
+
+/**
+ * Parse QASM text with qra:assert-* comment directives.
+ *
+ * The payload is the plain circuit (directives stripped); each
+ * directive becomes an AssertionSpec whose insertAt points at the
+ * payload instruction the directive preceded.
+ *
+ * @throws QasmError on malformed programs or directives.
+ */
+AnnotatedProgram parseAnnotatedQasm(const std::string &text);
+
+/** Convenience: parse, instrument, and return the result. */
+InstrumentedCircuit instrumentAnnotatedQasm(
+    const std::string &text, const InstrumentOptions &options = {});
+
+} // namespace qra
+
+#endif // QRA_ASSERTIONS_DIRECTIVES_HH

@@ -1,0 +1,92 @@
+#include "assertions/entanglement_assertion.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+
+EntanglementAssertion::EntanglementAssertion(std::size_t num_targets,
+                                             Parity parity, Mode mode)
+    : numTargets_(num_targets), parity_(parity), mode_(mode)
+{
+    if (num_targets < 2)
+        throw AssertionError("entanglement assertion needs at least "
+                             "two target qubits");
+    if (parity == Parity::Odd && num_targets != 2)
+        throw AssertionError("odd-parity entanglement assertion is "
+                             "defined for exactly two qubits");
+}
+
+std::size_t
+EntanglementAssertion::pairParityCnotCount() const
+{
+    // One CNOT per target, plus one duplicate from the last target
+    // when the count would be odd. XOR-cancellation makes the
+    // duplicate a no-op logically while keeping the ancilla
+    // disentangled (paper Fig. 4: four CNOTs for three qubits).
+    return numTargets_ % 2 == 0 ? numTargets_ : numTargets_ + 1;
+}
+
+void
+EntanglementAssertion::emit(Circuit &circuit,
+                            const std::vector<Qubit> &targets,
+                            const std::vector<Qubit> &ancillas,
+                            const std::vector<Clbit> &clbits) const
+{
+    checkOperands(targets, ancillas, clbits);
+
+    if (mode_ == Mode::PairParity) {
+        const Qubit anc = ancillas[0];
+        // Odd-parity variant: pre-load the ancilla with |1> so that
+        // the asserted correlation still yields |0> at readout.
+        if (parity_ == Parity::Odd)
+            circuit.x(anc);
+
+        for (Qubit t : targets)
+            circuit.cx(t, anc);
+        if (targets.size() % 2 != 0)
+            circuit.cx(targets.back(), anc); // keep the count even
+
+        circuit.measure(anc, clbits[0]);
+        return;
+    }
+
+    // Chain and Full modes: ancilla j accumulates the Z-type parity
+    // of targets j, j+1.
+    for (std::size_t j = 0; j + 1 < targets.size(); ++j) {
+        const Qubit anc = ancillas[j];
+        if (parity_ == Parity::Odd)
+            circuit.x(anc);
+        circuit.cx(targets[j], anc);
+        circuit.cx(targets[j + 1], anc);
+        circuit.measure(anc, clbits[j]);
+    }
+
+    if (mode_ == Mode::Full) {
+        // X-type stabiliser X (x) ... (x) X via phase kickback: the
+        // ancilla in |+> controls an X onto every target, then is
+        // read in the X basis. Eigenvalue -1 (e.g. the relative
+        // phase of |0..0> - |1..1>) flips the ancilla to |1>.
+        const Qubit anc = ancillas[targets.size() - 1];
+        circuit.h(anc);
+        for (Qubit t : targets)
+            circuit.cx(anc, t);
+        circuit.h(anc);
+        circuit.measure(anc, clbits[targets.size() - 1]);
+    }
+}
+
+std::string
+EntanglementAssertion::describe() const
+{
+    std::string s = "assert " + std::to_string(numTargets_) +
+                    " qubits entangled (";
+    s += parity_ == Parity::Even ? "a|0..0>+b|1..1>" : "a|01>+b|10>";
+    switch (mode_) {
+      case Mode::PairParity: s += ")"; break;
+      case Mode::Chain: s += ", chain mode)"; break;
+      case Mode::Full: s += ", full stabiliser mode)"; break;
+    }
+    return s;
+}
+
+} // namespace qra

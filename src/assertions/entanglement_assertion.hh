@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Dynamic assertion for entanglement (paper Sec. 3.2, Figs. 3-4).
+ *
+ * The check computes a parity of the qubits under test into an
+ * ancilla via CNOTs and measures the ancilla. For a GHZ-class state
+ * a|0...0> + b|1...1> every even-size subset of qubits has parity 0,
+ * so the ancilla disentangles and deterministically reads |0>.
+ *
+ * The paper's key structural rule is enforced here: the number of
+ * CNOTs into one ancilla must be *even*, otherwise the ancilla stays
+ * entangled with the qubits under test and the measurement corrupts
+ * the program state (ablation bench A1 demonstrates this).
+ *
+ * Two modes:
+ *  - PairParity (paper-faithful): one ancilla, even CNOT count;
+ *    checks the parity of one even-size subset of the targets.
+ *  - Chain (extension): n-1 ancillas checking every adjacent pair,
+ *    i.e. all the Z-type stabiliser generators of the GHZ state;
+ *    strictly stronger detection at higher ancilla cost.
+ */
+
+#ifndef QRA_ASSERTIONS_ENTANGLEMENT_ASSERTION_HH
+#define QRA_ASSERTIONS_ENTANGLEMENT_ASSERTION_HH
+
+#include "assertions/assertion.hh"
+
+namespace qra {
+
+/** Assert that target qubits are entangled with correlated parity. */
+class EntanglementAssertion : public Assertion
+{
+  public:
+    /** Which correlation the targets are asserted to exhibit. */
+    enum class Parity
+    {
+        Even, ///< a|00> + b|11> (and GHZ generalisations)
+        Odd,  ///< a|01> + b|10>
+    };
+
+    /** Check structure. */
+    enum class Mode
+    {
+        PairParity, ///< paper circuit: one ancilla, even CNOT count
+        Chain,      ///< extension: n-1 ancillas, all adjacent pairs
+        /**
+         * Extension: the complete GHZ stabiliser measurement — the
+         * Chain's Z-type parities plus one X-type parity measured
+         * via phase kickback. Closes the Z-parity check's phase
+         * blindness: (|0..0> - |1..1>)/sqrt2 passes PairParity and
+         * Chain but is caught here. Costs n ancillas.
+         *
+         * Semantics sharpen accordingly: PairParity/Chain accept the
+         * whole subspace a|0..0> + b|1..1>; Full deterministically
+         * accepts only the maximally entangled member (a == b) and
+         * flags amplitude imbalance with probability |a - b|^2 / 2.
+         */
+        Full,
+    };
+
+    /**
+     * @param num_targets Number of qubits under test (>= 2).
+     * @param parity Asserted correlation (Odd only for 2 targets).
+     * @param mode Check structure.
+     */
+    explicit EntanglementAssertion(std::size_t num_targets,
+                                   Parity parity = Parity::Even,
+                                   Mode mode = Mode::PairParity);
+
+    AssertionKind kind() const override
+    {
+        return AssertionKind::Entanglement;
+    }
+
+    std::size_t numTargets() const override { return numTargets_; }
+
+    std::size_t numAncillas() const override
+    {
+        switch (mode_) {
+          case Mode::PairParity: return 1;
+          case Mode::Chain: return numTargets_ - 1;
+          case Mode::Full: return numTargets_;
+        }
+        return 1;
+    }
+
+    void emit(Circuit &circuit, const std::vector<Qubit> &targets,
+              const std::vector<Qubit> &ancillas,
+              const std::vector<Clbit> &clbits) const override;
+
+    std::string describe() const override;
+
+    Parity parity() const { return parity_; }
+    Mode mode() const { return mode_; }
+
+    /**
+     * Number of CNOTs the PairParity circuit will emit; always even
+     * (paper Sec. 3.2's correctness requirement).
+     */
+    std::size_t pairParityCnotCount() const;
+
+  private:
+    std::size_t numTargets_;
+    Parity parity_;
+    Mode mode_;
+};
+
+} // namespace qra
+
+#endif // QRA_ASSERTIONS_ENTANGLEMENT_ASSERTION_HH

@@ -1,0 +1,173 @@
+#include "assertions/injector.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace qra {
+
+std::uint64_t
+InstrumentedCircuit::assertionMask() const
+{
+    std::uint64_t mask = 0;
+    for (const Check &check : checks_)
+        for (Clbit c : check.clbits)
+            mask |= std::uint64_t{1} << c;
+    return mask;
+}
+
+bool
+InstrumentedCircuit::passed(std::uint64_t reg) const
+{
+    for (std::size_t j = 0; j < checks_.size(); ++j)
+        if (!checkPassed(j, reg))
+            return false;
+    return true;
+}
+
+bool
+InstrumentedCircuit::checkPassed(std::size_t index,
+                                 std::uint64_t reg) const
+{
+    if (index >= checks_.size())
+        throw AssertionError("check index out of range");
+    const Check &check = checks_[index];
+    const std::size_t width = check.clbitsPerRepetition;
+    QRA_ASSERT(width > 0 && check.clbits.size() % width == 0,
+               "corrupt check bookkeeping");
+    const std::size_t reps = check.clbits.size() / width;
+
+    // Majority vote over repetitions; a single repetition passes
+    // when all of its ancilla bits read 0.
+    std::size_t passing = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        bool pass = true;
+        for (std::size_t j = 0; j < width; ++j)
+            if ((reg >> check.clbits[rep * width + j]) & 1)
+                pass = false;
+        if (pass)
+            ++passing;
+    }
+    return passing * 2 > reps;
+}
+
+std::uint64_t
+InstrumentedCircuit::payloadBits(std::uint64_t reg) const
+{
+    return reg & ((std::uint64_t{1} << payloadClbits_) - 1);
+}
+
+InstrumentedCircuit
+instrument(const Circuit &payload, const std::vector<AssertionSpec> &specs,
+           const InstrumentOptions &options)
+{
+    // Validate specs against the payload.
+    std::size_t total_ancillas = 0;
+    std::size_t max_ancillas = 0;
+    std::size_t total_clbits = 0;
+    for (const AssertionSpec &spec : specs) {
+        if (!spec.assertion)
+            throw AssertionError("spec without an assertion");
+        if (spec.targets.size() != spec.assertion->numTargets())
+            throw AssertionError(spec.assertion->describe() +
+                                 ": wrong target count");
+        if (spec.repetitions == 0)
+            throw AssertionError("spec.repetitions must be >= 1");
+        for (Qubit t : spec.targets)
+            if (t >= payload.numQubits())
+                throw AssertionError("assertion target q" +
+                                     std::to_string(t) +
+                                     " outside the payload register");
+        const std::size_t per_check =
+            spec.assertion->numAncillas() * spec.repetitions;
+        total_ancillas += per_check;
+        max_ancillas =
+            std::max(max_ancillas, spec.assertion->numAncillas());
+        total_clbits += per_check;
+    }
+
+    const std::size_t ancilla_count =
+        options.reuseAncillas ? max_ancillas : total_ancillas;
+
+    InstrumentedCircuit out;
+    out.payloadQubits_ = payload.numQubits();
+    out.payloadClbits_ = payload.numClbits();
+    out.circuit_ = Circuit(payload.numQubits() + ancilla_count,
+                           payload.numClbits() + total_clbits,
+                           payload.name() + "+asserts");
+
+    const Qubit first_ancilla = static_cast<Qubit>(payload.numQubits());
+    const Clbit first_clbit = static_cast<Clbit>(payload.numClbits());
+
+    Qubit next_ancilla = first_ancilla;
+    Clbit next_clbit = first_clbit;
+    // Ancillas that were used and must be reset before reuse.
+    std::vector<Qubit> dirty;
+
+    auto emit_check = [&](const AssertionSpec &spec) {
+        const std::size_t n_anc = spec.assertion->numAncillas();
+
+        std::vector<Qubit> all_ancillas;
+        std::vector<Clbit> all_clbits;
+
+        for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
+            std::vector<Qubit> ancillas(n_anc);
+            if (options.reuseAncillas) {
+                for (std::size_t j = 0; j < n_anc; ++j)
+                    ancillas[j] =
+                        first_ancilla + static_cast<Qubit>(j);
+                for (Qubit a : ancillas) {
+                    if (std::find(dirty.begin(), dirty.end(), a) !=
+                        dirty.end())
+                        out.circuit_.reset(a);
+                }
+                dirty = ancillas;
+            } else {
+                for (std::size_t j = 0; j < n_anc; ++j)
+                    ancillas[j] = next_ancilla++;
+            }
+
+            std::vector<Clbit> clbits(n_anc);
+            for (std::size_t j = 0; j < n_anc; ++j)
+                clbits[j] = next_clbit++;
+
+            if (options.barriers) {
+                std::vector<Qubit> fence = spec.targets;
+                fence.insert(fence.end(), ancillas.begin(),
+                             ancillas.end());
+                out.circuit_.barrier(fence);
+                spec.assertion->emit(out.circuit_, spec.targets,
+                                     ancillas, clbits);
+                out.circuit_.barrier(fence);
+            } else {
+                spec.assertion->emit(out.circuit_, spec.targets,
+                                     ancillas, clbits);
+            }
+
+            all_ancillas.insert(all_ancillas.end(), ancillas.begin(),
+                                ancillas.end());
+            all_clbits.insert(all_clbits.end(), clbits.begin(),
+                              clbits.end());
+        }
+
+        out.checks_.push_back({spec, std::move(all_ancillas),
+                               std::move(all_clbits), n_anc});
+    };
+
+    // Interleave payload instructions with checks at their insertion
+    // points (same-point checks run in spec order).
+    for (std::size_t i = 0; i <= payload.size(); ++i) {
+        for (const AssertionSpec &spec : specs) {
+            const std::size_t at =
+                std::min(spec.insertAt, payload.size());
+            if (at == i)
+                emit_check(spec);
+        }
+        if (i < payload.size())
+            out.circuit_.append(payload.ops()[i]);
+    }
+
+    return out;
+}
+
+} // namespace qra

@@ -1,0 +1,91 @@
+#include "assertions/report.hh"
+
+#include <sstream>
+
+#include "common/strings.hh"
+
+namespace qra {
+
+namespace {
+
+/** Exact distribution if present, else empirical. */
+stats::Distribution
+outcomeDistribution(const Result &result)
+{
+    if (result.exactDistribution())
+        return *result.exactDistribution();
+    stats::Counts counts;
+    for (const auto &[key, n] : result.rawCounts())
+        counts[key] = n;
+    return stats::toDistribution(counts);
+}
+
+} // namespace
+
+AssertionReport
+analyze(const InstrumentedCircuit &instrumented, const Result &result)
+{
+    const stats::Distribution dist = outcomeDistribution(result);
+
+    AssertionReport report;
+    report.checkErrorRates.assign(instrumented.checks().size(), 0.0);
+
+    double kept = 0.0;
+    double any_error = 0.0;
+    for (const auto &[reg, p] : dist) {
+        for (std::size_t j = 0; j < instrumented.checks().size(); ++j)
+            if (!instrumented.checkPassed(j, reg))
+                report.checkErrorRates[j] += p;
+
+        const std::uint64_t payload = instrumented.payloadBits(reg);
+        report.rawPayload[payload] += p;
+
+        if (instrumented.passed(reg)) {
+            kept += p;
+            report.filteredPayload[payload] += p;
+        } else {
+            any_error += p;
+        }
+    }
+
+    report.anyErrorRate = any_error;
+    report.keptFraction = kept;
+    if (kept > 0.0)
+        for (auto &[payload, p] : report.filteredPayload)
+            p /= kept;
+
+    return report;
+}
+
+stats::ErrorRateReport
+errorRates(const InstrumentedCircuit &instrumented, const Result &result,
+           const std::function<bool(std::uint64_t)> &payload_is_error)
+{
+    const stats::Distribution dist = outcomeDistribution(result);
+    return stats::computeErrorRates(
+        dist,
+        [&](std::uint64_t reg) {
+            return payload_is_error(instrumented.payloadBits(reg));
+        },
+        [&](std::uint64_t reg) { return instrumented.passed(reg); });
+}
+
+std::string
+AssertionReport::str(const InstrumentedCircuit &instrumented) const
+{
+    std::ostringstream os;
+    for (std::size_t j = 0; j < checkErrorRates.size(); ++j) {
+        const auto &check = instrumented.checks()[j];
+        os << "check " << j << " ["
+           << check.spec.assertion->describe();
+        if (!check.spec.label.empty())
+            os << " @ " << check.spec.label;
+        os << "]: error rate " << formatPercent(checkErrorRates[j])
+           << "\n";
+    }
+    os << "any-assertion error rate: " << formatPercent(anyErrorRate)
+       << ", kept " << formatPercent(keptFraction) << " of shots\n";
+    return os.str();
+}
+
+} // namespace qra

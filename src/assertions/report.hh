@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Post-run analysis of instrumented circuits: per-check assertion
+ * error rates, assertion-filtered payload distributions, and the
+ * raw-vs-filtered error accounting the paper's Tables 1-2 report.
+ */
+
+#ifndef QRA_ASSERTIONS_REPORT_HH
+#define QRA_ASSERTIONS_REPORT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assertions/injector.hh"
+#include "sim/result.hh"
+#include "stats/error_rate.hh"
+#include "stats/histogram.hh"
+
+namespace qra {
+
+/** Decoded outcome of one instrumented run. */
+struct AssertionReport
+{
+    /** P(check j flagged an error), over all shots. */
+    std::vector<double> checkErrorRates;
+
+    /** P(any check flagged an error). */
+    double anyErrorRate = 0.0;
+
+    /** Fraction of shots where every check passed. */
+    double keptFraction = 1.0;
+
+    /** Payload distribution over all shots (assertion bits dropped). */
+    stats::Distribution rawPayload;
+
+    /** Payload distribution over shots where every check passed. */
+    stats::Distribution filteredPayload;
+
+    /** Human-readable multi-line summary. */
+    std::string str(const InstrumentedCircuit &instrumented) const;
+};
+
+/**
+ * Decode @p result against the bookkeeping in @p instrumented.
+ *
+ * Uses the exact distribution when the backend provided one,
+ * otherwise the empirical counts.
+ */
+AssertionReport analyze(const InstrumentedCircuit &instrumented,
+                        const Result &result);
+
+/**
+ * Error-rate accounting against a payload-correctness predicate:
+ * the Tables 1-2 computation (raw error rate over all shots vs error
+ * rate over assertion-passing shots).
+ */
+stats::ErrorRateReport
+errorRates(const InstrumentedCircuit &instrumented, const Result &result,
+           const std::function<bool(std::uint64_t)> &payload_is_error);
+
+} // namespace qra
+
+#endif // QRA_ASSERTIONS_REPORT_HH

@@ -1,0 +1,94 @@
+#include "assertions/statistical_assertion.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qra {
+
+StatisticalAssertion::StatisticalAssertion(AssertionKind kind,
+                                           std::vector<Qubit> targets,
+                                           std::uint64_t expected_value)
+    : kind_(kind), targets_(std::move(targets)), expected_(expected_value)
+{
+    if (targets_.empty())
+        throw AssertionError("statistical assertion needs targets");
+    if (kind == AssertionKind::Entanglement && targets_.size() < 2)
+        throw AssertionError("entanglement assertion needs >= 2 "
+                             "targets");
+    if (targets_.size() < 64 && (expected_ >> targets_.size()) != 0)
+        throw AssertionError("expected value has more bits than "
+                             "targets");
+}
+
+Circuit
+StatisticalAssertion::breakpointCircuit(const Circuit &payload,
+                                        std::size_t insert_at) const
+{
+    const std::size_t stop = std::min(insert_at, payload.size());
+
+    Circuit breakpoint(payload.numQubits(), targets_.size(),
+                       payload.name() + "@breakpoint" +
+                           std::to_string(stop));
+    for (std::size_t i = 0; i < stop; ++i) {
+        const Operation &op = payload.ops()[i];
+        // Payload measurements make no sense in a truncated
+        // diagnostic run; skip them (their clbits don't exist here).
+        if (op.kind == OpKind::Measure)
+            continue;
+        breakpoint.append(op);
+    }
+    for (std::size_t j = 0; j < targets_.size(); ++j)
+        breakpoint.measure(targets_[j], static_cast<Clbit>(j));
+    return breakpoint;
+}
+
+stats::Distribution
+StatisticalAssertion::expectedDistribution() const
+{
+    stats::Distribution dist;
+    const std::size_t n = targets_.size();
+    switch (kind_) {
+      case AssertionKind::Classical:
+        dist[expected_] = 1.0;
+        return dist;
+      case AssertionKind::Superposition:
+      {
+        const double p =
+            1.0 / static_cast<double>(std::uint64_t{1} << n);
+        for (std::uint64_t v = 0; v < (std::uint64_t{1} << n); ++v)
+            dist[v] = p;
+        return dist;
+      }
+      case AssertionKind::Entanglement:
+        dist[0] = 0.5;
+        dist[(std::uint64_t{1} << n) - 1] = 0.5;
+        return dist;
+    }
+    QRA_PANIC("unhandled AssertionKind");
+}
+
+StatisticalAssertion::Outcome
+StatisticalAssertion::check(const stats::Counts &observed,
+                            double alpha) const
+{
+    Outcome outcome;
+    outcome.test = stats::chiSquareTest(observed,
+                                        expectedDistribution());
+    outcome.rejected = outcome.test.reject(alpha);
+    return outcome;
+}
+
+std::string
+StatisticalAssertion::Outcome::str() const
+{
+    std::ostringstream os;
+    os << "chi2 = " << formatDouble(test.statistic, 2) << " (dof "
+       << test.degreesOfFreedom << ", p = "
+       << formatDouble(test.pValue, 4) << ") -> "
+       << (rejected ? "ASSERTION FAILED" : "assertion holds");
+    return os.str();
+}
+
+} // namespace qra

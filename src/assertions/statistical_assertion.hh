@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Statistical assertion baseline (the ISCA'19 approach the paper
+ * motivates against).
+ *
+ * A statistical assertion measures the qubits under test directly at
+ * a breakpoint: the program is truncated there, run many times, and
+ * the observed histogram is chi-square-tested against the asserted
+ * distribution. Two consequences the paper highlights, both modelled
+ * here:
+ *   1. the truncated run produces no program output — checking an
+ *      intermediate point costs a full extra batch of executions;
+ *   2. the assertion cannot filter the final results, because the
+ *      breakpoint measurement destroys the state.
+ */
+
+#ifndef QRA_ASSERTIONS_STATISTICAL_ASSERTION_HH
+#define QRA_ASSERTIONS_STATISTICAL_ASSERTION_HH
+
+#include <string>
+#include <vector>
+
+#include "assertions/assertion.hh"
+#include "circuit/circuit.hh"
+#include "stats/chi_square.hh"
+#include "stats/histogram.hh"
+
+namespace qra {
+
+/** Stop-and-measure assertion with a chi-square decision rule. */
+class StatisticalAssertion
+{
+  public:
+    /**
+     * @param kind Assertion family (decides the null distribution).
+     * @param targets Qubits under test in the payload circuit.
+     * @param expected_value For Classical: the asserted register
+     *        value. Ignored otherwise.
+     */
+    StatisticalAssertion(AssertionKind kind, std::vector<Qubit> targets,
+                         std::uint64_t expected_value = 0);
+
+    AssertionKind kind() const { return kind_; }
+    const std::vector<Qubit> &targets() const { return targets_; }
+
+    /**
+     * The measurement program for a breakpoint before payload
+     * instruction @p insert_at: the payload truncated there plus
+     * measurements of the targets. Running it *replaces* a normal
+     * program execution.
+     */
+    Circuit breakpointCircuit(const Circuit &payload,
+                              std::size_t insert_at) const;
+
+    /**
+     * Null distribution of the chi-square test:
+     *  - Classical: all mass on the asserted value;
+     *  - Superposition: uniform over all target outcomes;
+     *  - Entanglement: mass split between all-zeros and all-ones.
+     */
+    stats::Distribution expectedDistribution() const;
+
+    /** Decision outcome. */
+    struct Outcome
+    {
+        stats::ChiSquareResult test;
+        bool rejected = false;
+        std::string str() const;
+    };
+
+    /**
+     * Test observed breakpoint counts at significance @p alpha.
+     * Rejection means the assertion *failed*.
+     */
+    Outcome check(const stats::Counts &observed,
+                  double alpha = 0.05) const;
+
+  private:
+    AssertionKind kind_;
+    std::vector<Qubit> targets_;
+    std::uint64_t expected_;
+};
+
+} // namespace qra
+
+#endif // QRA_ASSERTIONS_STATISTICAL_ASSERTION_HH

@@ -1,0 +1,152 @@
+#include "circuit/drawer.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "common/strings.hh"
+
+namespace qra {
+
+namespace {
+
+/** Label drawn in the cell of a wire for a given operation. */
+std::string
+cellLabel(const Operation &op, std::size_t operand_index)
+{
+    switch (op.kind) {
+      case OpKind::CX:
+        return operand_index == 0 ? "*" : "X";
+      case OpKind::CY:
+        return operand_index == 0 ? "*" : "Y";
+      case OpKind::CZ:
+        return "*";
+      case OpKind::Swap:
+        return "x";
+      case OpKind::CCX:
+        return operand_index < 2 ? "*" : "X";
+      case OpKind::Measure:
+        return "M";
+      case OpKind::Reset:
+        return "|0>";
+      case OpKind::Barrier:
+        return ":";
+      case OpKind::PostSelect:
+        return op.postselectValue ? "P1" : "P0";
+      case OpKind::RX: case OpKind::RY: case OpKind::RZ: case OpKind::P:
+      {
+        std::ostringstream os;
+        os << opName(op.kind) << "(" << formatDouble(op.params[0], 2)
+           << ")";
+        return os.str();
+      }
+      case OpKind::U:
+        return "U";
+      default:
+      {
+        std::string name = opName(op.kind);
+        std::transform(name.begin(), name.end(), name.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::toupper(c));
+                       });
+        return name;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+drawCircuit(const Circuit &circuit)
+{
+    const std::size_t nq = circuit.numQubits();
+
+    // Assign each op to a column with the same rule depth() uses,
+    // except barriers get their own column so they are visible.
+    std::vector<std::size_t> level(nq, 0);
+    std::vector<std::size_t> column(circuit.size(), 0);
+    std::size_t num_cols = 0;
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Operation &op = circuit.ops()[i];
+        std::size_t col = 0;
+        for (Qubit q : op.qubits)
+            col = std::max(col, level[q]);
+        column[i] = col;
+        for (Qubit q : op.qubits)
+            level[q] = col + 1;
+        num_cols = std::max(num_cols, col + 1);
+    }
+
+    // Rows: even rows are qubit wires, odd rows are connector filler.
+    const std::size_t num_rows = nq == 0 ? 0 : 2 * nq - 1;
+    std::vector<std::vector<std::string>> cells(
+        num_rows, std::vector<std::string>(num_cols));
+
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Operation &op = circuit.ops()[i];
+        if (op.qubits.empty())
+            continue;
+        const std::size_t col = column[i];
+        for (std::size_t k = 0; k < op.qubits.size(); ++k)
+            cells[2 * op.qubits[k]][col] = cellLabel(op, k);
+
+        // Vertical connector across the operand span.
+        const auto [lo_it, hi_it] =
+            std::minmax_element(op.qubits.begin(), op.qubits.end());
+        if (*lo_it != *hi_it && op.kind != OpKind::Barrier) {
+            for (Qubit q = *lo_it; q < *hi_it; ++q) {
+                cells[2 * q + 1][col] = "|";
+                if (cells[2 * q][col].empty() &&
+                    std::find(op.qubits.begin(), op.qubits.end(), q) ==
+                        op.qubits.end()) {
+                    cells[2 * q][col] = "|";
+                }
+            }
+            for (Qubit q = *lo_it + 1; q < *hi_it; ++q) {
+                if (cells[2 * q][col].empty())
+                    cells[2 * q][col] = "|";
+            }
+        }
+    }
+
+    // Column widths.
+    std::vector<std::size_t> width(num_cols, 1);
+    for (std::size_t c = 0; c < num_cols; ++c)
+        for (std::size_t r = 0; r < num_rows; ++r)
+            width[c] = std::max(width[c], cells[r][c].size());
+
+    std::ostringstream os;
+    os << circuit.name() << " (" << nq << " qubits, "
+       << circuit.numClbits() << " clbits)\n";
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        const bool wire = (r % 2 == 0);
+        if (wire) {
+            std::string label = "q" + std::to_string(r / 2) + ": ";
+            os << label;
+        } else {
+            os << "    ";
+        }
+        const char fill = wire ? '-' : ' ';
+        for (std::size_t c = 0; c < num_cols; ++c) {
+            std::string cell = cells[r][c];
+            if (cell.empty())
+                cell = std::string(1, fill);
+            // Centre the cell in the column.
+            const std::size_t pad = width[c] - cell.size();
+            const std::size_t left = pad / 2;
+            os << fill << std::string(left, fill) << cell
+               << std::string(pad - left, fill) << fill;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Circuit::draw() const
+{
+    return drawCircuit(*this);
+}
+
+} // namespace qra

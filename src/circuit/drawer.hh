@@ -1,0 +1,21 @@
+/**
+ * @file
+ * ASCII circuit rendering. One text row per qubit wire, with filler
+ * rows carrying the vertical connectors of multi-qubit gates.
+ */
+
+#ifndef QRA_CIRCUIT_DRAWER_HH
+#define QRA_CIRCUIT_DRAWER_HH
+
+#include <string>
+
+namespace qra {
+
+class Circuit;
+
+/** Render @p circuit as an ASCII diagram. */
+std::string drawCircuit(const Circuit &circuit);
+
+} // namespace qra
+
+#endif // QRA_CIRCUIT_DRAWER_HH

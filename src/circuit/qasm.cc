@@ -1,0 +1,433 @@
+#include "circuit/qasm.hh"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace qra {
+
+// --- Export ------------------------------------------------------------
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream os;
+    // Full round-trip precision for gate parameters.
+    os.precision(17);
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "qreg q[" << circuit.numQubits() << "];\n";
+    if (circuit.numClbits() > 0)
+        os << "creg c[" << circuit.numClbits() << "];\n";
+
+    for (const Operation &op : circuit.ops()) {
+        switch (op.kind) {
+          case OpKind::Measure:
+            os << "measure q[" << op.qubits[0] << "] -> c["
+               << *op.clbit << "];\n";
+            continue;
+          case OpKind::PostSelect:
+            os << "// qra:postselect q[" << op.qubits[0] << "] == "
+               << op.postselectValue << "\n";
+            continue;
+          case OpKind::Barrier:
+            os << "barrier";
+            for (std::size_t i = 0; i < op.qubits.size(); ++i)
+                os << (i ? ", q[" : " q[") << op.qubits[i] << "]";
+            os << ";\n";
+            continue;
+          default:
+            break;
+        }
+
+        os << opName(op.kind);
+        if (!op.params.empty()) {
+            os << "(";
+            for (std::size_t i = 0; i < op.params.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << op.params[i];
+            }
+            os << ")";
+        }
+        for (std::size_t i = 0; i < op.qubits.size(); ++i)
+            os << (i ? ", q[" : " q[") << op.qubits[i] << "]";
+        os << ";\n";
+    }
+    return os.str();
+}
+
+// --- Import ------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent evaluator for QASM parameter expressions. */
+class ExprParser
+{
+  public:
+    explicit ExprParser(const std::string &text) : text_(text) {}
+
+    double
+    parse()
+    {
+        const double v = expr();
+        skipWs();
+        if (pos_ != text_.size())
+            throw QasmError("trailing characters in expression: '" +
+                            text_ + "'");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    double
+    expr()
+    {
+        double v = term();
+        for (;;) {
+            if (consume('+'))
+                v += term();
+            else if (consume('-'))
+                v -= term();
+            else
+                return v;
+        }
+    }
+
+    double
+    term()
+    {
+        double v = unary();
+        for (;;) {
+            if (consume('*'))
+                v *= unary();
+            else if (consume('/')) {
+                const double d = unary();
+                if (d == 0.0)
+                    throw QasmError("division by zero in expression");
+                v /= d;
+            } else {
+                return v;
+            }
+        }
+    }
+
+    double
+    unary()
+    {
+        if (consume('-'))
+            return -unary();
+        if (consume('+'))
+            return unary();
+        return atom();
+    }
+
+    double
+    atom()
+    {
+        skipWs();
+        if (consume('(')) {
+            const double v = expr();
+            if (!consume(')'))
+                throw QasmError("missing ')' in expression");
+            return v;
+        }
+        if (text_.compare(pos_, 2, "pi") == 0) {
+            pos_ += 2;
+            return M_PI;
+        }
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E' ||
+                ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+                 (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+            ++end;
+        }
+        if (end == pos_)
+            throw QasmError("expected number in expression: '" + text_ +
+                            "'");
+        const double v = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Parse "q[3]" into the index 3, validating the register name. */
+std::size_t
+parseRegIndex(const std::string &token, const std::string &reg_name)
+{
+    const std::string prefix = reg_name + "[";
+    if (token.compare(0, prefix.size(), prefix) != 0 ||
+        token.back() != ']') {
+        throw QasmError("expected " + reg_name + "[i], got '" + token +
+                        "'");
+    }
+    const std::string digits =
+        token.substr(prefix.size(), token.size() - prefix.size() - 1);
+    if (digits.empty())
+        throw QasmError("empty register index in '" + token + "'");
+    for (char c : digits)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            throw QasmError("bad register index in '" + token + "'");
+    return std::stoul(digits);
+}
+
+/** Strip leading/trailing whitespace. */
+std::string
+strip(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Split on a delimiter, stripping each piece. */
+std::vector<std::string>
+splitStrip(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string piece;
+    std::istringstream is(s);
+    while (std::getline(is, piece, delim))
+        out.push_back(strip(piece));
+    return out;
+}
+
+OpKind
+kindFromName(const std::string &name)
+{
+    static const std::pair<const char *, OpKind> table[] = {
+        {"id", OpKind::I},   {"x", OpKind::X},     {"y", OpKind::Y},
+        {"z", OpKind::Z},    {"h", OpKind::H},     {"s", OpKind::S},
+        {"sdg", OpKind::Sdg}, {"t", OpKind::T},    {"tdg", OpKind::Tdg},
+        {"sx", OpKind::SX},  {"rx", OpKind::RX},   {"ry", OpKind::RY},
+        {"rz", OpKind::RZ},  {"p", OpKind::P},     {"u", OpKind::U},
+        {"u3", OpKind::U},   {"u1", OpKind::P},    {"cx", OpKind::CX},
+        {"cy", OpKind::CY},  {"cz", OpKind::CZ},   {"swap", OpKind::Swap},
+        {"ccx", OpKind::CCX}, {"reset", OpKind::Reset},
+    };
+    for (const auto &[n, k] : table)
+        if (name == n)
+            return k;
+    throw QasmError("unknown gate '" + name + "'");
+}
+
+} // namespace
+
+Circuit
+fromQasm(const std::string &text)
+{
+    std::istringstream input(text);
+    std::string line;
+
+    std::size_t num_qubits = 0;
+    std::size_t num_clbits = 0;
+    std::vector<std::string> statements;
+
+    // First pass: gather statements (split on ';') and directives.
+    std::string pending;
+    std::vector<std::string> raw_lines;
+    while (std::getline(input, line)) {
+        // Handle qra:postselect comment directives before stripping.
+        const auto directive = line.find("// qra:postselect");
+        if (directive != std::string::npos)
+            raw_lines.push_back(strip(line.substr(directive)));
+        const auto comment = line.find("//");
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        pending += line + "\n";
+    }
+
+    std::string stmt;
+    std::istringstream stmts(pending);
+    while (std::getline(stmts, stmt, ';')) {
+        stmt = strip(stmt);
+        if (!stmt.empty())
+            statements.push_back(stmt);
+    }
+
+    // Interleaving of postselect comments with statements is not
+    // preserved by this two-pass scheme; postselects are rare and are
+    // re-attached in order at the end of parsing below only when the
+    // source had them after all gate statements (the exporter's form
+    // keeps program order because it writes one statement per line, so
+    // we re-parse in line order instead when directives are present).
+    const bool has_postselect = !raw_lines.empty();
+
+    std::size_t qreg_seen = 0;
+    std::size_t creg_seen = 0;
+    for (const std::string &s : statements) {
+        if (s.rfind("qreg", 0) == 0) {
+            num_qubits = parseRegIndex(strip(s.substr(4)), "q");
+            ++qreg_seen;
+        } else if (s.rfind("creg", 0) == 0) {
+            num_clbits = parseRegIndex(strip(s.substr(4)), "c");
+            ++creg_seen;
+        }
+    }
+    if (qreg_seen != 1)
+        throw QasmError("expected exactly one qreg declaration");
+    if (creg_seen > 1)
+        throw QasmError("expected at most one creg declaration");
+    if (num_qubits == 0)
+        throw QasmError("qreg must declare at least one qubit");
+
+    Circuit circuit(num_qubits, num_clbits, "qasm");
+
+    auto apply_statement = [&](const std::string &s) {
+        if (s.rfind("OPENQASM", 0) == 0 || s.rfind("include", 0) == 0 ||
+            s.rfind("qreg", 0) == 0 || s.rfind("creg", 0) == 0)
+            return;
+
+        if (s.rfind("// qra:postselect", 0) == 0) {
+            // Form: // qra:postselect q[i] == v
+            std::istringstream is(s.substr(17));
+            std::string qtok, eq;
+            int value = 0;
+            is >> qtok >> eq >> value;
+            if (eq != "==")
+                throw QasmError("malformed postselect directive: " + s);
+            circuit.postSelect(
+                static_cast<Qubit>(parseRegIndex(qtok, "q")), value);
+            return;
+        }
+
+        if (s.rfind("measure", 0) == 0) {
+            const std::string rest = strip(s.substr(7));
+            const auto arrow = rest.find("->");
+            if (arrow == std::string::npos)
+                throw QasmError("measure without '->': " + s);
+            const std::size_t q =
+                parseRegIndex(strip(rest.substr(0, arrow)), "q");
+            const std::size_t c =
+                parseRegIndex(strip(rest.substr(arrow + 2)), "c");
+            circuit.measure(static_cast<Qubit>(q),
+                            static_cast<Clbit>(c));
+            return;
+        }
+
+        if (s.rfind("barrier", 0) == 0) {
+            const std::string rest = strip(s.substr(7));
+            std::vector<Qubit> qubits;
+            if (rest == "q") {
+                circuit.barrier();
+                return;
+            }
+            for (const std::string &tok : splitStrip(rest, ','))
+                if (!tok.empty())
+                    qubits.push_back(
+                        static_cast<Qubit>(parseRegIndex(tok, "q")));
+            circuit.barrier(qubits);
+            return;
+        }
+
+        // Generic gate: name[(params)] operand[, operand...]
+        std::size_t name_end = 0;
+        while (name_end < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[name_end]))))
+            ++name_end;
+        const std::string name = s.substr(0, name_end);
+        std::string rest = strip(s.substr(name_end));
+
+        std::vector<double> params;
+        if (!rest.empty() && rest[0] == '(') {
+            // Find the matching close paren (params may nest).
+            std::size_t depth = 0;
+            std::size_t close = std::string::npos;
+            for (std::size_t i = 0; i < rest.size(); ++i) {
+                if (rest[i] == '(') {
+                    ++depth;
+                } else if (rest[i] == ')') {
+                    if (--depth == 0) {
+                        close = i;
+                        break;
+                    }
+                }
+            }
+            if (close == std::string::npos)
+                throw QasmError("missing ')' in: " + s);
+            for (const std::string &e :
+                 splitStrip(rest.substr(1, close - 1), ','))
+                params.push_back(ExprParser(e).parse());
+            rest = strip(rest.substr(close + 1));
+        }
+
+        std::vector<Qubit> qubits;
+        for (const std::string &tok : splitStrip(rest, ','))
+            if (!tok.empty())
+                qubits.push_back(
+                    static_cast<Qubit>(parseRegIndex(tok, "q")));
+
+        // qelib1 aliases: u3 == u and u1 == p map via the name table;
+        // u2(phi, lambda) = u(pi/2, phi, lambda) needs rewriting.
+        if (name == "u2") {
+            if (params.size() != 2)
+                throw QasmError("u2 expects 2 parameters");
+            circuit.append({.kind = OpKind::U,
+                            .qubits = qubits,
+                            .params = {M_PI / 2.0, params[0],
+                                       params[1]}});
+            return;
+        }
+        const OpKind kind = kindFromName(name);
+        circuit.append({.kind = kind, .qubits = qubits,
+                        .params = params});
+    };
+
+    if (has_postselect) {
+        // Re-parse line by line to preserve directive ordering.
+        Circuit ordered(num_qubits, num_clbits, "qasm");
+        circuit = ordered;
+        std::istringstream lines(text);
+        while (std::getline(lines, line)) {
+            const auto directive = line.find("// qra:postselect");
+            std::string body = line;
+            if (directive != std::string::npos) {
+                apply_statement(strip(line.substr(directive)));
+                continue;
+            }
+            const auto comment = body.find("//");
+            if (comment != std::string::npos)
+                body = body.substr(0, comment);
+            for (const std::string &piece : splitStrip(body, ';'))
+                if (!piece.empty())
+                    apply_statement(piece);
+        }
+    } else {
+        for (const std::string &s : statements)
+            apply_statement(s);
+    }
+
+    return circuit;
+}
+
+} // namespace qra

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * OpenQASM 2.0 export and a subset importer.
+ *
+ * The importer accepts the dialect the exporter writes: one qreg, one
+ * creg, the QRA gate set, `measure q[i] -> c[j]`, `reset`, `barrier`,
+ * line comments, and parameter expressions over numbers and `pi` with
+ * + - * / and parentheses.
+ */
+
+#ifndef QRA_CIRCUIT_QASM_HH
+#define QRA_CIRCUIT_QASM_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+
+namespace qra {
+
+/**
+ * Serialise @p circuit as OpenQASM 2.0 text.
+ *
+ * PostSelect directives have no QASM equivalent and are emitted as
+ * `// qra:postselect q[i] == v` comment lines, which the importer
+ * understands.
+ */
+std::string toQasm(const Circuit &circuit);
+
+/**
+ * Parse OpenQASM 2.0 text into a Circuit.
+ * @throws QasmError on any syntax or semantic problem.
+ */
+Circuit fromQasm(const std::string &text);
+
+} // namespace qra
+
+#endif // QRA_CIRCUIT_QASM_HH

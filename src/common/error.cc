@@ -1,0 +1,32 @@
+#include "common/error.hh"
+
+#include <sstream>
+
+namespace qra {
+
+namespace {
+
+std::string
+decorate(const char *kind, const char *file, int line,
+         const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << ": " << msg << " [" << file << ":" << line << "]";
+    return os.str();
+}
+
+} // namespace
+
+void
+fatal(const char *file, int line, const std::string &msg)
+{
+    throw ValueError(decorate("fatal", file, line, msg));
+}
+
+void
+panic(const char *file, int line, const std::string &msg)
+{
+    throw Error(decorate("panic", file, line, msg));
+}
+
+} // namespace qra

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Error and exception types used across the QRA library.
+ *
+ * Follows the gem5 convention: fatal() reports user errors (bad
+ * arguments, malformed circuits) and panic() reports internal library
+ * bugs that should never happen regardless of user input.
+ */
+
+#ifndef QRA_COMMON_ERROR_HH
+#define QRA_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace qra {
+
+/** Base class of every exception thrown by the QRA library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** A user-facing error: invalid arguments, malformed input, etc. */
+class ValueError : public Error
+{
+  public:
+    explicit ValueError(const std::string &msg) : Error(msg) {}
+};
+
+/** An index (qubit, clbit, op position) was out of range. */
+class IndexError : public Error
+{
+  public:
+    explicit IndexError(const std::string &msg) : Error(msg) {}
+};
+
+/** Errors raised while building or mutating circuits. */
+class CircuitError : public Error
+{
+  public:
+    explicit CircuitError(const std::string &msg) : Error(msg) {}
+};
+
+/** Errors raised by the simulation backends. */
+class SimulationError : public Error
+{
+  public:
+    explicit SimulationError(const std::string &msg) : Error(msg) {}
+};
+
+/** Errors raised by noise channels and device models. */
+class NoiseError : public Error
+{
+  public:
+    explicit NoiseError(const std::string &msg) : Error(msg) {}
+};
+
+/** Errors raised by the transpiler (unroutable circuit, bad map...). */
+class TranspileError : public Error
+{
+  public:
+    explicit TranspileError(const std::string &msg) : Error(msg) {}
+};
+
+/** Errors raised while parsing OpenQASM text. */
+class QasmError : public Error
+{
+  public:
+    explicit QasmError(const std::string &msg) : Error(msg) {}
+};
+
+/** Errors raised by the assertion instrumentation layer. */
+class AssertionError : public Error
+{
+  public:
+    explicit AssertionError(const std::string &msg) : Error(msg) {}
+};
+
+/**
+ * Report an unrecoverable *user* error. Throws ValueError with file
+ * and line context attached.
+ *
+ * @param file Source file of the call site (use __FILE__).
+ * @param line Source line of the call site (use __LINE__).
+ * @param msg Human-readable description of the error.
+ */
+[[noreturn]] void fatal(const char *file, int line, const std::string &msg);
+
+/**
+ * Report an internal library bug. Throws Error with file and line
+ * context attached; this indicates a broken invariant inside QRA.
+ */
+[[noreturn]] void panic(const char *file, int line, const std::string &msg);
+
+} // namespace qra
+
+/** Convenience wrapper: user-level fatal error at the call site. */
+#define QRA_FATAL(msg) ::qra::fatal(__FILE__, __LINE__, (msg))
+
+/** Convenience wrapper: internal invariant violation at the call site. */
+#define QRA_PANIC(msg) ::qra::panic(__FILE__, __LINE__, (msg))
+
+/** Check an internal invariant; panic with the condition text if false. */
+#define QRA_ASSERT(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::qra::panic(__FILE__, __LINE__,                               \
+                         std::string("assertion failed: ") + #cond +      \
+                         " — " + (msg));                                   \
+    } while (0)
+
+#endif // QRA_COMMON_ERROR_HH

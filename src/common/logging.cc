@@ -1,0 +1,55 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace qra {
+
+LogLevel Logger::minLevel_ = LogLevel::Warn;
+
+void
+Logger::setLevel(LogLevel level)
+{
+    minLevel_ = level;
+}
+
+LogLevel
+Logger::level()
+{
+    return minLevel_;
+}
+
+void
+Logger::log(LogLevel severity, const std::string &msg)
+{
+    if (severity < minLevel_)
+        return;
+
+    const char *tag = "";
+    switch (severity) {
+      case LogLevel::Debug: tag = "debug"; break;
+      case LogLevel::Info:  tag = "info";  break;
+      case LogLevel::Warn:  tag = "warn";  break;
+      case LogLevel::Silent: return;
+    }
+    std::cerr << "[qra:" << tag << "] " << msg << "\n";
+}
+
+void
+logDebug(const std::string &msg)
+{
+    Logger::log(LogLevel::Debug, msg);
+}
+
+void
+logInfo(const std::string &msg)
+{
+    Logger::log(LogLevel::Info, msg);
+}
+
+void
+logWarn(const std::string &msg)
+{
+    Logger::log(LogLevel::Warn, msg);
+}
+
+} // namespace qra

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal leveled logging for the QRA library.
+ *
+ * Logging defaults to warnings-and-above on stderr. Benchmarks and
+ * examples raise the level to Info for progress reporting; tests
+ * silence it entirely.
+ */
+
+#ifndef QRA_COMMON_LOGGING_HH
+#define QRA_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace qra {
+
+/** Severity levels, ordered from most to least verbose. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
+
+/** Process-wide logger configuration and sink. */
+class Logger
+{
+  public:
+    /** Set the minimum severity that will be emitted. */
+    static void setLevel(LogLevel level);
+
+    /** Current minimum severity. */
+    static LogLevel level();
+
+    /** Emit one message at the given severity (no newline needed). */
+    static void log(LogLevel severity, const std::string &msg);
+
+  private:
+    static LogLevel minLevel_;
+};
+
+/** Emit a debug-level message. */
+void logDebug(const std::string &msg);
+/** Emit an info-level message. */
+void logInfo(const std::string &msg);
+/** Emit a warning-level message. */
+void logWarn(const std::string &msg);
+
+} // namespace qra
+
+#endif // QRA_COMMON_LOGGING_HH

@@ -1,0 +1,88 @@
+#include "common/rng.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+
+namespace {
+
+/** splitmix64: seed expander recommended by the xoshiro authors. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Xoshiro256::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+Xoshiro256::result_type
+Xoshiro256::operator()()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Xoshiro256::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Xoshiro256::below(std::uint64_t bound)
+{
+    QRA_ASSERT(bound > 0, "sampling bound must be positive");
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for bound << 2^64 which holds for all library uses.
+    return (*this)() % bound;
+}
+
+std::size_t
+sampleDiscrete(const std::vector<double> &probs, Rng &rng)
+{
+    QRA_ASSERT(!probs.empty(), "cannot sample from empty distribution");
+    const double u = rng.uniform();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        acc += probs[i];
+        if (u < acc)
+            return i;
+    }
+    // Numerical drift: the cumulative sum fell slightly short of 1.
+    return probs.size() - 1;
+}
+
+} // namespace qra

@@ -1,0 +1,61 @@
+#include "common/strings.hh"
+
+#include <cstdio>
+
+#include "common/error.hh"
+
+namespace qra {
+
+std::string
+toBitstring(std::uint64_t value, std::size_t width)
+{
+    std::string out(width, '0');
+    for (std::size_t i = 0; i < width; ++i) {
+        if ((value >> i) & 1ULL)
+            out[width - 1 - i] = '1';
+    }
+    return out;
+}
+
+std::uint64_t
+fromBitstring(const std::string &bits)
+{
+    std::uint64_t value = 0;
+    for (char c : bits) {
+        if (c != '0' && c != '1')
+            QRA_FATAL("invalid bitstring character: '" +
+                      std::string(1, c) + "'");
+        value = (value << 1) | static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace qra

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * String and bitstring helpers shared across modules.
+ *
+ * Bitstring convention: the library renders measurement outcomes the
+ * way the paper's tables do, most-significant classical bit first.
+ * Classical bit 0 is therefore the *rightmost* character, matching
+ * the usual little-endian qubit-0-is-LSB convention.
+ */
+
+#ifndef QRA_COMMON_STRINGS_HH
+#define QRA_COMMON_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qra {
+
+/**
+ * Render the low @p width bits of @p value as a bitstring,
+ * most-significant bit first (e.g. value 2, width 3 -> "010").
+ */
+std::string toBitstring(std::uint64_t value, std::size_t width);
+
+/**
+ * Parse a bitstring (MSB first) back into an integer.
+ * @throws ValueError if the string contains non-binary characters.
+ */
+std::uint64_t fromBitstring(const std::string &bits);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** printf-style double formatting, e.g. formatDouble(0.1234, 1) "12.3". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Fixed-decimals rendering of a double. */
+std::string formatDouble(double value, int decimals = 4);
+
+} // namespace qra
+
+#endif // QRA_COMMON_STRINGS_HH

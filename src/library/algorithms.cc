@@ -1,0 +1,172 @@
+#include "library/algorithms.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qra {
+namespace library {
+
+Circuit
+bellPair(BellKind kind)
+{
+    Circuit c(2, 0, "bell");
+    c.h(0).cx(0, 1);
+    switch (kind) {
+      case BellKind::PhiPlus:
+        break;
+      case BellKind::PhiMinus:
+        c.z(0);
+        break;
+      case BellKind::PsiPlus:
+        c.x(1);
+        break;
+      case BellKind::PsiMinus:
+        c.z(0).x(1);
+        break;
+    }
+    return c;
+}
+
+Circuit
+ghzState(std::size_t n)
+{
+    if (n < 2)
+        throw ValueError("GHZ state needs >= 2 qubits");
+    Circuit c(n, 0, "ghz" + std::to_string(n));
+    c.h(0);
+    for (Qubit q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    return c;
+}
+
+Circuit
+wState(std::size_t n)
+{
+    if (n < 2)
+        throw ValueError("W state needs >= 2 qubits");
+
+    // Cascaded construction: distribute the single excitation with
+    // controlled rotations. Start from |10...0> and, at step k,
+    // split amplitude off qubit k onto qubit k+1 with a rotation of
+    // angle theta_k = 2*acos(sqrt(1/(n-k))), controlled so that the
+    // excitation moves exactly once.
+    Circuit c(n, 0, "w" + std::to_string(n));
+    c.x(0);
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+        const double remaining = static_cast<double>(n - k);
+        const double theta =
+            2.0 * std::acos(std::sqrt(1.0 / remaining));
+        // Controlled-RY(theta) from qubit k to qubit k+1, built from
+        // two CNOTs and two half-angle RYs.
+        const Qubit a = static_cast<Qubit>(k);
+        const Qubit b = static_cast<Qubit>(k + 1);
+        c.ry(theta / 2.0, b);
+        c.cx(a, b);
+        c.ry(-theta / 2.0, b);
+        c.cx(a, b);
+        // Move the excitation: if qubit k+1 took the excitation,
+        // clear qubit k.
+        c.cx(b, a);
+    }
+    return c;
+}
+
+Circuit
+qft(std::size_t n)
+{
+    if (n < 1)
+        throw ValueError("QFT needs >= 1 qubit");
+    Circuit c(n, 0, "qft" + std::to_string(n));
+    for (std::size_t target = n; target-- > 0;) {
+        const Qubit t = static_cast<Qubit>(target);
+        c.h(t);
+        for (std::size_t k = 0; k < target; ++k) {
+            const Qubit control = static_cast<Qubit>(k);
+            const double angle =
+                M_PI / static_cast<double>(std::size_t{1}
+                                           << (target - k));
+            // Controlled phase via two CNOTs and three phases.
+            c.p(angle / 2.0, t);
+            c.cx(control, t);
+            c.p(-angle / 2.0, t);
+            c.cx(control, t);
+            c.p(angle / 2.0, control);
+        }
+    }
+    for (Qubit q = 0; q < n / 2; ++q)
+        c.swap(q, static_cast<Qubit>(n - 1 - q));
+    return c;
+}
+
+Circuit
+inverseQft(std::size_t n)
+{
+    Circuit inv = qft(n).inverse();
+    inv.setName("iqft" + std::to_string(n));
+    return inv;
+}
+
+Circuit
+groverSearch2(GroverBug bug)
+{
+    Circuit c(2, 2, "grover2");
+    c.h(0);
+    if (bug != GroverBug::MissingPreambleH)
+        c.h(1);
+
+    // Oracle: phase-flip the marked state.
+    if (bug == GroverBug::WrongOracle) {
+        // Marks |10> (q1 = 1, q0 = 0) instead of |11>.
+        c.x(0);
+        c.cz(0, 1);
+        c.x(0);
+    } else {
+        c.cz(0, 1);
+    }
+
+    // Diffusion.
+    c.h(0).h(1).x(0).x(1).cz(0, 1).x(0).x(1).h(0).h(1);
+    c.measureAll();
+    return c;
+}
+
+Circuit
+bernsteinVazirani(std::uint64_t secret, std::size_t n)
+{
+    if (n == 0 || n > 62)
+        throw ValueError("Bernstein-Vazirani supports 1..62 input "
+                         "qubits");
+    if (n < 64 && (secret >> n) != 0)
+        throw ValueError("secret has more bits than input qubits");
+
+    Circuit c(n + 1, n, "bv");
+    const Qubit oracle = static_cast<Qubit>(n);
+    c.x(oracle).h(oracle);
+    for (Qubit q = 0; q < n; ++q)
+        c.h(q);
+    for (Qubit q = 0; q < n; ++q)
+        if ((secret >> q) & 1)
+            c.cx(q, oracle);
+    for (Qubit q = 0; q < n; ++q)
+        c.h(q);
+    for (Qubit q = 0; q < n; ++q)
+        c.measure(q, q);
+    return c;
+}
+
+Circuit
+teleportation(double theta)
+{
+    Circuit c(3, 3, "teleport");
+    c.ry(theta, 0);
+    c.h(1).cx(1, 2);
+    c.cx(0, 1).h(0);
+    c.measure(0, 0).measure(1, 1);
+    c.cx(1, 2).cz(0, 2);
+    c.measure(2, 2);
+    return c;
+}
+
+} // namespace library
+} // namespace qra

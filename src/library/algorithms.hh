@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reusable circuit factories for the textbook algorithms the paper's
+ * debugging scenarios revolve around. Each factory optionally plants
+ * a documented bug so examples/tests/benches can exercise assertion-
+ * based debugging on realistic failure modes.
+ */
+
+#ifndef QRA_LIBRARY_ALGORITHMS_HH
+#define QRA_LIBRARY_ALGORITHMS_HH
+
+#include <cstdint>
+
+#include "circuit/circuit.hh"
+
+namespace qra {
+namespace library {
+
+/** The four Bell states. */
+enum class BellKind
+{
+    PhiPlus,  ///< (|00> + |11>)/sqrt2
+    PhiMinus, ///< (|00> - |11>)/sqrt2
+    PsiPlus,  ///< (|01> + |10>)/sqrt2
+    PsiMinus, ///< (|01> - |10>)/sqrt2
+};
+
+/** Bell pair on qubits 0 and 1 (no measurements, no clbits). */
+Circuit bellPair(BellKind kind = BellKind::PhiPlus);
+
+/** GHZ state over @p n qubits (no measurements). */
+Circuit ghzState(std::size_t n);
+
+/**
+ * W state over @p n qubits (one excitation, uniformly shared) via
+ * the cascaded-rotation construction. Not Clifford.
+ */
+Circuit wState(std::size_t n);
+
+/** Quantum Fourier transform over @p n qubits (with final swaps). */
+Circuit qft(std::size_t n);
+
+/** Inverse QFT. */
+Circuit inverseQft(std::size_t n);
+
+/** Planted bugs for groverSearch2(). */
+enum class GroverBug
+{
+    None,
+    MissingPreambleH, ///< H on qubit 1 omitted (paper-style bug)
+    WrongOracle,      ///< oracle marks |10> instead of |11>
+};
+
+/**
+ * One-iteration 2-qubit Grover search for the marked state |11>
+ * (exact for n = 2), measured into clbits 0-1.
+ */
+Circuit groverSearch2(GroverBug bug = GroverBug::None);
+
+/**
+ * Bernstein-Vazirani for @p secret over @p n input qubits, with the
+ * oracle ancilla as qubit n; inputs measured into clbits 0..n-1.
+ */
+Circuit bernsteinVazirani(std::uint64_t secret, std::size_t n);
+
+/**
+ * Teleport RY(theta)|0> from qubit 0 to qubit 2, corrections in
+ * coherent (deferred) form; measures all three qubits.
+ */
+Circuit teleportation(double theta);
+
+} // namespace library
+} // namespace qra
+
+#endif // QRA_LIBRARY_ALGORITHMS_HH

@@ -1,0 +1,105 @@
+#include "math/pauli.hh"
+
+#include "common/error.hh"
+#include "math/gates.hh"
+#include "sim/density_matrix.hh"
+#include "sim/state_vector.hh"
+
+namespace qra {
+
+namespace {
+
+const Matrix &
+pauliMatrix(char label)
+{
+    static const Matrix id = Matrix::identity(2);
+    static const Matrix px = gates::x();
+    static const Matrix py = gates::y();
+    static const Matrix pz = gates::z();
+    switch (label) {
+      case 'I': return id;
+      case 'X': return px;
+      case 'Y': return py;
+      case 'Z': return pz;
+    }
+    QRA_PANIC("invalid pauli label slipped through validation");
+}
+
+} // namespace
+
+PauliString::PauliString(const std::string &labels) : labels_(labels)
+{
+    if (labels_.empty())
+        QRA_FATAL("empty Pauli string");
+    for (char c : labels_)
+        if (c != 'I' && c != 'X' && c != 'Y' && c != 'Z')
+            QRA_FATAL(std::string("invalid Pauli label '") + c + "'");
+}
+
+bool
+PauliString::isIdentity() const
+{
+    return labels_.find_first_not_of('I') == std::string::npos;
+}
+
+std::vector<Qubit>
+PauliString::support() const
+{
+    std::vector<Qubit> qubits;
+    for (std::size_t q = 0; q < labels_.size(); ++q)
+        if (labels_[q] != 'I')
+            qubits.push_back(static_cast<Qubit>(q));
+    return qubits;
+}
+
+Matrix
+PauliString::toMatrix() const
+{
+    if (labels_.size() > 12)
+        QRA_FATAL("dense Pauli matrix limited to 12 qubits");
+    // kron composes with qubit 0 as the least-significant factor:
+    // M = P_{n-1} (x) ... (x) P_0.
+    Matrix m = pauliMatrix(labels_[0]);
+    for (std::size_t q = 1; q < labels_.size(); ++q)
+        m = pauliMatrix(labels_[q]).kron(m);
+    return m;
+}
+
+double
+PauliString::expectation(const StateVector &psi) const
+{
+    if (psi.numQubits() != labels_.size())
+        QRA_FATAL("Pauli string width does not match the state");
+
+    // Apply P to a copy and take the inner product: <psi|P|psi>.
+    std::vector<Complex> transformed = psi.amplitudes();
+    StateVector scratch = StateVector::fromAmplitudes(transformed);
+    for (Qubit q : support()) {
+        const Matrix &p = pauliMatrix(labels_[q]);
+        scratch.applyMatrix(p, {q});
+    }
+    Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < transformed.size(); ++i)
+        acc += std::conj(psi.amplitudes()[i]) *
+               scratch.amplitudes()[i];
+    return acc.real();
+}
+
+double
+PauliString::expectation(const DensityMatrix &rho) const
+{
+    if (rho.numQubits() != labels_.size())
+        QRA_FATAL("Pauli string width does not match the state");
+
+    // Tr(rho P): apply P on the left of rho and take the trace;
+    // done via the dense observable for the small registers the
+    // density backend supports.
+    const Matrix p = toMatrix();
+    Complex acc{0.0, 0.0};
+    for (std::size_t r = 0; r < rho.dim(); ++r)
+        for (std::size_t k = 0; k < rho.dim(); ++k)
+            acc += rho.matrix()(r, k) * p(k, r);
+    return acc.real();
+}
+
+} // namespace qra

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Pauli-string observables: expectation values of tensor products of
+ * I/X/Y/Z on both pure and mixed states. Used by tests to verify the
+ * assertion circuits' disentanglement claims via entanglement
+ * witnesses, and available as public API.
+ */
+
+#ifndef QRA_MATH_PAULI_HH
+#define QRA_MATH_PAULI_HH
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.hh"
+#include "math/types.hh"
+
+namespace qra {
+
+class StateVector;
+class DensityMatrix;
+
+/** A tensor product of single-qubit Paulis over a register. */
+class PauliString
+{
+  public:
+    /**
+     * Parse from text, leftmost character = qubit 0, e.g. "XZI" is
+     * X on qubit 0, Z on qubit 1, identity on qubit 2.
+     * @throws ValueError on characters outside {I, X, Y, Z}.
+     */
+    explicit PauliString(const std::string &labels);
+
+    std::size_t numQubits() const { return labels_.size(); }
+
+    /** The label character for qubit @p q. */
+    char label(Qubit q) const { return labels_.at(q); }
+
+    /** True when every label is 'I'. */
+    bool isIdentity() const;
+
+    /** Qubits with a non-identity label. */
+    std::vector<Qubit> support() const;
+
+    /** Dense 2^n x 2^n matrix of the observable (small n only). */
+    Matrix toMatrix() const;
+
+    /** <psi| P |psi>. */
+    double expectation(const StateVector &psi) const;
+
+    /** Tr(rho P). */
+    double expectation(const DensityMatrix &rho) const;
+
+    const std::string &str() const { return labels_; }
+
+  private:
+    std::string labels_;
+};
+
+} // namespace qra
+
+#endif // QRA_MATH_PAULI_HH

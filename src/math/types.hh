@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental numeric types shared by all QRA modules.
+ */
+
+#ifndef QRA_MATH_TYPES_HH
+#define QRA_MATH_TYPES_HH
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qra {
+
+/** Complex amplitude type used throughout the library. */
+using Complex = std::complex<double>;
+
+/** Index of a qubit within a circuit or register. */
+using Qubit = std::uint32_t;
+
+/** Index of a classical bit within a circuit. */
+using Clbit = std::uint32_t;
+
+/** Computational-basis index into a state vector (up to 63 qubits). */
+using BasisIndex = std::uint64_t;
+
+/** Imaginary unit. */
+inline constexpr Complex kI{0.0, 1.0};
+
+/** Default absolute tolerance for floating-point comparisons. */
+inline constexpr double kTol = 1e-10;
+
+/** 1/sqrt(2), the ubiquitous Hadamard coefficient. */
+inline constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+} // namespace qra
+
+#endif // QRA_MATH_TYPES_HH

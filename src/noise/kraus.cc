@@ -1,0 +1,79 @@
+#include "noise/kraus.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+
+KrausChannel::KrausChannel(std::vector<Matrix> operators, std::string name)
+    : ops_(std::move(operators)), name_(std::move(name))
+{
+    if (ops_.empty())
+        throw NoiseError("Kraus channel needs at least one operator");
+
+    const std::size_t d = ops_.front().rows();
+    if (d < 2 || (d & (d - 1)) != 0)
+        throw NoiseError("Kraus operator dimension must be a power of "
+                         "two >= 2");
+    for (const Matrix &k : ops_) {
+        if (k.rows() != d || k.cols() != d)
+            throw NoiseError("Kraus operators must be square and of "
+                             "equal dimension");
+    }
+    if (!isTracePreserving())
+        throw NoiseError("channel '" + name_ +
+                         "' violates the completeness relation "
+                         "sum K^t K = I");
+}
+
+std::size_t
+KrausChannel::dim() const
+{
+    return ops_.empty() ? 0 : ops_.front().rows();
+}
+
+std::size_t
+KrausChannel::numQubits() const
+{
+    std::size_t n = 0;
+    std::size_t d = dim();
+    while (d > 1) {
+        d >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+bool
+KrausChannel::isIdentity(double tol) const
+{
+    if (ops_.size() != 1)
+        return false;
+    Matrix product = ops_[0].adjoint() * ops_[0];
+    return product.isIdentity(tol) &&
+           ops_[0].equalUpToGlobalPhase(Matrix::identity(dim()), tol);
+}
+
+bool
+KrausChannel::isTracePreserving(double tol) const
+{
+    Matrix sum(dim(), dim());
+    for (const Matrix &k : ops_)
+        sum += k.adjoint() * k;
+    return sum.isIdentity(tol);
+}
+
+KrausChannel
+KrausChannel::composeWith(const KrausChannel &after) const
+{
+    if (dim() != after.dim())
+        throw NoiseError("composing channels of different dimensions");
+    std::vector<Matrix> composed;
+    composed.reserve(ops_.size() * after.ops_.size());
+    for (const Matrix &b : after.ops_)
+        for (const Matrix &a : ops_)
+            composed.push_back(b * a);
+    return KrausChannel(std::move(composed),
+                        name_ + "+" + after.name_);
+}
+
+} // namespace qra

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Kraus representation of a quantum channel, with CPTP validation.
+ */
+
+#ifndef QRA_NOISE_KRAUS_HH
+#define QRA_NOISE_KRAUS_HH
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.hh"
+
+namespace qra {
+
+/**
+ * A completely-positive trace-preserving map given by operators
+ * {K_k} with sum_k K_k^dagger K_k = I.
+ */
+class KrausChannel
+{
+  public:
+    KrausChannel() = default;
+
+    /**
+     * @param operators Kraus operators; all must be square and of the
+     *        same dimension (a power of two).
+     * @param name Diagnostic name ("depolarizing", ...).
+     * @throws NoiseError if the completeness relation fails.
+     */
+    explicit KrausChannel(std::vector<Matrix> operators,
+                          std::string name = "channel");
+
+    const std::vector<Matrix> &operators() const { return ops_; }
+    const std::string &name() const { return name_; }
+
+    /** Dimension of the space the channel acts on (2^numQubits). */
+    std::size_t dim() const;
+
+    /** Number of qubits the channel acts on. */
+    std::size_t numQubits() const;
+
+    /** True if the only operator is (proportional to) the identity. */
+    bool isIdentity(double tol = 1e-12) const;
+
+    /**
+     * Verify sum_k K_k^dagger K_k == I within @p tol.
+     * Constructor enforces this; exposed for tests.
+     */
+    bool isTracePreserving(double tol = 1e-8) const;
+
+    /**
+     * Compose with another channel of the same dimension: the result
+     * applies *this first, then @p after.
+     */
+    KrausChannel composeWith(const KrausChannel &after) const;
+
+  private:
+    std::vector<Matrix> ops_;
+    std::string name_;
+};
+
+} // namespace qra
+
+#endif // QRA_NOISE_KRAUS_HH

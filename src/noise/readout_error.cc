@@ -1,0 +1,32 @@
+#include "noise/readout_error.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+
+ReadoutError::ReadoutError(double p_read1_given0, double p_read0_given1)
+    : p10_(p_read1_given0), p01_(p_read0_given1)
+{
+    if (p10_ < 0.0 || p10_ > 1.0 || p01_ < 0.0 || p01_ > 1.0)
+        throw NoiseError("readout flip probabilities must lie in "
+                         "[0, 1]");
+}
+
+int
+ReadoutError::sampleReadout(int true_bit, Rng &rng) const
+{
+    const double flip = true_bit ? p01_ : p10_;
+    if (flip > 0.0 && rng.uniform() < flip)
+        return 1 - true_bit;
+    return true_bit;
+}
+
+double
+ReadoutError::confusion(int true_bit, int read_bit) const
+{
+    if (true_bit == 0)
+        return read_bit == 0 ? 1.0 - p10_ : p10_;
+    return read_bit == 1 ? 1.0 - p01_ : p01_;
+}
+
+} // namespace qra

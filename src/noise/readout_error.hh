@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Classical readout (measurement assignment) error: a 2x2 confusion
+ * matrix per qubit giving P(read j | prepared i).
+ */
+
+#ifndef QRA_NOISE_READOUT_ERROR_HH
+#define QRA_NOISE_READOUT_ERROR_HH
+
+#include "common/rng.hh"
+
+namespace qra {
+
+/** Per-qubit measurement confusion model. */
+class ReadoutError
+{
+  public:
+    /** Perfect readout. */
+    ReadoutError() = default;
+
+    /**
+     * @param p_read1_given0 P(read 1 | true 0).
+     * @param p_read0_given1 P(read 0 | true 1).
+     */
+    ReadoutError(double p_read1_given0, double p_read0_given1);
+
+    double pRead1Given0() const { return p10_; }
+    double pRead0Given1() const { return p01_; }
+
+    /** True when both flip probabilities are zero. */
+    bool isPerfect() const { return p10_ == 0.0 && p01_ == 0.0; }
+
+    /** Sample the recorded bit given the true bit. */
+    int sampleReadout(int true_bit, Rng &rng) const;
+
+    /**
+     * P(read @p read_bit | true @p true_bit): one confusion-matrix
+     * entry.
+     */
+    double confusion(int true_bit, int read_bit) const;
+
+  private:
+    double p10_ = 0.0; ///< P(read 1 | true 0)
+    double p01_ = 0.0; ///< P(read 0 | true 1)
+};
+
+} // namespace qra
+
+#endif // QRA_NOISE_READOUT_ERROR_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the QRA library.
+ *
+ * Include this from applications; library-internal code includes the
+ * specific module headers instead.
+ */
+
+#ifndef QRA_QRA_HH
+#define QRA_QRA_HH
+
+#include "assertions/amplitude_estimator.hh"
+#include "assertions/assertion.hh"
+#include "assertions/classical_assertion.hh"
+#include "assertions/directives.hh"
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/injector.hh"
+#include "assertions/report.hh"
+#include "assertions/statistical_assertion.hh"
+#include "assertions/superposition_assertion.hh"
+#include "circuit/circuit.hh"
+#include "circuit/drawer.hh"
+#include "circuit/qasm.hh"
+#include "circuit/schedule.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/strings.hh"
+#include "library/algorithms.hh"
+#include "math/gates.hh"
+#include "math/linalg.hh"
+#include "math/matrix.hh"
+#include "math/pauli.hh"
+#include "math/types.hh"
+#include "noise/channels.hh"
+#include "noise/device_model.hh"
+#include "noise/kraus.hh"
+#include "noise/noise_model.hh"
+#include "noise/readout_error.hh"
+#include "sim/density_matrix.hh"
+#include "sim/density_simulator.hh"
+#include "sim/result.hh"
+#include "sim/state_vector.hh"
+#include "sim/statevector_simulator.hh"
+#include "sim/trajectory_simulator.hh"
+#include "stabilizer/stabilizer_simulator.hh"
+#include "stabilizer/stabilizer_state.hh"
+#include "stats/chi_square.hh"
+#include "stats/distance.hh"
+#include "stats/error_rate.hh"
+#include "stats/histogram.hh"
+#include "transpile/coupling_map.hh"
+#include "transpile/decomposer.hh"
+#include "transpile/direction_fixer.hh"
+#include "transpile/layout.hh"
+#include "transpile/optimizer.hh"
+#include "transpile/router.hh"
+#include "transpile/transpiler.hh"
+
+#endif // QRA_QRA_HH

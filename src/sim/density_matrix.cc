@@ -1,0 +1,213 @@
+#include "sim/density_matrix.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "math/linalg.hh"
+#include "noise/kraus.hh"
+#include "sim/kernel.hh"
+
+namespace qra {
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : numQubits_(num_qubits),
+      rho_(std::size_t{1} << num_qubits, std::size_t{1} << num_qubits)
+{
+    if (num_qubits == 0 || num_qubits > 12)
+        throw SimulationError("density matrix supports 1..12 qubits");
+    rho_(0, 0) = 1.0;
+}
+
+DensityMatrix
+DensityMatrix::fromPureState(const std::vector<Complex> &amps)
+{
+    const std::size_t dim = amps.size();
+    if (dim < 2 || (dim & (dim - 1)) != 0)
+        throw SimulationError("amplitude count must be a power of two");
+    std::size_t num_qubits = 0;
+    while ((std::size_t{1} << num_qubits) < dim)
+        ++num_qubits;
+
+    DensityMatrix dm(num_qubits);
+    dm.rho_ = linalg::outer(amps);
+    return dm;
+}
+
+void
+DensityMatrix::checkQubit(Qubit q) const
+{
+    if (q >= numQubits_)
+        throw IndexError("qubit index " + std::to_string(q) +
+                         " out of range");
+}
+
+void
+DensityMatrix::leftMultiply(const Matrix &a,
+                            const std::vector<Qubit> &qubits)
+{
+    const std::size_t d = dim();
+    std::vector<Complex> column(d);
+    for (std::size_t c = 0; c < d; ++c) {
+        for (std::size_t r = 0; r < d; ++r)
+            column[r] = rho_(r, c);
+        kernel::applyMatrix(column, a, qubits);
+        for (std::size_t r = 0; r < d; ++r)
+            rho_(r, c) = column[r];
+    }
+}
+
+void
+DensityMatrix::rightMultiplyAdjoint(const Matrix &a,
+                                    const std::vector<Qubit> &qubits)
+{
+    // (rho A^dagger)_{rc} = sum_k rho_{rk} conj(A_{ck}); each row of
+    // rho transforms by conj(A) acting on the column-index space.
+    const Matrix conj_a = a.conjugate();
+    const std::size_t d = dim();
+    std::vector<Complex> row(d);
+    for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = 0; c < d; ++c)
+            row[c] = rho_(r, c);
+        kernel::applyMatrix(row, conj_a, qubits);
+        for (std::size_t c = 0; c < d; ++c)
+            rho_(r, c) = row[c];
+    }
+}
+
+void
+DensityMatrix::applyMatrix(const Matrix &u,
+                           const std::vector<Qubit> &qubits)
+{
+    for (Qubit q : qubits)
+        checkQubit(q);
+    leftMultiply(u, qubits);
+    rightMultiplyAdjoint(u, qubits);
+}
+
+void
+DensityMatrix::applyUnitary(const Operation &op)
+{
+    if (!opIsUnitary(op.kind))
+        throw SimulationError(std::string("applyUnitary on '") +
+                              opName(op.kind) + "'");
+    if (op.kind == OpKind::I)
+        return;
+    applyMatrix(op.matrix(), op.qubits);
+}
+
+void
+DensityMatrix::applyKraus(const KrausChannel &channel,
+                          const std::vector<Qubit> &qubits)
+{
+    for (Qubit q : qubits)
+        checkQubit(q);
+
+    Matrix accumulated(dim(), dim());
+    for (const Matrix &k : channel.operators()) {
+        DensityMatrix term(*this);
+        term.leftMultiply(k, qubits);
+        term.rightMultiplyAdjoint(k, qubits);
+        accumulated += term.rho_;
+    }
+    rho_ = std::move(accumulated);
+}
+
+double
+DensityMatrix::probabilityOfOne(Qubit q) const
+{
+    checkQubit(q);
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    double p1 = 0.0;
+    for (std::uint64_t i = 0; i < dim(); ++i)
+        if (i & bit)
+            p1 += rho_(i, i).real();
+    return std::clamp(p1, 0.0, 1.0);
+}
+
+void
+DensityMatrix::dephase(Qubit q)
+{
+    checkQubit(q);
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (std::uint64_t r = 0; r < dim(); ++r)
+        for (std::uint64_t c = 0; c < dim(); ++c)
+            if ((r & bit) != (c & bit))
+                rho_(r, c) = 0.0;
+}
+
+double
+DensityMatrix::postSelect(Qubit q, int outcome)
+{
+    checkQubit(q);
+    const double p1 = probabilityOfOne(q);
+    const double p = outcome ? p1 : 1.0 - p1;
+    if (p < 1e-12)
+        throw SimulationError(
+            "post-selection onto a zero-probability branch (qubit " +
+            std::to_string(q) + " == " + std::to_string(outcome) + ")");
+
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (std::uint64_t r = 0; r < dim(); ++r) {
+        for (std::uint64_t c = 0; c < dim(); ++c) {
+            const bool r_ok = ((r & bit) != 0) == (outcome == 1);
+            const bool c_ok = ((c & bit) != 0) == (outcome == 1);
+            if (r_ok && c_ok)
+                rho_(r, c) /= p;
+            else
+                rho_(r, c) = 0.0;
+        }
+    }
+    return p;
+}
+
+void
+DensityMatrix::resetQubit(Qubit q)
+{
+    checkQubit(q);
+    // Reset = Kraus channel {|0><0|, |0><1|}.
+    const Matrix k0{{Complex{1.0, 0.0}, Complex{0.0, 0.0}},
+                    {Complex{0.0, 0.0}, Complex{0.0, 0.0}}};
+    const Matrix k1{{Complex{0.0, 0.0}, Complex{1.0, 0.0}},
+                    {Complex{0.0, 0.0}, Complex{0.0, 0.0}}};
+    applyKraus(KrausChannel({k0, k1}, "reset"), {q});
+}
+
+std::vector<double>
+DensityMatrix::probabilities() const
+{
+    std::vector<double> probs(dim());
+    for (std::size_t i = 0; i < dim(); ++i)
+        probs[i] = std::max(0.0, rho_(i, i).real());
+    return probs;
+}
+
+double
+DensityMatrix::purity() const
+{
+    return linalg::purity(rho_);
+}
+
+double
+DensityMatrix::fidelityWithPure(const std::vector<Complex> &psi) const
+{
+    return linalg::mixedStateFidelity(rho_, psi);
+}
+
+Matrix
+DensityMatrix::reducedQubitDensity(Qubit q) const
+{
+    checkQubit(q);
+    std::vector<std::size_t> traced;
+    for (std::size_t i = 0; i < numQubits_; ++i)
+        if (i != q)
+            traced.push_back(i);
+    return linalg::partialTrace(rho_, numQubits_, traced);
+}
+
+double
+DensityMatrix::trace() const
+{
+    return rho_.trace().real();
+}
+
+} // namespace qra

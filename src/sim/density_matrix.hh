@@ -1,0 +1,99 @@
+/**
+ * @file
+ * n-qubit density matrix with unitary evolution, Kraus channels, and
+ * computational-basis measurement primitives.
+ *
+ * Intended for small registers (the experiments use 3-6 qubits); the
+ * representation is a dense 2^n x 2^n matrix, practical up to ~10
+ * qubits.
+ */
+
+#ifndef QRA_SIM_DENSITY_MATRIX_HH
+#define QRA_SIM_DENSITY_MATRIX_HH
+
+#include <vector>
+
+#include "circuit/gate.hh"
+#include "math/matrix.hh"
+#include "math/types.hh"
+
+namespace qra {
+
+class KrausChannel;
+
+/** Mixed quantum state over a register of qubits. */
+class DensityMatrix
+{
+  public:
+    /** Initialise to the pure state |0...0><0...0|. */
+    explicit DensityMatrix(std::size_t num_qubits);
+
+    /** Initialise from a pure state's amplitudes. */
+    static DensityMatrix fromPureState(const std::vector<Complex> &amps);
+
+    std::size_t numQubits() const { return numQubits_; }
+    std::size_t dim() const { return rho_.rows(); }
+
+    const Matrix &matrix() const { return rho_; }
+
+    /** rho <- U rho U^dagger with U acting on @p qubits. */
+    void applyMatrix(const Matrix &u, const std::vector<Qubit> &qubits);
+
+    /** Apply one unitary circuit operation. */
+    void applyUnitary(const Operation &op);
+
+    /** rho <- sum_k K_k rho K_k^dagger over @p qubits. */
+    void applyKraus(const KrausChannel &channel,
+                    const std::vector<Qubit> &qubits);
+
+    /** Non-destructive P(qubit q == 1). */
+    double probabilityOfOne(Qubit q) const;
+
+    /**
+     * Destroy coherence between the |0> and |1> subspaces of @p q
+     * (the back-action of an unread computational-basis measurement).
+     */
+    void dephase(Qubit q);
+
+    /**
+     * Project qubit @p q onto @p outcome and renormalise.
+     * @return Probability of the selected branch.
+     * @throws SimulationError if the branch has (near-)zero weight.
+     */
+    double postSelect(Qubit q, int outcome);
+
+    /** Reset channel on one qubit: rho -> |0><0| (x) tr_q contents. */
+    void resetQubit(Qubit q);
+
+    /** Diagonal of rho: probability of each basis state. */
+    std::vector<double> probabilities() const;
+
+    /** Tr(rho^2). */
+    double purity() const;
+
+    /** <psi| rho |psi>. */
+    double fidelityWithPure(const std::vector<Complex> &psi) const;
+
+    /** 2x2 reduced state of one qubit. */
+    Matrix reducedQubitDensity(Qubit q) const;
+
+    /** Tr(rho); should be 1 up to numerical error. */
+    double trace() const;
+
+  private:
+    void checkQubit(Qubit q) const;
+
+    /** rho <- A rho with local matrix A (columns transformed). */
+    void leftMultiply(const Matrix &a, const std::vector<Qubit> &qubits);
+
+    /** rho <- rho A^dagger with local matrix A (rows transformed). */
+    void rightMultiplyAdjoint(const Matrix &a,
+                              const std::vector<Qubit> &qubits);
+
+    std::size_t numQubits_;
+    Matrix rho_;
+};
+
+} // namespace qra
+
+#endif // QRA_SIM_DENSITY_MATRIX_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared gate-application kernel: applies a k-qubit matrix to a
+ * 2^n amplitude array in place. Used by the state-vector backend
+ * directly and by the density-matrix backend on its rows/columns.
+ */
+
+#ifndef QRA_SIM_KERNEL_HH
+#define QRA_SIM_KERNEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hh"
+#include "math/matrix.hh"
+#include "math/types.hh"
+
+namespace qra {
+namespace kernel {
+
+/**
+ * Apply matrix @p u to @p amps on target @p qubits; matrix bit j
+ * corresponds to qubits[j]. @p amps.size() must be a power of two at
+ * least as large as the targeted subspace.
+ */
+inline void
+applyMatrix(std::vector<Complex> &amps, const Matrix &u,
+            const std::vector<Qubit> &qubits)
+{
+    const std::size_t k = qubits.size();
+    const std::size_t block = std::size_t{1} << k;
+    QRA_ASSERT(u.rows() == block && u.cols() == block,
+               "matrix size does not match operand count");
+
+    if (k == 1) {
+        const std::uint64_t bit = std::uint64_t{1} << qubits[0];
+        const Complex m00 = u(0, 0), m01 = u(0, 1);
+        const Complex m10 = u(1, 0), m11 = u(1, 1);
+        for (std::uint64_t i = 0; i < amps.size(); ++i) {
+            if (i & bit)
+                continue;
+            const Complex a0 = amps[i];
+            const Complex a1 = amps[i | bit];
+            amps[i] = m00 * a0 + m01 * a1;
+            amps[i | bit] = m10 * a0 + m11 * a1;
+        }
+        return;
+    }
+
+    std::vector<std::uint64_t> bits(k);
+    for (std::size_t j = 0; j < k; ++j)
+        bits[j] = std::uint64_t{1} << qubits[j];
+    std::vector<std::uint64_t> insert_order = bits;
+    std::sort(insert_order.begin(), insert_order.end());
+
+    std::vector<std::uint64_t> offsets(block, 0);
+    for (std::size_t local = 0; local < block; ++local)
+        for (std::size_t j = 0; j < k; ++j)
+            if ((local >> j) & 1)
+                offsets[local] |= bits[j];
+
+    std::vector<Complex> in(block), out(block);
+    const std::uint64_t bases = amps.size() >> k;
+    for (std::uint64_t b = 0; b < bases; ++b) {
+        std::uint64_t base = b;
+        for (std::uint64_t mask : insert_order) {
+            const std::uint64_t low = base & (mask - 1);
+            base = ((base & ~(mask - 1)) << 1) | low;
+        }
+        for (std::size_t local = 0; local < block; ++local)
+            in[local] = amps[base | offsets[local]];
+        for (std::size_t r = 0; r < block; ++r) {
+            Complex acc{0.0, 0.0};
+            for (std::size_t c = 0; c < block; ++c)
+                acc += u(r, c) * in[c];
+            out[r] = acc;
+        }
+        for (std::size_t local = 0; local < block; ++local)
+            amps[base | offsets[local]] = out[local];
+    }
+}
+
+} // namespace kernel
+} // namespace qra
+
+#endif // QRA_SIM_KERNEL_HH

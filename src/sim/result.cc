@@ -1,0 +1,106 @@
+#include "sim/result.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qra {
+
+Result::Result(std::size_t num_clbits) : numClbits_(num_clbits)
+{
+}
+
+void
+Result::record(std::uint64_t outcome)
+{
+    record(outcome, 1);
+}
+
+void
+Result::record(std::uint64_t outcome, std::size_t count)
+{
+    counts_[outcome] += count;
+    shots_ += count;
+}
+
+std::map<std::string, std::size_t>
+Result::counts() const
+{
+    std::map<std::string, std::size_t> out;
+    for (const auto &[key, n] : counts_)
+        out[toBitstring(key, numClbits_)] = n;
+    return out;
+}
+
+std::size_t
+Result::count(std::uint64_t outcome) const
+{
+    const auto it = counts_.find(outcome);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::size_t
+Result::count(const std::string &bits) const
+{
+    return count(fromBitstring(bits));
+}
+
+double
+Result::probability(std::uint64_t outcome) const
+{
+    if (shots_ == 0)
+        return 0.0;
+    return static_cast<double>(count(outcome)) /
+           static_cast<double>(shots_);
+}
+
+double
+Result::probability(const std::string &bits) const
+{
+    return probability(fromBitstring(bits));
+}
+
+std::uint64_t
+Result::mostFrequent() const
+{
+    if (counts_.empty())
+        QRA_FATAL("mostFrequent on an empty result");
+    std::uint64_t best = 0;
+    std::size_t best_count = 0;
+    for (const auto &[key, n] : counts_) {
+        if (n > best_count) {
+            best = key;
+            best_count = n;
+        }
+    }
+    return best;
+}
+
+void
+Result::setExactDistribution(std::map<std::uint64_t, double> dist)
+{
+    exact_ = std::move(dist);
+}
+
+void
+Result::merge(const Result &other)
+{
+    if (numClbits_ != other.numClbits_)
+        QRA_FATAL("cannot merge results with different register widths");
+    for (const auto &[key, n] : other.counts_)
+        record(key, n);
+}
+
+std::string
+Result::str() const
+{
+    std::ostringstream os;
+    for (const auto &[key, n] : counts_) {
+        os << toBitstring(key, numClbits_) << "  " << n << "  "
+           << formatPercent(probability(key)) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace qra

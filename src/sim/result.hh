@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Execution result: measurement counts keyed by classical-register
+ * value, plus optional per-shot memory and exact probabilities.
+ */
+
+#ifndef QRA_SIM_RESULT_HH
+#define QRA_SIM_RESULT_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qra {
+
+/** Counts and metadata from running a circuit for some shots. */
+class Result
+{
+  public:
+    Result() = default;
+
+    /**
+     * @param num_clbits Width of the classical register; outcome keys
+     *        are rendered as bitstrings of this width (MSB first,
+     *        clbit 0 rightmost).
+     */
+    explicit Result(std::size_t num_clbits);
+
+    std::size_t numClbits() const { return numClbits_; }
+
+    /** Total number of recorded shots. */
+    std::size_t shots() const { return shots_; }
+
+    /** Record one shot with classical-register value @p outcome. */
+    void record(std::uint64_t outcome);
+
+    /** Record @p count shots of the same outcome. */
+    void record(std::uint64_t outcome, std::size_t count);
+
+    /** Counts keyed by integer register value. */
+    const std::map<std::uint64_t, std::size_t> &rawCounts() const
+    {
+        return counts_;
+    }
+
+    /** Counts keyed by rendered bitstring. */
+    std::map<std::string, std::size_t> counts() const;
+
+    /** Count for a specific integer outcome (0 if absent). */
+    std::size_t count(std::uint64_t outcome) const;
+
+    /** Count looked up by bitstring key, e.g. "011". */
+    std::size_t count(const std::string &bits) const;
+
+    /** Empirical probability of an integer outcome. */
+    double probability(std::uint64_t outcome) const;
+
+    /** Empirical probability of a bitstring outcome. */
+    double probability(const std::string &bits) const;
+
+    /** Outcome with the highest count. @throws Error if empty. */
+    std::uint64_t mostFrequent() const;
+
+    /**
+     * Exact outcome distribution, if the backend computed one (the
+     * density-matrix backend does). Keyed by register value.
+     */
+    const std::optional<std::map<std::uint64_t, double>> &
+    exactDistribution() const
+    {
+        return exact_;
+    }
+
+    void setExactDistribution(std::map<std::uint64_t, double> dist);
+
+    /**
+     * Fraction of trajectories discarded by PostSelect directives
+     * (1.0 means nothing was discarded).
+     */
+    double retainedFraction() const { return retainedFraction_; }
+    void setRetainedFraction(double f) { retainedFraction_ = f; }
+
+    /** Merge the counts of another result (same width required). */
+    void merge(const Result &other);
+
+    /** Multi-line "bits  count  percent" table sorted by outcome. */
+    std::string str() const;
+
+  private:
+    std::size_t numClbits_ = 0;
+    std::size_t shots_ = 0;
+    std::map<std::uint64_t, std::size_t> counts_;
+    std::optional<std::map<std::uint64_t, double>> exact_;
+    double retainedFraction_ = 1.0;
+};
+
+} // namespace qra
+
+#endif // QRA_SIM_RESULT_HH

@@ -1,0 +1,271 @@
+#include "sim/state_vector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "math/linalg.hh"
+#include "sim/kernel.hh"
+
+namespace qra {
+
+StateVector::StateVector(std::size_t num_qubits)
+    : numQubits_(num_qubits),
+      amps_(std::size_t{1} << num_qubits, Complex{0.0, 0.0})
+{
+    if (num_qubits == 0 || num_qubits > 24)
+        throw SimulationError("state vector supports 1..24 qubits");
+    amps_[0] = 1.0;
+}
+
+StateVector
+StateVector::fromAmplitudes(std::vector<Complex> amps)
+{
+    const std::size_t dim = amps.size();
+    if (dim < 2 || (dim & (dim - 1)) != 0)
+        throw SimulationError("amplitude count must be a power of two");
+
+    std::size_t num_qubits = 0;
+    while ((std::size_t{1} << num_qubits) < dim)
+        ++num_qubits;
+
+    StateVector sv(num_qubits);
+    linalg::normalize(amps);
+    sv.amps_ = std::move(amps);
+    return sv;
+}
+
+void
+StateVector::resetAll()
+{
+    std::fill(amps_.begin(), amps_.end(), Complex{0.0, 0.0});
+    amps_[0] = 1.0;
+}
+
+void
+StateVector::checkQubit(Qubit q) const
+{
+    if (q >= numQubits_)
+        throw IndexError("qubit index " + std::to_string(q) +
+                         " out of range");
+}
+
+void
+StateVector::applyMatrix(const Matrix &u, const std::vector<Qubit> &qubits)
+{
+    const std::size_t k = qubits.size();
+    const std::size_t block = std::size_t{1} << k;
+    if (u.rows() != block || u.cols() != block)
+        throw SimulationError("gate matrix size does not match qubit "
+                              "operand count");
+    for (Qubit q : qubits)
+        checkQubit(q);
+
+    kernel::applyMatrix(amps_, u, qubits);
+}
+
+void
+StateVector::applyUnitary(const Operation &op)
+{
+    if (!opIsUnitary(op.kind))
+        throw SimulationError(std::string("applyUnitary on '") +
+                              opName(op.kind) + "'");
+
+    // Special-case the common controlled gates: permutations/phases
+    // touch half the amplitudes the generic path does.
+    switch (op.kind) {
+      case OpKind::I:
+        return;
+      case OpKind::X:
+      {
+        const std::uint64_t bit = std::uint64_t{1} << op.qubits[0];
+        for (std::uint64_t i = 0; i < amps_.size(); ++i)
+            if (!(i & bit))
+                std::swap(amps_[i], amps_[i | bit]);
+        return;
+      }
+      case OpKind::Z:
+      {
+        const std::uint64_t bit = std::uint64_t{1} << op.qubits[0];
+        for (std::uint64_t i = 0; i < amps_.size(); ++i)
+            if (i & bit)
+                amps_[i] = -amps_[i];
+        return;
+      }
+      case OpKind::CX:
+      {
+        checkQubit(op.qubits[0]);
+        checkQubit(op.qubits[1]);
+        const std::uint64_t cbit = std::uint64_t{1} << op.qubits[0];
+        const std::uint64_t tbit = std::uint64_t{1} << op.qubits[1];
+        for (std::uint64_t i = 0; i < amps_.size(); ++i)
+            if ((i & cbit) && !(i & tbit))
+                std::swap(amps_[i], amps_[i | tbit]);
+        return;
+      }
+      case OpKind::CZ:
+      {
+        const std::uint64_t mask =
+            (std::uint64_t{1} << op.qubits[0]) |
+            (std::uint64_t{1} << op.qubits[1]);
+        for (std::uint64_t i = 0; i < amps_.size(); ++i)
+            if ((i & mask) == mask)
+                amps_[i] = -amps_[i];
+        return;
+      }
+      default:
+        applyMatrix(op.matrix(), op.qubits);
+    }
+}
+
+int
+StateVector::measure(Qubit q, Rng &rng)
+{
+    checkQubit(q);
+    const double p1 = probabilityOfOne(q);
+    const int outcome = rng.uniform() < p1 ? 1 : 0;
+    const double p = outcome ? p1 : 1.0 - p1;
+    if (p < 1e-15)
+        throw SimulationError("measurement collapsed onto a zero-"
+                              "probability branch (numerical issue)");
+
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const double scale = 1.0 / std::sqrt(p);
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        const bool is_one = (i & bit) != 0;
+        if (is_one == (outcome == 1))
+            amps_[i] *= scale;
+        else
+            amps_[i] = 0.0;
+    }
+    return outcome;
+}
+
+double
+StateVector::postSelect(Qubit q, int outcome)
+{
+    checkQubit(q);
+    const double p1 = probabilityOfOne(q);
+    const double p = outcome ? p1 : 1.0 - p1;
+    if (p < 1e-12)
+        throw SimulationError(
+            "post-selection onto a zero-probability branch (qubit " +
+            std::to_string(q) + " == " + std::to_string(outcome) + ")");
+
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const double scale = 1.0 / std::sqrt(p);
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        const bool is_one = (i & bit) != 0;
+        if (is_one == (outcome == 1))
+            amps_[i] *= scale;
+        else
+            amps_[i] = 0.0;
+    }
+    return p;
+}
+
+double
+StateVector::probabilityOfOne(Qubit q) const
+{
+    checkQubit(q);
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    double p1 = 0.0;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            p1 += std::norm(amps_[i]);
+    return std::min(1.0, p1);
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+std::vector<double>
+StateVector::marginalProbabilities(const std::vector<Qubit> &qubits) const
+{
+    for (Qubit q : qubits)
+        checkQubit(q);
+    std::vector<double> marginal(std::size_t{1} << qubits.size(), 0.0);
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        const double p = std::norm(amps_[i]);
+        if (p == 0.0)
+            continue;
+        std::uint64_t key = 0;
+        for (std::size_t j = 0; j < qubits.size(); ++j)
+            if ((i >> qubits[j]) & 1)
+                key |= std::uint64_t{1} << j;
+        marginal[key] += p;
+    }
+    return marginal;
+}
+
+BasisIndex
+StateVector::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        if (u < acc)
+            return i;
+    }
+    return amps_.size() - 1;
+}
+
+void
+StateVector::resetQubit(Qubit q, Rng &rng)
+{
+    const int outcome = measure(q, rng);
+    if (outcome == 1)
+        applyUnitary({.kind = OpKind::X, .qubits = {q}});
+}
+
+double
+StateVector::expectationZ(Qubit q) const
+{
+    return 1.0 - 2.0 * probabilityOfOne(q);
+}
+
+Matrix
+StateVector::reducedQubitDensity(Qubit q) const
+{
+    checkQubit(q);
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    Complex r00{0.0, 0.0}, r01{0.0, 0.0}, r11{0.0, 0.0};
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        if (i & bit) {
+            r11 += amps_[i] * std::conj(amps_[i]);
+        } else {
+            r00 += amps_[i] * std::conj(amps_[i]);
+            r01 += amps_[i] * std::conj(amps_[i | bit]);
+        }
+    }
+    return Matrix{{r00, r01}, {std::conj(r01), r11}};
+}
+
+double
+StateVector::qubitPurity(Qubit q) const
+{
+    return linalg::purity(reducedQubitDensity(q));
+}
+
+double
+StateVector::fidelityWith(const StateVector &other) const
+{
+    if (numQubits_ != other.numQubits_)
+        throw SimulationError("fidelity between different-size states");
+    return linalg::stateFidelity(amps_, other.amps_);
+}
+
+double
+StateVector::norm() const
+{
+    return linalg::norm(amps_);
+}
+
+} // namespace qra

@@ -1,0 +1,206 @@
+#include "sim/statevector_simulator.hh"
+
+#include <set>
+
+#include "common/error.hh"
+
+namespace qra {
+
+StatevectorSimulator::StatevectorSimulator(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+bool
+StatevectorSimulator::measurementsAreTerminal(const Circuit &circuit)
+{
+    std::set<Qubit> measured;
+    for (const Operation &op : circuit.ops()) {
+        switch (op.kind) {
+          case OpKind::Reset:
+            return false;
+          case OpKind::Measure:
+            measured.insert(op.qubits[0]);
+            break;
+          case OpKind::Barrier:
+            break;
+          default:
+            for (Qubit q : op.qubits)
+                if (measured.count(q))
+                    return false;
+        }
+    }
+    return true;
+}
+
+Result
+StatevectorSimulator::run(const Circuit &circuit, std::size_t shots)
+{
+    if (measurementsAreTerminal(circuit))
+        return runSampled(circuit, shots);
+    return runPerShot(circuit, shots);
+}
+
+Result
+StatevectorSimulator::runSampled(const Circuit &circuit,
+                                 std::size_t shots)
+{
+    StateVector state(circuit.numQubits());
+    double retained = 1.0;
+
+    // Qubit -> clbit wiring of the (terminal) measurements.
+    std::vector<std::pair<Qubit, Clbit>> wiring;
+    for (const Operation &op : circuit.ops()) {
+        switch (op.kind) {
+          case OpKind::Measure:
+            wiring.emplace_back(op.qubits[0], *op.clbit);
+            break;
+          case OpKind::Barrier:
+            break;
+          case OpKind::PostSelect:
+            retained *= state.postSelect(op.qubits[0],
+                                         op.postselectValue);
+            break;
+          default:
+            state.applyUnitary(op);
+        }
+    }
+
+    Result result(circuit.numClbits());
+    result.setRetainedFraction(retained);
+    if (wiring.empty()) {
+        // No measurements: report the all-zero register for each shot.
+        result.record(0, shots);
+        return result;
+    }
+
+    for (std::size_t s = 0; s < shots; ++s) {
+        const BasisIndex basis = state.sample(rng_);
+        std::uint64_t reg = 0;
+        for (const auto &[q, c] : wiring) {
+            if ((basis >> q) & 1)
+                reg |= std::uint64_t{1} << c;
+            else
+                reg &= ~(std::uint64_t{1} << c);
+        }
+        result.record(reg);
+    }
+    return result;
+}
+
+Result
+StatevectorSimulator::runPerShot(const Circuit &circuit,
+                                 std::size_t shots)
+{
+    Result result(circuit.numClbits());
+    std::size_t attempted = 0;
+    std::size_t kept = 0;
+
+    // Post-selection in per-shot mode conditions the ensemble: a shot
+    // survives each PostSelect with the branch probability, otherwise
+    // it is discarded and re-attempted (same semantics as the
+    // trajectory backend).
+    const std::size_t max_attempts = shots * 100 + 1000;
+    while (kept < shots && attempted < max_attempts) {
+        ++attempted;
+        StateVector state(circuit.numQubits());
+        std::uint64_t reg = 0;
+        bool discarded = false;
+
+        for (const Operation &op : circuit.ops()) {
+            switch (op.kind) {
+              case OpKind::Measure:
+              {
+                const int outcome = state.measure(op.qubits[0], rng_);
+                if (outcome)
+                    reg |= std::uint64_t{1} << *op.clbit;
+                else
+                    reg &= ~(std::uint64_t{1} << *op.clbit);
+                break;
+              }
+              case OpKind::Reset:
+                state.resetQubit(op.qubits[0], rng_);
+                break;
+              case OpKind::Barrier:
+                break;
+              case OpKind::PostSelect:
+              {
+                const double p1 =
+                    state.probabilityOfOne(op.qubits[0]);
+                const double p =
+                    op.postselectValue ? p1 : 1.0 - p1;
+                if (p < 1e-12 || rng_.uniform() >= p) {
+                    discarded = true;
+                } else {
+                    state.postSelect(op.qubits[0],
+                                     op.postselectValue);
+                }
+                break;
+              }
+              default:
+                state.applyUnitary(op);
+            }
+            if (discarded)
+                break;
+        }
+        if (discarded)
+            continue;
+        result.record(reg);
+        ++kept;
+    }
+    if (kept < shots)
+        throw SimulationError("post-selection discarded nearly every "
+                              "shot; circuit is inconsistent");
+
+    result.setRetainedFraction(static_cast<double>(kept) /
+                               static_cast<double>(attempted));
+    return result;
+}
+
+StateVector
+StatevectorSimulator::finalState(const Circuit &circuit)
+{
+    StateVector state(circuit.numQubits());
+    for (const Operation &op : circuit.ops()) {
+        switch (op.kind) {
+          case OpKind::Measure:
+          case OpKind::Barrier:
+            break;
+          case OpKind::Reset:
+            state.resetQubit(op.qubits[0], rng_);
+            break;
+          case OpKind::PostSelect:
+            state.postSelect(op.qubits[0], op.postselectValue);
+            break;
+          default:
+            state.applyUnitary(op);
+        }
+    }
+    return state;
+}
+
+StateVector
+StatevectorSimulator::evolveWithMeasurements(const Circuit &circuit)
+{
+    StateVector state(circuit.numQubits());
+    for (const Operation &op : circuit.ops()) {
+        switch (op.kind) {
+          case OpKind::Measure:
+            state.measure(op.qubits[0], rng_);
+            break;
+          case OpKind::Barrier:
+            break;
+          case OpKind::Reset:
+            state.resetQubit(op.qubits[0], rng_);
+            break;
+          case OpKind::PostSelect:
+            state.postSelect(op.qubits[0], op.postselectValue);
+            break;
+          default:
+            state.applyUnitary(op);
+        }
+    }
+    return state;
+}
+
+} // namespace qra

@@ -1,0 +1,157 @@
+#include "sim/trajectory_simulator.hh"
+
+#include <cmath>
+
+#include "circuit/schedule.hh"
+#include "common/error.hh"
+#include "sim/kernel.hh"
+
+namespace qra {
+
+TrajectorySimulator::TrajectorySimulator(std::uint64_t seed) : rng_(seed)
+{
+}
+
+void
+TrajectorySimulator::sampleKraus(StateVector &state,
+                                 const KrausChannel &channel,
+                                 const std::vector<Qubit> &qubits)
+{
+    const auto &ops = channel.operators();
+    if (ops.size() == 1) {
+        state.applyMatrix(ops[0], qubits);
+        return;
+    }
+
+    // Born weights of each branch: ||K_k psi||^2. Kraus operators are
+    // not unitary, so apply them to raw amplitude copies.
+    std::vector<std::vector<Complex>> branches(ops.size());
+    std::vector<double> weights(ops.size());
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+        branches[k] = state.amplitudes();
+        kernel::applyMatrix(branches[k], ops[k], qubits);
+        double norm_sq = 0.0;
+        for (const Complex &a : branches[k])
+            norm_sq += std::norm(a);
+        weights[k] = norm_sq;
+    }
+
+    const std::size_t chosen = sampleDiscrete(weights, rng_);
+    // fromAmplitudes renormalises the selected branch.
+    state = StateVector::fromAmplitudes(std::move(branches[chosen]));
+}
+
+bool
+TrajectorySimulator::runShot(const Circuit &circuit, StateVector &state,
+                             std::uint64_t &register_value)
+{
+    const bool noisy = noise_ != nullptr && noise_->enabled();
+    auto duration = [&](const Operation &op) {
+        return noisy ? noise_->opDuration(op) : 0.0;
+    };
+    const std::vector<TimedMoment> moments =
+        computeTimedMoments(circuit, duration);
+
+    register_value = 0;
+    for (const TimedMoment &moment : moments) {
+        for (std::size_t idx : moment.opIndices) {
+            const Operation &op = circuit.ops()[idx];
+            switch (op.kind) {
+              case OpKind::Measure:
+              {
+                int outcome = state.measure(op.qubits[0], rng_);
+                if (noisy) {
+                    const ReadoutError *ro =
+                        noise_->readoutFor(op.qubits[0]);
+                    if (ro != nullptr)
+                        outcome = ro->sampleReadout(outcome, rng_);
+                }
+                if (outcome)
+                    register_value |= std::uint64_t{1} << *op.clbit;
+                else
+                    register_value &= ~(std::uint64_t{1} << *op.clbit);
+                continue;
+              }
+              case OpKind::Barrier:
+                continue;
+              case OpKind::Reset:
+                state.resetQubit(op.qubits[0], rng_);
+                break;
+              case OpKind::PostSelect:
+              {
+                const double p1 =
+                    state.probabilityOfOne(op.qubits[0]);
+                const double p =
+                    op.postselectValue ? p1 : 1.0 - p1;
+                if (p < 1e-12)
+                    return false; // discard this trajectory
+                // Probabilistic conditioning: the trajectory survives
+                // with probability p, reproducing the post-selected
+                // ensemble without bias.
+                if (rng_.uniform() >= p)
+                    return false;
+                state.postSelect(op.qubits[0], op.postselectValue);
+                continue;
+              }
+              default:
+                state.applyUnitary(op);
+                break;
+            }
+
+            if (noisy) {
+                for (const auto &applied : noise_->channelsFor(op))
+                    sampleKraus(state, applied.channel, applied.qubits);
+            }
+        }
+
+        if (noisy && moment.durationNs > 0.0) {
+            for (Qubit q = 0; q < circuit.numQubits(); ++q) {
+                if (auto relax =
+                        noise_->relaxationFor(q, moment.durationNs))
+                    sampleKraus(state, *relax, {q});
+            }
+        }
+    }
+    return true;
+}
+
+Result
+TrajectorySimulator::run(const Circuit &circuit, std::size_t shots)
+{
+    Result result(circuit.numClbits());
+    std::size_t attempted = 0;
+    std::size_t kept = 0;
+
+    // Cap retries so pathological post-selections terminate.
+    const std::size_t max_attempts = shots * 100 + 1000;
+    while (kept < shots && attempted < max_attempts) {
+        ++attempted;
+        StateVector state(circuit.numQubits());
+        std::uint64_t reg = 0;
+        if (!runShot(circuit, state, reg))
+            continue;
+        result.record(reg);
+        ++kept;
+    }
+    if (kept < shots)
+        throw SimulationError("post-selection discarded nearly every "
+                              "trajectory; circuit is inconsistent");
+
+    result.setRetainedFraction(static_cast<double>(kept) /
+                               static_cast<double>(attempted));
+    return result;
+}
+
+StateVector
+TrajectorySimulator::evolveOne(const Circuit &circuit)
+{
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        StateVector state(circuit.numQubits());
+        std::uint64_t reg = 0;
+        if (runShot(circuit, state, reg))
+            return state;
+    }
+    throw SimulationError("post-selection discarded every trajectory");
+}
+
+} // namespace qra

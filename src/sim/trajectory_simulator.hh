@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Monte-Carlo (quantum trajectory) noisy simulator on the state-vector
+ * backend. Each shot samples one Kraus branch per noise insertion,
+ * performs real measurement collapses, and flips recorded bits per the
+ * readout confusion model.
+ *
+ * Handles everything the density backend rejects (ancilla reuse,
+ * mid-circuit reset after measurement) and scales to more qubits, at
+ * the cost of sampling error ~ 1/sqrt(shots).
+ */
+
+#ifndef QRA_SIM_TRAJECTORY_SIMULATOR_HH
+#define QRA_SIM_TRAJECTORY_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "circuit/circuit.hh"
+#include "common/rng.hh"
+#include "noise/noise_model.hh"
+#include "sim/result.hh"
+#include "sim/state_vector.hh"
+
+namespace qra {
+
+/** Stochastic noisy execution engine. */
+class TrajectorySimulator
+{
+  public:
+    explicit TrajectorySimulator(std::uint64_t seed = 7);
+
+    /** Attach a noise model (nullptr or unset = ideal). */
+    void setNoiseModel(const NoiseModel *noise) { noise_ = noise; }
+
+    /**
+     * Execute @p shots independent trajectories.
+     *
+     * Shots whose PostSelect directive lands on a zero-probability
+     * branch are discarded (and reflected in retainedFraction()).
+     */
+    Result run(const Circuit &circuit, std::size_t shots);
+
+    /** Evolve a single noisy trajectory and return its final state. */
+    StateVector evolveOne(const Circuit &circuit);
+
+    void seed(std::uint64_t seed) { rng_.seed(seed); }
+
+  private:
+    /**
+     * Apply one Kraus branch of @p channel, sampled with the Born
+     * weights ||K_k psi||^2.
+     */
+    void sampleKraus(StateVector &state, const KrausChannel &channel,
+                     const std::vector<Qubit> &qubits);
+
+    /** @return false if the shot must be discarded (post-selection). */
+    bool runShot(const Circuit &circuit, StateVector &state,
+                 std::uint64_t &register_value);
+
+    const NoiseModel *noise_ = nullptr;
+    Rng rng_;
+};
+
+} // namespace qra
+
+#endif // QRA_SIM_TRAJECTORY_SIMULATOR_HH

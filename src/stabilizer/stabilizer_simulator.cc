@@ -1,0 +1,107 @@
+#include "stabilizer/stabilizer_simulator.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+
+StabilizerSimulator::StabilizerSimulator(std::uint64_t seed) : rng_(seed)
+{
+}
+
+bool
+StabilizerSimulator::supports(const Circuit &circuit)
+{
+    for (const Operation &op : circuit.ops()) {
+        switch (op.kind) {
+          case OpKind::Measure:
+          case OpKind::Reset:
+          case OpKind::Barrier:
+          case OpKind::PostSelect:
+            continue;
+          default:
+            if (!StabilizerState::isCliffordOp(op.kind))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+StabilizerSimulator::runShot(const Circuit &circuit,
+                             StabilizerState &state,
+                             std::uint64_t &register_value)
+{
+    register_value = 0;
+    for (const Operation &op : circuit.ops()) {
+        switch (op.kind) {
+          case OpKind::Measure:
+          {
+            const int outcome = state.measure(op.qubits[0], rng_);
+            if (outcome)
+                register_value |= std::uint64_t{1} << *op.clbit;
+            else
+                register_value &= ~(std::uint64_t{1} << *op.clbit);
+            break;
+          }
+          case OpKind::Reset:
+            state.resetQubit(op.qubits[0], rng_);
+            break;
+          case OpKind::Barrier:
+            break;
+          case OpKind::PostSelect:
+          {
+            // Conditioning semantics shared with the other
+            // backends: survive with the branch probability.
+            StabilizerState trial = state;
+            const double p =
+                trial.postSelect(op.qubits[0], op.postselectValue);
+            if (p == 0.0 || rng_.uniform() >= p)
+                return false;
+            state = std::move(trial);
+            break;
+          }
+          default:
+            state.applyUnitary(op);
+        }
+    }
+    return true;
+}
+
+Result
+StabilizerSimulator::run(const Circuit &circuit, std::size_t shots)
+{
+    Result result(circuit.numClbits());
+    std::size_t attempted = 0;
+    std::size_t kept = 0;
+    const std::size_t max_attempts = shots * 100 + 1000;
+
+    while (kept < shots && attempted < max_attempts) {
+        ++attempted;
+        StabilizerState state(circuit.numQubits());
+        std::uint64_t reg = 0;
+        if (!runShot(circuit, state, reg))
+            continue;
+        result.record(reg);
+        ++kept;
+    }
+    if (kept < shots)
+        throw SimulationError("post-selection discarded nearly every "
+                              "shot; circuit is inconsistent");
+    result.setRetainedFraction(static_cast<double>(kept) /
+                               static_cast<double>(attempted));
+    return result;
+}
+
+StabilizerState
+StabilizerSimulator::evolveOne(const Circuit &circuit)
+{
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        StabilizerState state(circuit.numQubits());
+        std::uint64_t reg = 0;
+        if (runShot(circuit, state, reg))
+            return state;
+    }
+    throw SimulationError("post-selection discarded every trajectory");
+}
+
+} // namespace qra

@@ -1,0 +1,331 @@
+#include "stabilizer/stabilizer_state.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+
+StabilizerState::StabilizerState(std::size_t num_qubits)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits == 0)
+        throw SimulationError("stabilizer state needs >= 1 qubit");
+    if (num_qubits > 4096)
+        throw SimulationError("stabilizer backend caps at 4096 "
+                              "qubits");
+
+    rows_.assign(2 * num_qubits, Row(num_qubits));
+    for (std::size_t i = 0; i < num_qubits; ++i) {
+        rows_[i].x[i] = 1;               // destabilizer X_i
+        rows_[num_qubits + i].z[i] = 1;  // stabilizer Z_i
+    }
+}
+
+void
+StabilizerState::checkQubit(Qubit q) const
+{
+    if (q >= numQubits_)
+        throw IndexError("qubit index " + std::to_string(q) +
+                         " out of range");
+}
+
+bool
+StabilizerState::isCliffordOp(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::I: case OpKind::X: case OpKind::Y: case OpKind::Z:
+      case OpKind::H: case OpKind::S: case OpKind::Sdg:
+      case OpKind::SX: case OpKind::CX: case OpKind::CY:
+      case OpKind::CZ: case OpKind::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+// --- Gate conjugation rules ---------------------------------------------
+
+void
+StabilizerState::applyH(Qubit q)
+{
+    checkQubit(q);
+    for (Row &row : rows_) {
+        row.r ^= row.x[q] & row.z[q];
+        std::swap(row.x[q], row.z[q]);
+    }
+}
+
+void
+StabilizerState::applyS(Qubit q)
+{
+    checkQubit(q);
+    for (Row &row : rows_) {
+        row.r ^= row.x[q] & row.z[q];
+        row.z[q] ^= row.x[q];
+    }
+}
+
+void
+StabilizerState::applySdg(Qubit q)
+{
+    // Sdg = S Z: apply Z phase first, then S.
+    applyZ(q);
+    applyS(q);
+}
+
+void
+StabilizerState::applyX(Qubit q)
+{
+    checkQubit(q);
+    // Conjugation by X flips the sign of any row with a Z component.
+    for (Row &row : rows_)
+        row.r ^= row.z[q];
+}
+
+void
+StabilizerState::applyZ(Qubit q)
+{
+    checkQubit(q);
+    for (Row &row : rows_)
+        row.r ^= row.x[q];
+}
+
+void
+StabilizerState::applyY(Qubit q)
+{
+    checkQubit(q);
+    for (Row &row : rows_)
+        row.r ^= row.x[q] ^ row.z[q];
+}
+
+void
+StabilizerState::applySx(Qubit q)
+{
+    // SX == H S H exactly (no phase discrepancy).
+    applyH(q);
+    applyS(q);
+    applyH(q);
+}
+
+void
+StabilizerState::applyCx(Qubit control, Qubit target)
+{
+    checkQubit(control);
+    checkQubit(target);
+    if (control == target)
+        throw SimulationError("cx with identical operands");
+    for (Row &row : rows_) {
+        row.r ^= row.x[control] & row.z[target] &
+                 (row.x[target] ^ row.z[control] ^ 1);
+        row.x[target] ^= row.x[control];
+        row.z[control] ^= row.z[target];
+    }
+}
+
+void
+StabilizerState::applyCz(Qubit a, Qubit b)
+{
+    // CZ = H(b) CX(a, b) H(b).
+    applyH(b);
+    applyCx(a, b);
+    applyH(b);
+}
+
+void
+StabilizerState::applyCy(Qubit control, Qubit target)
+{
+    // CY = Sdg(t) CX(c, t) S(t).
+    applySdg(target);
+    applyCx(control, target);
+    applyS(target);
+}
+
+void
+StabilizerState::applySwap(Qubit a, Qubit b)
+{
+    applyCx(a, b);
+    applyCx(b, a);
+    applyCx(a, b);
+}
+
+void
+StabilizerState::applyUnitary(const Operation &op)
+{
+    switch (op.kind) {
+      case OpKind::I:
+        return;
+      case OpKind::X:
+        return applyX(op.qubits[0]);
+      case OpKind::Y:
+        return applyY(op.qubits[0]);
+      case OpKind::Z:
+        return applyZ(op.qubits[0]);
+      case OpKind::H:
+        return applyH(op.qubits[0]);
+      case OpKind::S:
+        return applyS(op.qubits[0]);
+      case OpKind::Sdg:
+        return applySdg(op.qubits[0]);
+      case OpKind::SX:
+        return applySx(op.qubits[0]);
+      case OpKind::CX:
+        return applyCx(op.qubits[0], op.qubits[1]);
+      case OpKind::CY:
+        return applyCy(op.qubits[0], op.qubits[1]);
+      case OpKind::CZ:
+        return applyCz(op.qubits[0], op.qubits[1]);
+      case OpKind::Swap:
+        return applySwap(op.qubits[0], op.qubits[1]);
+      default:
+        throw SimulationError(
+            std::string("gate '") + opName(op.kind) +
+            "' is not Clifford; the stabilizer backend cannot "
+            "apply it");
+    }
+}
+
+// --- Measurement ----------------------------------------------------------
+
+void
+StabilizerState::rowsum(Row &h, const Row &i) const
+{
+    // Phase exponent of the product, tracked mod 4: 2*r terms plus
+    // the per-qubit g() contributions.
+    int phase = 2 * h.r + 2 * i.r;
+    for (std::size_t j = 0; j < numQubits_; ++j) {
+        const int x1 = i.x[j], z1 = i.z[j];
+        const int x2 = h.x[j], z2 = h.z[j];
+        if (x1 == 0 && z1 == 0)
+            continue;
+        if (x1 == 1 && z1 == 1)
+            phase += z2 - x2;
+        else if (x1 == 1)
+            phase += z2 * (2 * x2 - 1);
+        else
+            phase += x2 * (1 - 2 * z2);
+    }
+    phase %= 4;
+    if (phase < 0)
+        phase += 4;
+    // For stabilizer-row products the exponent is provably 0 or 2;
+    // destabilizer rows can pick up odd exponents during collapse,
+    // but their sign bits are never read, so the truncation below is
+    // harmless (as in the original CHP formulation).
+    h.r = phase == 2 ? 1 : 0;
+    for (std::size_t j = 0; j < numQubits_; ++j) {
+        h.x[j] ^= i.x[j];
+        h.z[j] ^= i.z[j];
+    }
+}
+
+std::size_t
+StabilizerState::findRandomizingRow(Qubit q) const
+{
+    for (std::size_t p = numQubits_; p < 2 * numQubits_; ++p)
+        if (rows_[p].x[q])
+            return p;
+    return 2 * numQubits_;
+}
+
+bool
+StabilizerState::isDeterministic(Qubit q) const
+{
+    checkQubit(q);
+    return findRandomizingRow(q) == 2 * numQubits_;
+}
+
+int
+StabilizerState::deterministicOutcome(Qubit q) const
+{
+    // Accumulate the product of stabilizers whose destabilizer
+    // partner anticommutes with Z_q into a scratch row; its sign is
+    // the outcome.
+    Row scratch(numQubits_);
+    for (std::size_t i = 0; i < numQubits_; ++i)
+        if (rows_[i].x[q])
+            rowsum(scratch, rows_[numQubits_ + i]);
+    return scratch.r;
+}
+
+double
+StabilizerState::probabilityOfOne(Qubit q) const
+{
+    checkQubit(q);
+    if (!isDeterministic(q))
+        return 0.5;
+    return deterministicOutcome(q) ? 1.0 : 0.0;
+}
+
+void
+StabilizerState::collapse(Qubit q, std::size_t p, int outcome)
+{
+    // All other rows anticommuting with Z_q absorb row p.
+    for (std::size_t i = 0; i < 2 * numQubits_; ++i)
+        if (i != p && rows_[i].x[q])
+            rowsum(rows_[i], rows_[p]);
+
+    // Old stabilizer becomes the destabilizer; the new stabilizer is
+    // +/- Z_q per the outcome.
+    rows_[p - numQubits_] = rows_[p];
+    Row fresh(numQubits_);
+    fresh.z[q] = 1;
+    fresh.r = outcome ? 1 : 0;
+    rows_[p] = fresh;
+}
+
+int
+StabilizerState::measure(Qubit q, Rng &rng)
+{
+    checkQubit(q);
+    const std::size_t p = findRandomizingRow(q);
+    if (p == 2 * numQubits_)
+        return deterministicOutcome(q);
+
+    const int outcome = rng.uniform() < 0.5 ? 0 : 1;
+    collapse(q, p, outcome);
+    return outcome;
+}
+
+double
+StabilizerState::postSelect(Qubit q, int outcome)
+{
+    checkQubit(q);
+    const std::size_t p = findRandomizingRow(q);
+    if (p == 2 * numQubits_) {
+        // Deterministic: either certain match or impossible branch.
+        return deterministicOutcome(q) == outcome ? 1.0 : 0.0;
+    }
+    collapse(q, p, outcome);
+    return 0.5;
+}
+
+void
+StabilizerState::resetQubit(Qubit q, Rng &rng)
+{
+    if (measure(q, rng) == 1)
+        applyX(q);
+}
+
+std::vector<std::string>
+StabilizerState::stabilizerStrings() const
+{
+    std::vector<std::string> out;
+    out.reserve(numQubits_);
+    for (std::size_t i = numQubits_; i < 2 * numQubits_; ++i) {
+        const Row &row = rows_[i];
+        std::string s(1, row.r ? '-' : '+');
+        for (std::size_t j = 0; j < numQubits_; ++j) {
+            if (row.x[j] && row.z[j])
+                s += 'Y';
+            else if (row.x[j])
+                s += 'X';
+            else if (row.z[j])
+                s += 'Z';
+            else
+                s += 'I';
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace qra

@@ -1,0 +1,60 @@
+#include "stats/error_rate.hh"
+
+#include <sstream>
+
+#include "common/strings.hh"
+
+namespace qra {
+namespace stats {
+
+double
+ErrorRateReport::reduction() const
+{
+    if (rawErrorRate <= 0.0)
+        return 0.0;
+    return 1.0 - filteredErrorRate / rawErrorRate;
+}
+
+std::string
+ErrorRateReport::str() const
+{
+    std::ostringstream os;
+    os << "raw " << formatPercent(rawErrorRate) << " -> filtered "
+       << formatPercent(filteredErrorRate) << " (reduction "
+       << formatPercent(reduction()) << ", kept "
+       << formatPercent(keptFraction) << " of shots)";
+    return os.str();
+}
+
+ErrorRateReport
+computeErrorRates(const Distribution &dist,
+                  const std::function<bool(std::uint64_t)> &is_error,
+                  const std::function<bool(std::uint64_t)> &passed)
+{
+    double raw_error = 0.0;
+    double total = 0.0;
+    double kept = 0.0;
+    double kept_error = 0.0;
+
+    for (const auto &[key, p] : dist) {
+        total += p;
+        if (is_error(key))
+            raw_error += p;
+        if (passed(key)) {
+            kept += p;
+            if (is_error(key))
+                kept_error += p;
+        }
+    }
+
+    ErrorRateReport report;
+    if (total > 0.0)
+        report.rawErrorRate = raw_error / total;
+    if (kept > 0.0)
+        report.filteredErrorRate = kept_error / kept;
+    report.keptFraction = total > 0.0 ? kept / total : 1.0;
+    return report;
+}
+
+} // namespace stats
+} // namespace qra

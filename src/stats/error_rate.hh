@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Error-rate accounting in the form the paper's Tables 1-2 report:
+ * raw error rate over all shots, filtered error rate over shots that
+ * passed the assertion, and the relative reduction.
+ */
+
+#ifndef QRA_STATS_ERROR_RATE_HH
+#define QRA_STATS_ERROR_RATE_HH
+
+#include <functional>
+#include <string>
+
+#include "stats/histogram.hh"
+
+namespace qra {
+namespace stats {
+
+/** Raw vs assertion-filtered error rates. */
+struct ErrorRateReport
+{
+    /** P(payload erroneous), all shots. */
+    double rawErrorRate = 0.0;
+    /** P(payload erroneous | assertion passed). */
+    double filteredErrorRate = 0.0;
+    /** Fraction of shots the filter kept. */
+    double keptFraction = 1.0;
+    /** Relative reduction: 1 - filtered/raw (0 when raw is 0). */
+    double reduction() const;
+
+    /** Percentages, e.g. "raw 3.5% -> filtered 2.5% (-28.5%)". */
+    std::string str() const;
+};
+
+/**
+ * Compute the report from a joint distribution over (payload,
+ * assertion) outcomes.
+ *
+ * @param dist Distribution over register values.
+ * @param is_error Predicate over register values: payload wrong?
+ * @param passed Predicate over register values: assertion passed?
+ */
+ErrorRateReport
+computeErrorRates(const Distribution &dist,
+                  const std::function<bool(std::uint64_t)> &is_error,
+                  const std::function<bool(std::uint64_t)> &passed);
+
+} // namespace stats
+} // namespace qra
+
+#endif // QRA_STATS_ERROR_RATE_HH

@@ -1,0 +1,82 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qra {
+namespace stats {
+
+std::size_t
+totalShots(const Counts &counts)
+{
+    std::size_t total = 0;
+    for (const auto &[key, n] : counts)
+        total += n;
+    return total;
+}
+
+Distribution
+toDistribution(const Counts &counts)
+{
+    const std::size_t total = totalShots(counts);
+    Distribution dist;
+    if (total == 0)
+        return dist;
+    for (const auto &[key, n] : counts)
+        dist[key] = static_cast<double>(n) / static_cast<double>(total);
+    return dist;
+}
+
+double
+filterDistribution(Distribution &dist,
+                   const std::vector<std::uint64_t> &kept_keys)
+{
+    Distribution filtered;
+    double retained = 0.0;
+    for (std::uint64_t key : kept_keys) {
+        const auto it = dist.find(key);
+        if (it != dist.end()) {
+            filtered[key] = it->second;
+            retained += it->second;
+        }
+    }
+    if (retained > 0.0)
+        for (auto &[key, p] : filtered)
+            p /= retained;
+    dist = std::move(filtered);
+    return retained;
+}
+
+Distribution
+marginalize(const Distribution &dist, const std::vector<std::size_t> &bits)
+{
+    Distribution out;
+    for (const auto &[key, p] : dist) {
+        std::uint64_t reduced = 0;
+        for (std::size_t j = 0; j < bits.size(); ++j)
+            if ((key >> bits[j]) & 1)
+                reduced |= std::uint64_t{1} << j;
+        out[reduced] += p;
+    }
+    return out;
+}
+
+std::string
+distributionToString(const Distribution &dist, std::size_t width)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[key, p] : dist) {
+        if (!first)
+            os << " ";
+        first = false;
+        os << toBitstring(key, width) << ":" << formatDouble(p, 3);
+    }
+    return os.str();
+}
+
+} // namespace stats
+} // namespace qra

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Counts/histogram utilities shared by the assertion analyser and the
+ * benchmark harness.
+ */
+
+#ifndef QRA_STATS_HISTOGRAM_HH
+#define QRA_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qra {
+namespace stats {
+
+/** Integer-keyed outcome counts. */
+using Counts = std::map<std::uint64_t, std::size_t>;
+
+/** Probability distribution over integer outcomes. */
+using Distribution = std::map<std::uint64_t, double>;
+
+/** Total number of shots in @p counts. */
+std::size_t totalShots(const Counts &counts);
+
+/** Normalise counts into an empirical distribution. */
+Distribution toDistribution(const Counts &counts);
+
+/** Restrict a distribution to keys where @p keep returns true,
+ *  renormalising the survivors. Returns the retained mass. */
+double filterDistribution(Distribution &dist,
+                          const std::vector<std::uint64_t> &kept_keys);
+
+/**
+ * Marginalise a distribution over register bits: keep only the bits
+ * listed in @p bits (bit j of the new key = old bit bits[j]).
+ */
+Distribution marginalize(const Distribution &dist,
+                         const std::vector<std::size_t> &bits);
+
+/** Pretty one-line rendering "00:0.50 11:0.50". */
+std::string distributionToString(const Distribution &dist,
+                                 std::size_t width);
+
+} // namespace stats
+} // namespace qra
+
+#endif // QRA_STATS_HISTOGRAM_HH

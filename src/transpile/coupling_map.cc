@@ -1,0 +1,132 @@
+#include "transpile/coupling_map.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace qra {
+
+CouplingMap::CouplingMap(std::size_t num_qubits)
+    : numQubits_(num_qubits), adjacency_(num_qubits)
+{
+    if (num_qubits == 0)
+        throw TranspileError("coupling map needs at least one qubit");
+}
+
+void
+CouplingMap::checkQubit(Qubit q) const
+{
+    if (q >= numQubits_)
+        throw TranspileError("physical qubit " + std::to_string(q) +
+                             " out of range");
+}
+
+void
+CouplingMap::addEdge(Qubit control, Qubit target)
+{
+    checkQubit(control);
+    checkQubit(target);
+    if (control == target)
+        throw TranspileError("self-loop edge");
+    if (hasEdge(control, target))
+        return;
+    edges_.emplace_back(control, target);
+    auto &ac = adjacency_[control];
+    auto &at = adjacency_[target];
+    if (std::find(ac.begin(), ac.end(), target) == ac.end())
+        ac.push_back(target);
+    if (std::find(at.begin(), at.end(), control) == at.end())
+        at.push_back(control);
+}
+
+bool
+CouplingMap::hasEdge(Qubit control, Qubit target) const
+{
+    return std::find(edges_.begin(), edges_.end(),
+                     std::make_pair(control, target)) != edges_.end();
+}
+
+bool
+CouplingMap::connected(Qubit a, Qubit b) const
+{
+    return hasEdge(a, b) || hasEdge(b, a);
+}
+
+std::vector<Qubit>
+CouplingMap::neighbors(Qubit q) const
+{
+    checkQubit(q);
+    return adjacency_[q];
+}
+
+std::size_t
+CouplingMap::distance(Qubit a, Qubit b) const
+{
+    const std::vector<Qubit> path = shortestPath(a, b);
+    if (path.empty())
+        return std::numeric_limits<std::size_t>::max();
+    return path.size() - 1;
+}
+
+std::vector<Qubit>
+CouplingMap::shortestPath(Qubit a, Qubit b) const
+{
+    checkQubit(a);
+    checkQubit(b);
+    if (a == b)
+        return {a};
+
+    std::vector<Qubit> parent(numQubits_,
+                              std::numeric_limits<Qubit>::max());
+    std::queue<Qubit> frontier;
+    frontier.push(a);
+    parent[a] = a;
+
+    while (!frontier.empty()) {
+        const Qubit cur = frontier.front();
+        frontier.pop();
+        for (Qubit next : adjacency_[cur]) {
+            if (parent[next] != std::numeric_limits<Qubit>::max())
+                continue;
+            parent[next] = cur;
+            if (next == b) {
+                std::vector<Qubit> path{b};
+                Qubit walk = b;
+                while (walk != a) {
+                    walk = parent[walk];
+                    path.push_back(walk);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(next);
+        }
+    }
+    return {};
+}
+
+bool
+CouplingMap::isConnected() const
+{
+    for (Qubit q = 1; q < numQubits_; ++q)
+        if (shortestPath(0, q).empty())
+            return false;
+    return true;
+}
+
+std::string
+CouplingMap::str() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << edges_[i].first << "->" << edges_[i].second;
+    }
+    return os.str();
+}
+
+} // namespace qra

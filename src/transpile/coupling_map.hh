@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Directed qubit connectivity graph of a device. An edge (c, t) means
+ * a native CNOT with control c and target t is available. ibmqx4-era
+ * devices have *directed* edges: the reverse CNOT costs four extra
+ * Hadamards (see DirectionFixer).
+ */
+
+#ifndef QRA_TRANSPILE_COUPLING_MAP_HH
+#define QRA_TRANSPILE_COUPLING_MAP_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "math/types.hh"
+
+namespace qra {
+
+/** Directed connectivity graph over physical qubits. */
+class CouplingMap
+{
+  public:
+    /** @param num_qubits Number of physical qubits on the device. */
+    explicit CouplingMap(std::size_t num_qubits);
+
+    /** Add a directed edge: native CNOT control -> target. */
+    void addEdge(Qubit control, Qubit target);
+
+    std::size_t numQubits() const { return numQubits_; }
+
+    const std::vector<std::pair<Qubit, Qubit>> &edges() const
+    {
+        return edges_;
+    }
+
+    /** True if a native CNOT control->target exists. */
+    bool hasEdge(Qubit control, Qubit target) const;
+
+    /** True if the pair is connected in either direction. */
+    bool connected(Qubit a, Qubit b) const;
+
+    /** Neighbours of @p q (union of both edge directions). */
+    std::vector<Qubit> neighbors(Qubit q) const;
+
+    /**
+     * Length of the shortest undirected path between two qubits
+     * (number of edges); SIZE_MAX if disconnected.
+     */
+    std::size_t distance(Qubit a, Qubit b) const;
+
+    /**
+     * Shortest undirected path from @p a to @p b, inclusive of both
+     * endpoints. Empty if disconnected.
+     */
+    std::vector<Qubit> shortestPath(Qubit a, Qubit b) const;
+
+    /** True when every qubit can reach every other qubit. */
+    bool isConnected() const;
+
+    /** "0->1, 1->2, ..." edge list rendering. */
+    std::string str() const;
+
+  private:
+    void checkQubit(Qubit q) const;
+
+    std::size_t numQubits_;
+    std::vector<std::pair<Qubit, Qubit>> edges_;
+    std::vector<std::vector<Qubit>> adjacency_; ///< undirected
+};
+
+} // namespace qra
+
+#endif // QRA_TRANSPILE_COUPLING_MAP_HH

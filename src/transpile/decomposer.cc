@@ -1,0 +1,82 @@
+#include "transpile/decomposer.hh"
+
+namespace qra {
+
+namespace {
+
+void
+emitSwap(Circuit &out, Qubit a, Qubit b)
+{
+    out.cx(a, b);
+    out.cx(b, a);
+    out.cx(a, b);
+}
+
+void
+emitCcx(Circuit &out, Qubit c0, Qubit c1, Qubit target)
+{
+    // Standard Toffoli over {H, T, Tdg, CX} (six CNOTs).
+    out.h(target);
+    out.cx(c1, target);
+    out.tdg(target);
+    out.cx(c0, target);
+    out.t(target);
+    out.cx(c1, target);
+    out.tdg(target);
+    out.cx(c0, target);
+    out.t(c1);
+    out.t(target);
+    out.h(target);
+    out.cx(c0, c1);
+    out.t(c0);
+    out.tdg(c1);
+    out.cx(c0, c1);
+}
+
+} // namespace
+
+Circuit
+decompose(const Circuit &circuit, const DecomposeOptions &options)
+{
+    Circuit out(circuit.numQubits(), circuit.numClbits(),
+                circuit.name() + "_decomposed");
+
+    for (const Operation &op : circuit.ops()) {
+        switch (op.kind) {
+          case OpKind::Swap:
+            if (options.decomposeSwap) {
+                emitSwap(out, op.qubits[0], op.qubits[1]);
+                continue;
+            }
+            break;
+          case OpKind::CCX:
+            if (options.decomposeCcx) {
+                emitCcx(out, op.qubits[0], op.qubits[1], op.qubits[2]);
+                continue;
+            }
+            break;
+          case OpKind::CZ:
+            if (options.decomposeControlledPaulis) {
+                out.h(op.qubits[1]);
+                out.cx(op.qubits[0], op.qubits[1]);
+                out.h(op.qubits[1]);
+                continue;
+            }
+            break;
+          case OpKind::CY:
+            if (options.decomposeControlledPaulis) {
+                out.sdg(op.qubits[1]);
+                out.cx(op.qubits[0], op.qubits[1]);
+                out.s(op.qubits[1]);
+                continue;
+            }
+            break;
+          default:
+            break;
+        }
+        out.append(op);
+    }
+    return out;
+}
+
+} // namespace qra

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Gate decomposition to the {1q, CX} basis: SWAP -> 3 CX,
+ * CY/CZ -> CX with 1q conjugation, CCX -> the standard 6-CX
+ * realisation over H/T/Tdg.
+ */
+
+#ifndef QRA_TRANSPILE_DECOMPOSER_HH
+#define QRA_TRANSPILE_DECOMPOSER_HH
+
+#include "circuit/circuit.hh"
+
+namespace qra {
+
+/** Options controlling which gates are decomposed. */
+struct DecomposeOptions
+{
+    bool decomposeSwap = true;
+    bool decomposeCcx = true;
+    /** Rewrite CY/CZ into CX with single-qubit conjugation. */
+    bool decomposeControlledPaulis = false;
+};
+
+/** Rewrite @p circuit per @p options; other gates pass through. */
+Circuit decompose(const Circuit &circuit,
+                  const DecomposeOptions &options = {});
+
+} // namespace qra
+
+#endif // QRA_TRANSPILE_DECOMPOSER_HH

@@ -1,0 +1,54 @@
+#include "transpile/direction_fixer.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+
+DirectionFixResult
+fixDirections(const Circuit &circuit, const CouplingMap &map)
+{
+    Circuit fixed(circuit.numQubits(), circuit.numClbits(),
+                  circuit.name() + "_directed");
+    std::size_t reversed = 0;
+
+    for (const Operation &op : circuit.ops()) {
+        if (op.qubits.size() != 2 || !opIsUnitary(op.kind)) {
+            fixed.append(op);
+            continue;
+        }
+
+        const Qubit a = op.qubits[0];
+        const Qubit b = op.qubits[1];
+        if (!map.connected(a, b))
+            throw TranspileError(
+                "gate on uncoupled pair (" + std::to_string(a) + ", " +
+                std::to_string(b) + "); run the router first");
+
+        switch (op.kind) {
+          case OpKind::CZ:
+          case OpKind::Swap:
+            // Symmetric gates: any orientation is fine.
+            fixed.append(op);
+            continue;
+          case OpKind::CX:
+            if (map.hasEdge(a, b)) {
+                fixed.append(op);
+            } else {
+                // Native direction is b->a: conjugate with Hadamards.
+                fixed.h(a).h(b);
+                fixed.cx(b, a);
+                fixed.h(a).h(b);
+                ++reversed;
+            }
+            continue;
+          default:
+            throw TranspileError(
+                std::string("cannot direction-fix gate '") +
+                opName(op.kind) + "'; decompose it to CX first");
+        }
+    }
+
+    return DirectionFixResult{std::move(fixed), reversed};
+}
+
+} // namespace qra

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CNOT direction fixing for devices with directed couplings.
+ *
+ * ibmqx4-class devices implement CNOT in one direction per coupled
+ * pair. A reversed CNOT is synthesised with four Hadamards:
+ *   CX(a, b) = (H a)(H b) CX(b, a) (H a)(H b).
+ * This is the concrete cost behind the paper's remark that qubit
+ * choice was dictated by device connectivity.
+ */
+
+#ifndef QRA_TRANSPILE_DIRECTION_FIXER_HH
+#define QRA_TRANSPILE_DIRECTION_FIXER_HH
+
+#include "circuit/circuit.hh"
+#include "transpile/coupling_map.hh"
+
+namespace qra {
+
+/** Statistics returned by fixDirections. */
+struct DirectionFixResult
+{
+    Circuit circuit;
+    /** CNOTs that had to be reversed via H conjugation. */
+    std::size_t reversedCx = 0;
+};
+
+/**
+ * Rewrite every CX whose orientation is not native into the
+ * H-conjugated reverse CX. CZ and Swap are symmetric and pass
+ * through; any other 2-qubit gate on a wrong-direction edge is an
+ * error (decompose first).
+ *
+ * @pre Every 2-qubit gate acts on a coupled pair (route first).
+ */
+DirectionFixResult fixDirections(const Circuit &circuit,
+                                 const CouplingMap &map);
+
+} // namespace qra
+
+#endif // QRA_TRANSPILE_DIRECTION_FIXER_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Layout: the virtual-to-physical qubit assignment, plus layout
+ * selection strategies (trivial and interaction-greedy).
+ */
+
+#ifndef QRA_TRANSPILE_LAYOUT_HH
+#define QRA_TRANSPILE_LAYOUT_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "transpile/coupling_map.hh"
+
+namespace qra {
+
+/** Bijection between virtual (circuit) and physical (device) qubits. */
+class Layout
+{
+  public:
+    /** Identity layout over @p num_qubits qubits. */
+    explicit Layout(std::size_t num_qubits);
+
+    /** Construct from an explicit virtual->physical table. */
+    explicit Layout(std::vector<Qubit> virtual_to_physical);
+
+    std::size_t numQubits() const { return v2p_.size(); }
+
+    /** Physical qubit hosting virtual qubit @p v. */
+    Qubit physical(Qubit v) const;
+
+    /** Virtual qubit hosted on physical qubit @p p. */
+    Qubit virtualOf(Qubit p) const;
+
+    /** Swap the virtual occupants of two physical qubits. */
+    void swapPhysical(Qubit p0, Qubit p1);
+
+    const std::vector<Qubit> &virtualToPhysical() const { return v2p_; }
+
+  private:
+    void rebuildInverse();
+
+    std::vector<Qubit> v2p_;
+    std::vector<Qubit> p2v_;
+};
+
+/** Identity assignment: virtual i -> physical i. */
+Layout trivialLayout(const Circuit &circuit, const CouplingMap &map);
+
+/**
+ * Greedy interaction-graph layout: virtual qubit pairs that interact
+ * most are placed on adjacent physical qubits, reducing the SWAPs the
+ * router must insert. This reproduces the manual choice the paper
+ * describes (picking q2 as the ancilla "due to the constraints on
+ * connectivity of the IBM Q computer").
+ */
+Layout greedyLayout(const Circuit &circuit, const CouplingMap &map);
+
+} // namespace qra
+
+#endif // QRA_TRANSPILE_LAYOUT_HH

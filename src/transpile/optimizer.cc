@@ -1,0 +1,100 @@
+#include "transpile/optimizer.hh"
+
+#include <cmath>
+#include <optional>
+
+#include "common/error.hh"
+
+namespace qra {
+
+namespace {
+
+/** True when two ops are exact inverse pairs eligible to cancel. */
+bool
+cancels(const Operation &a, const Operation &b)
+{
+    if (a.qubits != b.qubits)
+        return false;
+    if (!opIsUnitary(a.kind) || !opIsUnitary(b.kind))
+        return false;
+
+    const auto inv = opSelfContainedInverse(a.kind);
+    return inv && *inv == b.kind && a.params.empty() && b.params.empty();
+}
+
+/** Rotation kinds that merge by summing angles. */
+bool
+mergeable(OpKind kind)
+{
+    return kind == OpKind::RX || kind == OpKind::RY ||
+           kind == OpKind::RZ || kind == OpKind::P;
+}
+
+/** Angle congruent to zero (mod 4*pi for rotations, 2*pi for P). */
+bool
+isNullAngle(OpKind kind, double theta)
+{
+    const double period = kind == OpKind::P ? 2.0 * M_PI : 4.0 * M_PI;
+    const double r = std::fmod(std::abs(theta), period);
+    return r < 1e-12 || period - r < 1e-12;
+}
+
+} // namespace
+
+OptimizeResult
+optimizeCircuit(const Circuit &circuit)
+{
+    std::vector<Operation> ops(circuit.ops());
+    std::size_t cancelled = 0;
+    std::size_t merged = 0;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<Operation> next;
+        next.reserve(ops.size());
+
+        for (const Operation &op : ops) {
+            if (!next.empty()) {
+                Operation &prev = next.back();
+
+                // Only compare against the previous op when no
+                // intervening op shares a qubit; with a simple stack
+                // we approximate by requiring *adjacency on the same
+                // operand set*, which is safe (sound, not complete).
+                if (cancels(prev, op)) {
+                    next.pop_back();
+                    cancelled += 2;
+                    changed = true;
+                    continue;
+                }
+                if (op.kind == prev.kind && mergeable(op.kind) &&
+                    op.qubits == prev.qubits) {
+                    prev.params[0] += op.params[0];
+                    ++merged;
+                    changed = true;
+                    if (isNullAngle(prev.kind, prev.params[0])) {
+                        next.pop_back();
+                        cancelled += 1;
+                    }
+                    continue;
+                }
+
+                // Barriers and any op sharing qubits block further
+                // peepholes; nothing to do — the adjacency check
+                // above already encodes this.
+            }
+            next.push_back(op);
+        }
+        ops = std::move(next);
+    }
+
+    Circuit out(circuit.numQubits(), circuit.numClbits(),
+                circuit.name() + "_opt");
+    for (Operation &op : ops)
+        out.append(std::move(op));
+
+    return OptimizeResult{std::move(out), cancelled, merged};
+}
+
+} // namespace qra

@@ -1,0 +1,60 @@
+#include "transpile/router.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+
+RoutedCircuit
+routeCircuit(const Circuit &circuit, const CouplingMap &map,
+             const Layout &initial)
+{
+    if (circuit.numQubits() > map.numQubits())
+        throw TranspileError("circuit does not fit on the device");
+    if (!map.isConnected())
+        throw TranspileError("coupling map is not connected");
+
+    Circuit routed(map.numQubits(), circuit.numClbits(),
+                   circuit.name() + "_routed");
+    Layout layout = initial;
+    std::size_t swaps = 0;
+
+    for (const Operation &op : circuit.ops()) {
+        if (op.kind == OpKind::CCX)
+            throw TranspileError("decompose CCX before routing");
+
+        Operation mapped = op;
+
+        if (op.qubits.size() == 2 && opIsUnitary(op.kind)) {
+            Qubit pa = layout.physical(op.qubits[0]);
+            Qubit pb = layout.physical(op.qubits[1]);
+
+            if (!map.connected(pa, pb)) {
+                const std::vector<Qubit> path = map.shortestPath(pa, pb);
+                QRA_ASSERT(path.size() >= 3,
+                           "shortest path too short for disconnected "
+                           "pair");
+                // Walk the first operand toward the second, stopping
+                // one hop away.
+                for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+                    routed.swap(path[i], path[i + 1]);
+                    layout.swapPhysical(path[i], path[i + 1]);
+                    ++swaps;
+                }
+                pa = layout.physical(op.qubits[0]);
+                pb = layout.physical(op.qubits[1]);
+                QRA_ASSERT(map.connected(pa, pb),
+                           "routing failed to connect operands");
+            }
+            mapped.qubits = {pa, pb};
+        } else {
+            for (auto &q : mapped.qubits)
+                q = layout.physical(q);
+        }
+
+        routed.append(std::move(mapped));
+    }
+
+    return RoutedCircuit{std::move(routed), std::move(layout), swaps};
+}
+
+} // namespace qra

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SWAP router: makes every multi-qubit gate act on physically
+ * adjacent qubits by inserting SWAP chains along shortest paths.
+ */
+
+#ifndef QRA_TRANSPILE_ROUTER_HH
+#define QRA_TRANSPILE_ROUTER_HH
+
+#include "circuit/circuit.hh"
+#include "transpile/coupling_map.hh"
+#include "transpile/layout.hh"
+
+namespace qra {
+
+/** Result of routing: the physical circuit plus the final layout. */
+struct RoutedCircuit
+{
+    Circuit circuit;
+    /** Layout after all inserted SWAPs (virtual -> physical). */
+    Layout finalLayout;
+    /** Number of SWAP gates inserted. */
+    std::size_t insertedSwaps = 0;
+};
+
+/**
+ * Route @p circuit onto @p map starting from @p initial layout.
+ *
+ * The output circuit is expressed over *physical* qubits; classical
+ * bits are unchanged. Two-qubit gates in the output act only on
+ * coupled pairs (in either direction; DirectionFixer resolves
+ * orientation). CCX must be decomposed before routing.
+ */
+RoutedCircuit routeCircuit(const Circuit &circuit, const CouplingMap &map,
+                           const Layout &initial);
+
+} // namespace qra
+
+#endif // QRA_TRANSPILE_ROUTER_HH

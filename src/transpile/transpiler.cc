@@ -1,0 +1,70 @@
+#include "transpile/transpiler.hh"
+
+#include <sstream>
+
+#include "transpile/decomposer.hh"
+#include "transpile/direction_fixer.hh"
+#include "transpile/optimizer.hh"
+#include "transpile/router.hh"
+
+namespace qra {
+
+std::string
+TranspileResult::str() const
+{
+    std::ostringstream os;
+    os << "transpiled: " << circuit.size() << " ops, depth "
+       << circuit.depth() << ", swaps " << insertedSwaps
+       << ", reversed CX " << reversedCx << ", cancelled "
+       << cancelledGates;
+    return os.str();
+}
+
+TranspileResult
+transpile(const Circuit &circuit, const CouplingMap &map,
+          const TranspileOptions &options)
+{
+    // 1. Decompose SWAP/CCX into the CX basis so routing and
+    //    direction fixing only ever see CX/CZ two-qubit gates.
+    DecomposeOptions dopts;
+    dopts.decomposeSwap = false; // router inserts swaps; keep user's
+    dopts.decomposeCcx = true;
+    Circuit lowered = decompose(circuit, dopts);
+
+    // 2. Choose the initial placement.
+    const Layout initial = options.useGreedyLayout
+                               ? greedyLayout(lowered, map)
+                               : trivialLayout(lowered, map);
+
+    // 3. Route: insert SWAPs until every 2-qubit gate is coupled.
+    RoutedCircuit routed = routeCircuit(lowered, map, initial);
+
+    // 4. Lower the inserted SWAPs to CX triplets.
+    DecomposeOptions swap_opts;
+    swap_opts.decomposeSwap = true;
+    swap_opts.decomposeCcx = false;
+    Circuit swap_free = decompose(routed.circuit, swap_opts);
+
+    // 5. Fix CNOT orientation against the directed coupling map.
+    DirectionFixResult directed = fixDirections(swap_free, map);
+
+    // 6. Peephole cleanup.
+    TranspileResult result;
+    if (options.optimize) {
+        OptimizeResult opt = optimizeCircuit(directed.circuit);
+        result.circuit = std::move(opt.circuit);
+        result.cancelledGates = opt.cancelledGates;
+    } else {
+        result.circuit = std::move(directed.circuit);
+    }
+
+    result.circuit.setName(circuit.name() + "@" +
+                           std::to_string(map.numQubits()) + "q");
+    result.initialLayout = initial;
+    result.finalLayout = routed.finalLayout;
+    result.insertedSwaps = routed.insertedSwaps;
+    result.reversedCx = directed.reversedCx;
+    return result;
+}
+
+} // namespace qra

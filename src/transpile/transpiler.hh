@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Transpiler pipeline: decompose -> layout -> route -> direction-fix
+ * -> optimise. Produces a circuit executable on a target DeviceModel
+ * (every 2-qubit gate on a native directed edge).
+ */
+
+#ifndef QRA_TRANSPILE_TRANSPILER_HH
+#define QRA_TRANSPILE_TRANSPILER_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+#include "transpile/coupling_map.hh"
+#include "transpile/layout.hh"
+
+namespace qra {
+
+/** Knobs of the transpilation pipeline. */
+struct TranspileOptions
+{
+    /** Use the interaction-greedy layout instead of the identity. */
+    bool useGreedyLayout = true;
+    /** Run the peephole optimiser after direction fixing. */
+    bool optimize = true;
+};
+
+/** Pipeline output with per-pass statistics. */
+struct TranspileResult
+{
+    Circuit circuit{1};
+    Layout initialLayout{1};
+    Layout finalLayout{1};
+    std::size_t insertedSwaps = 0;
+    std::size_t reversedCx = 0;
+    std::size_t cancelledGates = 0;
+
+    /** One-line summary for logs and benches. */
+    std::string str() const;
+};
+
+/**
+ * Compile @p circuit for a device with connectivity @p map.
+ *
+ * The result's circuit is expressed over physical qubits; measurement
+ * clbits are unchanged, so downstream Result analysis is oblivious to
+ * the mapping.
+ */
+TranspileResult transpile(const Circuit &circuit, const CouplingMap &map,
+                          const TranspileOptions &options = {});
+
+} // namespace qra
+
+#endif // QRA_TRANSPILE_TRANSPILER_HH

@@ -1,0 +1,134 @@
+/** @file Tests for amplitude estimation from assertion statistics. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "assertions/amplitude_estimator.hh"
+#include "assertions/classical_assertion.hh"
+#include "assertions/injector.hh"
+#include "assertions/superposition_assertion.hh"
+#include "common/error.hh"
+#include "sim/statevector_simulator.hh"
+
+namespace qra {
+namespace {
+
+TEST(AmplitudeEstimatorTest, ClassicalPointEstimates)
+{
+    const auto est = estimateFromClassicalAssertion(2500, 10000);
+    EXPECT_NEAR(est.probOne.value, 0.25, 1e-12);
+    EXPECT_NEAR(est.probZero.value, 0.75, 1e-12);
+    EXPECT_GT(est.probOne.halfWidth95, 0.0);
+    EXPECT_LT(est.probOne.halfWidth95, 0.02);
+}
+
+TEST(AmplitudeEstimatorTest, ClassicalValidation)
+{
+    EXPECT_THROW(estimateFromClassicalAssertion(1, 0), ValueError);
+    EXPECT_THROW(estimateFromClassicalAssertion(11, 10), ValueError);
+}
+
+TEST(AmplitudeEstimatorTest, SuperpositionProductFormula)
+{
+    // P(error) = 0 -> ab = 1/2 (exactly |+>).
+    const auto plus = estimateFromSuperpositionAssertion(0, 10000);
+    EXPECT_NEAR(plus.product.value, 0.5, 1e-12);
+    ASSERT_TRUE(plus.probMajor.has_value());
+    EXPECT_NEAR(*plus.probMajor, 0.5, 1e-9);
+    EXPECT_NEAR(*plus.probMinor, 0.5, 1e-9);
+
+    // P(error) = 1 -> ab = -1/2 (exactly |->).
+    const auto minus =
+        estimateFromSuperpositionAssertion(10000, 10000);
+    EXPECT_NEAR(minus.product.value, -0.5, 1e-12);
+
+    // P(error) = 1/2 -> ab = 0 (classical state).
+    const auto classical =
+        estimateFromSuperpositionAssertion(5000, 10000);
+    EXPECT_NEAR(classical.product.value, 0.0, 1e-12);
+    ASSERT_TRUE(classical.probMajor.has_value());
+    EXPECT_NEAR(*classical.probMajor, 1.0, 1e-9);
+    EXPECT_NEAR(*classical.probMinor, 0.0, 1e-9);
+}
+
+TEST(AmplitudeEstimatorTest, InconsistentStatisticYieldsNoRoots)
+{
+    // ab outside [-1/2, 1/2] is impossible; can only arise from
+    // noise. P(error) slightly below 0 can't happen, but a noisy
+    // run could produce ab^2 > 1/4 via... it cannot with one
+    // binomial; guard by constructing directly: p_err = 0 gives
+    // ab = 0.5 exactly -> discriminant 0 (roots exist). So check
+    // the guard with an artificial midpoint: no nullopt expected
+    // for any valid count. Verify monotonic behaviour instead.
+    for (std::size_t errors : {0u, 100u, 5000u, 9000u, 10000u}) {
+        const auto est =
+            estimateFromSuperpositionAssertion(errors, 10000);
+        EXPECT_TRUE(est.probMajor.has_value()) << errors;
+        EXPECT_GE(*est.probMajor, *est.probMinor);
+        EXPECT_NEAR(*est.probMajor + *est.probMinor, 1.0, 1e-9);
+    }
+}
+
+TEST(AmplitudeEstimatorTest, EndToEndClassicalEstimation)
+{
+    // Prepare RY(theta), assert ==|0>, estimate |b|^2 from errors.
+    const double theta = 1.2;
+    const double b2 = std::pow(std::sin(theta / 2.0), 2);
+
+    Circuit payload(1, 0);
+    payload.ry(theta, 0);
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(0);
+    spec.targets = {0};
+    spec.insertAt = 1;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    StatevectorSimulator sim(9);
+    const Result r = sim.run(inst.circuit(), 50000);
+    std::size_t errors = 0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if (!inst.passed(reg))
+            errors += n;
+
+    const auto est =
+        estimateFromClassicalAssertion(errors, r.shots());
+    EXPECT_NEAR(est.probOne.value, b2, 3.0 * est.probOne.halfWidth95);
+}
+
+TEST(AmplitudeEstimatorTest, EndToEndSuperpositionEstimation)
+{
+    const double theta = 0.9;
+    const double ab =
+        std::cos(theta / 2.0) * std::sin(theta / 2.0);
+
+    Circuit payload(1, 0);
+    payload.ry(theta, 0);
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<SuperpositionAssertion>();
+    spec.targets = {0};
+    spec.insertAt = 1;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    StatevectorSimulator sim(10);
+    const Result r = sim.run(inst.circuit(), 50000);
+    std::size_t errors = 0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if (!inst.passed(reg))
+            errors += n;
+
+    const auto est =
+        estimateFromSuperpositionAssertion(errors, r.shots());
+    EXPECT_NEAR(est.product.value, ab,
+                3.0 * est.product.halfWidth95);
+}
+
+TEST(AmplitudeEstimatorTest, EstimateStr)
+{
+    Estimate e{0.25, 0.01};
+    EXPECT_NE(e.str().find("0.25"), std::string::npos);
+    EXPECT_NE(e.str().find("+/-"), std::string::npos);
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,198 @@
+/** @file Tests for the classical-value assertion (paper Sec. 3.1). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "assertions/classical_assertion.hh"
+#include "assertions/injector.hh"
+#include "common/error.hh"
+#include "sim/statevector_simulator.hh"
+#include "testutil.hh"
+
+namespace qra {
+namespace {
+
+/** Instrument a payload with one end-of-circuit classical check. */
+InstrumentedCircuit
+withCheck(const Circuit &payload, int expected, Qubit target)
+{
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(expected);
+    spec.targets = {target};
+    spec.insertAt = payload.size();
+    return instrument(payload, {spec});
+}
+
+TEST(ClassicalAssertionTest, Arity)
+{
+    ClassicalAssertion a(0);
+    EXPECT_EQ(a.kind(), AssertionKind::Classical);
+    EXPECT_EQ(a.numTargets(), 1u);
+    EXPECT_EQ(a.numAncillas(), 1u);
+    EXPECT_EQ(a.describe(), "assert qubit == |0>");
+    EXPECT_EQ(ClassicalAssertion(1).describe(), "assert qubit == |1>");
+}
+
+TEST(ClassicalAssertionTest, ConstructorValidation)
+{
+    EXPECT_THROW(ClassicalAssertion(2), AssertionError);
+    EXPECT_THROW(ClassicalAssertion(0b111, 2), AssertionError);
+    EXPECT_THROW(ClassicalAssertion(0, 0), AssertionError);
+}
+
+TEST(ClassicalAssertionTest, PassesOnMatchingClassicalState)
+{
+    // |0> asserted == |0>: ancilla always reads 0.
+    Circuit payload(1, 0);
+    const InstrumentedCircuit inst = withCheck(payload, 0, 0);
+    StatevectorSimulator sim(1);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(ClassicalAssertionTest, FailsOnMismatchedClassicalState)
+{
+    // |1> asserted == |0>: ancilla always reads 1.
+    Circuit payload(1, 0);
+    payload.x(0);
+    const InstrumentedCircuit inst = withCheck(payload, 0, 0);
+    StatevectorSimulator sim(2);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_FALSE(inst.passed(reg)) << reg;
+}
+
+TEST(ClassicalAssertionTest, AssertOneVariant)
+{
+    // |1> asserted == |1> passes; |0> asserted == |1> fails.
+    Circuit one(1, 0);
+    one.x(0);
+    const InstrumentedCircuit pass_inst = withCheck(one, 1, 0);
+    StatevectorSimulator sim(3);
+    const Result pass = sim.run(pass_inst.circuit(), 200);
+    for (const auto &[reg, n] : pass.rawCounts())
+        EXPECT_TRUE(pass_inst.passed(reg));
+
+    Circuit zero(1, 0);
+    const InstrumentedCircuit fail_inst = withCheck(zero, 1, 0);
+    const Result fail = sim.run(fail_inst.circuit(), 200);
+    for (const auto &[reg, n] : fail.rawCounts())
+        EXPECT_FALSE(fail_inst.passed(reg));
+}
+
+TEST(ClassicalAssertionTest, SuperposedInputErrorProbabilityIsB2)
+{
+    // |psi> = cos(t/2)|0> + sin(t/2)|1> asserted == |0>:
+    // P(error) = sin^2(t/2) (paper Sec. 3.1).
+    for (double theta : {0.3, 0.9, M_PI / 2, 2.2}) {
+        Circuit payload(1, 0);
+        payload.ry(theta, 0);
+        const InstrumentedCircuit inst = withCheck(payload, 0, 0);
+        StatevectorSimulator sim(4);
+        const Result r = sim.run(inst.circuit(), 40000);
+
+        double error = 0.0;
+        for (const auto &[reg, n] : r.rawCounts())
+            if (!inst.passed(reg))
+                error += double(n) / double(r.shots());
+
+        const double b2 = std::pow(std::sin(theta / 2.0), 2);
+        EXPECT_NEAR(error, b2, 0.02) << "theta " << theta;
+    }
+}
+
+TEST(ClassicalAssertionTest, PassingCheckProjectsQubitToZero)
+{
+    // The paper's auto-correction property: asserting |0> on |+> and
+    // passing forces the qubit into |0>.
+    Circuit payload(1, 0);
+    payload.h(0);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(0);
+    spec.targets = {0};
+    spec.insertAt = payload.size();
+    InstrumentedCircuit inst = instrument(payload, {spec});
+
+    // Post-select the ancilla on the passing outcome.
+    const Qubit ancilla = inst.checks()[0].ancillas[0];
+    Circuit conditioned = inst.circuit();
+    conditioned.postSelect(ancilla, 0);
+
+    StatevectorSimulator sim(5);
+    const StateVector sv = sim.finalState(conditioned);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.0, 1e-9);
+}
+
+TEST(ClassicalAssertionTest, FailingCheckProjectsQubitToOne)
+{
+    Circuit payload(1, 0);
+    payload.h(0);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(0);
+    spec.targets = {0};
+    spec.insertAt = payload.size();
+    InstrumentedCircuit inst = instrument(payload, {spec});
+
+    const Qubit ancilla = inst.checks()[0].ancillas[0];
+    Circuit conditioned = inst.circuit();
+    conditioned.postSelect(ancilla, 1);
+
+    StatevectorSimulator sim(6);
+    const StateVector sv = sim.finalState(conditioned);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 1.0, 1e-9);
+}
+
+TEST(ClassicalAssertionTest, MultiQubitRegisterAssert)
+{
+    // Register |q1 q0> = |10> asserted == 0b10.
+    Circuit payload(2, 0);
+    payload.x(1);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(0b10, 2);
+    spec.targets = {0, 1};
+    spec.insertAt = payload.size();
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    StatevectorSimulator sim(7);
+    const Result r = sim.run(inst.circuit(), 300);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+
+    // Wrong expected value fails deterministically.
+    AssertionSpec bad = spec;
+    bad.assertion = std::make_shared<ClassicalAssertion>(0b01, 2);
+    const InstrumentedCircuit bad_inst = instrument(payload, {bad});
+    const Result rb = sim.run(bad_inst.circuit(), 300);
+    for (const auto &[reg, n] : rb.rawCounts())
+        EXPECT_FALSE(bad_inst.passed(reg)) << reg;
+}
+
+TEST(ClassicalAssertionTest, DescribeMultiQubit)
+{
+    ClassicalAssertion a(0b101, 3);
+    EXPECT_EQ(a.describe(), "assert register == |101>");
+}
+
+TEST(ClassicalAssertionTest, CircuitCostIsOneCnotPerQubit)
+{
+    Circuit payload(3, 0);
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(0b000, 3);
+    spec.targets = {0, 1, 2};
+    spec.insertAt = 0;
+    InstrumentOptions opts;
+    opts.barriers = false;
+    const InstrumentedCircuit inst = instrument(payload, {spec}, opts);
+    const auto counts = inst.circuit().countOps();
+    EXPECT_EQ(counts.at("cx"), 3u);
+    EXPECT_EQ(counts.at("measure"), 3u);
+    EXPECT_EQ(counts.count("x"), 0u); // expected bits all zero
+}
+
+} // namespace
+} // namespace qra

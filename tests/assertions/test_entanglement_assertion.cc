@@ -1,0 +1,354 @@
+/** @file Tests for the entanglement assertion (paper Sec. 3.2). */
+
+#include <gtest/gtest.h>
+
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/injector.hh"
+#include "common/error.hh"
+#include "sim/statevector_simulator.hh"
+#include "stabilizer/stabilizer_simulator.hh"
+#include "testutil.hh"
+
+namespace qra {
+namespace {
+
+using Parity = EntanglementAssertion::Parity;
+using Mode = EntanglementAssertion::Mode;
+
+InstrumentedCircuit
+withCheck(const Circuit &payload, std::vector<Qubit> targets,
+          Parity parity = Parity::Even, Mode mode = Mode::PairParity)
+{
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(
+        targets.size(), parity, mode);
+    spec.targets = std::move(targets);
+    spec.insertAt = payload.size();
+    return instrument(payload, {spec});
+}
+
+TEST(EntanglementAssertionTest, ArityAndValidation)
+{
+    EntanglementAssertion a(2);
+    EXPECT_EQ(a.kind(), AssertionKind::Entanglement);
+    EXPECT_EQ(a.numTargets(), 2u);
+    EXPECT_EQ(a.numAncillas(), 1u);
+    EXPECT_THROW(EntanglementAssertion(1), AssertionError);
+    EXPECT_THROW(EntanglementAssertion(3, Parity::Odd),
+                 AssertionError);
+
+    EntanglementAssertion chain(4, Parity::Even, Mode::Chain);
+    EXPECT_EQ(chain.numAncillas(), 3u);
+}
+
+TEST(EntanglementAssertionTest, EvenCnotCountRule)
+{
+    // Paper Sec. 3.2: always an even number of CNOTs.
+    EXPECT_EQ(EntanglementAssertion(2).pairParityCnotCount(), 2u);
+    EXPECT_EQ(EntanglementAssertion(3).pairParityCnotCount(), 4u);
+    EXPECT_EQ(EntanglementAssertion(4).pairParityCnotCount(), 4u);
+    EXPECT_EQ(EntanglementAssertion(5).pairParityCnotCount(), 6u);
+}
+
+TEST(EntanglementAssertionTest, BellPairPasses)
+{
+    Circuit payload(2, 0);
+    payload.h(0).cx(0, 1);
+    const InstrumentedCircuit inst = withCheck(payload, {0, 1});
+    StatevectorSimulator sim(1);
+    const Result r = sim.run(inst.circuit(), 1000);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(EntanglementAssertionTest, OddParityBellPasses)
+{
+    // |01> + |10> with the Odd variant.
+    Circuit payload(2, 0);
+    payload.h(0).cx(0, 1).x(1);
+    const InstrumentedCircuit inst =
+        withCheck(payload, {0, 1}, Parity::Odd);
+    StatevectorSimulator sim(2);
+    const Result r = sim.run(inst.circuit(), 1000);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(EntanglementAssertionTest, OddParityStateFailsEvenCheck)
+{
+    Circuit payload(2, 0);
+    payload.h(0).cx(0, 1).x(1); // |01>+|10>
+    const InstrumentedCircuit inst =
+        withCheck(payload, {0, 1}, Parity::Even);
+    StatevectorSimulator sim(3);
+    const Result r = sim.run(inst.circuit(), 1000);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_FALSE(inst.passed(reg)) << reg;
+}
+
+TEST(EntanglementAssertionTest, ProductStateErrorsHalfTheTime)
+{
+    // |+>|+> has all four parities equally: error rate 1/2.
+    Circuit payload(2, 0);
+    payload.h(0).h(1);
+    const InstrumentedCircuit inst = withCheck(payload, {0, 1});
+    StatevectorSimulator sim(4);
+    const Result r = sim.run(inst.circuit(), 40000);
+    double error = 0.0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if (!inst.passed(reg))
+            error += double(n) / double(r.shots());
+    EXPECT_NEAR(error, 0.5, 0.02);
+}
+
+TEST(EntanglementAssertionTest, AncillaDisentanglesOnBellInput)
+{
+    // Paper proof: |psi3> = |psi> (x) |0>; the Bell pair must be
+    // untouched and the ancilla pure after the check.
+    Circuit payload(2, 0);
+    payload.h(0).cx(0, 1);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, 1};
+    spec.insertAt = payload.size();
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    // Drop the ancilla measurement to inspect the pre-measurement
+    // state: the ancilla must already be |0> and unentangled.
+    Circuit no_measure(inst.circuit().numQubits(), 0);
+    for (const Operation &op : inst.circuit().ops())
+        if (op.kind != OpKind::Measure && op.kind != OpKind::Barrier)
+            no_measure.append(op);
+
+    StatevectorSimulator sim(5);
+    const StateVector sv = sim.finalState(no_measure);
+    const Qubit ancilla = inst.checks()[0].ancillas[0];
+    EXPECT_NEAR(sv.probabilityOfOne(ancilla), 0.0, 1e-9);
+    EXPECT_NEAR(sv.qubitPurity(ancilla), 1.0, 1e-9);
+    // Bell pair intact.
+    EXPECT_NEAR(std::abs(sv.amplitude(0b00)), kInvSqrt2, 1e-9);
+    EXPECT_NEAR(std::abs(sv.amplitude(0b11)), kInvSqrt2, 1e-9);
+}
+
+TEST(EntanglementAssertionTest, PassingCheckForcesEntangledState)
+{
+    // Paper: a product state passing the check is projected into the
+    // even-parity (entangled) subspace.
+    Circuit payload(2, 0);
+    payload.h(0).h(1);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, 1};
+    spec.insertAt = payload.size();
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    Circuit conditioned = inst.circuit();
+    conditioned.postSelect(inst.checks()[0].ancillas[0], 0);
+    StatevectorSimulator sim(6);
+    const StateVector sv = sim.finalState(conditioned);
+    // All weight on even-parity basis states of the two targets.
+    const auto marginal = sv.marginalProbabilities({0, 1});
+    EXPECT_NEAR(marginal[0b01] + marginal[0b10], 0.0, 1e-9);
+    EXPECT_NEAR(marginal[0b00] + marginal[0b11], 1.0, 1e-9);
+}
+
+TEST(EntanglementAssertionTest, GhzPassesWithEvenCnots)
+{
+    Circuit payload(3, 0);
+    payload.h(0).cx(0, 1).cx(1, 2);
+    const InstrumentedCircuit inst = withCheck(payload, {0, 1, 2});
+    StatevectorSimulator sim(7);
+    const Result r = sim.run(inst.circuit(), 1000);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(EntanglementAssertionTest, GhzStateUnperturbedByCheck)
+{
+    Circuit payload(3, 0);
+    payload.h(0).cx(0, 1).cx(1, 2);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(3);
+    spec.targets = {0, 1, 2};
+    spec.insertAt = payload.size();
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    StatevectorSimulator sim(8);
+    const StateVector sv =
+        sim.evolveWithMeasurements(inst.circuit());
+    // GHZ amplitudes survive the ancilla measurement.
+    const auto marginal = sv.marginalProbabilities({0, 1, 2});
+    EXPECT_NEAR(marginal[0b000], 0.5, 1e-9);
+    EXPECT_NEAR(marginal[0b111], 0.5, 1e-9);
+}
+
+TEST(EntanglementAssertionTest, ChainModeCatchesPartialEntanglement)
+{
+    // Bell(0,1) (x) |0>_2 pretending to be a 3-qubit GHZ: the pair
+    // (1,2) parity check must flag it with probability 1/2, while the
+    // PairParity single check on (0,1)-ish parity may miss it.
+    Circuit payload(3, 0);
+    payload.h(0).cx(0, 1);
+
+    const InstrumentedCircuit chain = withCheck(
+        payload, {0, 1, 2}, Parity::Even, Mode::Chain);
+    StatevectorSimulator sim(9);
+    const Result r = sim.run(chain.circuit(), 20000);
+    double flagged = 0.0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if (!chain.passed(reg))
+            flagged += double(n) / double(r.shots());
+    EXPECT_NEAR(flagged, 0.5, 0.02);
+}
+
+TEST(EntanglementAssertionTest, ChainModeAncillasDisentangle)
+{
+    Circuit payload(4, 0);
+    payload.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(
+        4, Parity::Even, Mode::Chain);
+    spec.targets = {0, 1, 2, 3};
+    spec.insertAt = payload.size();
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    Circuit no_measure(inst.circuit().numQubits(), 0);
+    for (const Operation &op : inst.circuit().ops())
+        if (op.kind != OpKind::Measure && op.kind != OpKind::Barrier)
+            no_measure.append(op);
+
+    StatevectorSimulator sim(10);
+    const StateVector sv = sim.finalState(no_measure);
+    for (const Qubit anc : inst.checks()[0].ancillas) {
+        EXPECT_NEAR(sv.probabilityOfOne(anc), 0.0, 1e-9) << anc;
+        EXPECT_NEAR(sv.qubitPurity(anc), 1.0, 1e-9) << anc;
+    }
+}
+
+TEST(EntanglementAssertionTest, FullModeAcceptsGhzStates)
+{
+    for (std::size_t n : {2u, 3u, 4u}) {
+        Circuit payload(n, 0);
+        payload.h(0);
+        for (Qubit q = 0; q + 1 < n; ++q)
+            payload.cx(q, q + 1);
+        std::vector<Qubit> targets(n);
+        for (Qubit q = 0; q < n; ++q)
+            targets[q] = q;
+        const InstrumentedCircuit inst = withCheck(
+            payload, targets, Parity::Even, Mode::Full);
+        StatevectorSimulator sim(11);
+        const Result r = sim.run(inst.circuit(), 500);
+        for (const auto &[reg, cnt] : r.rawCounts())
+            EXPECT_TRUE(inst.passed(reg)) << "n=" << n << " " << reg;
+    }
+}
+
+TEST(EntanglementAssertionTest, FullModeCatchesPhaseFlip)
+{
+    // Phi- passes the paper's parity check but fails the X-type
+    // stabiliser measurement deterministically.
+    Circuit payload(2, 0);
+    payload.h(0).cx(0, 1).z(0); // (|00> - |11>)/sqrt2
+
+    const InstrumentedCircuit parity_only =
+        withCheck(payload, {0, 1}, Parity::Even, Mode::PairParity);
+    StatevectorSimulator sim(12);
+    const Result rp = sim.run(parity_only.circuit(), 500);
+    for (const auto &[reg, cnt] : rp.rawCounts())
+        EXPECT_TRUE(parity_only.passed(reg)) << "parity is blind";
+
+    const InstrumentedCircuit full =
+        withCheck(payload, {0, 1}, Parity::Even, Mode::Full);
+    const Result rf = sim.run(full.circuit(), 500);
+    for (const auto &[reg, cnt] : rf.rawCounts())
+        EXPECT_FALSE(full.passed(reg)) << "full mode must catch it";
+}
+
+TEST(EntanglementAssertionTest, FullModeCatchesGhzPhaseBug)
+{
+    Circuit payload(3, 0);
+    payload.h(0).cx(0, 1).cx(1, 2).z(2); // phase-broken GHZ
+    const InstrumentedCircuit inst =
+        withCheck(payload, {0, 1, 2}, Parity::Even, Mode::Full);
+    StatevectorSimulator sim(13);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, cnt] : r.rawCounts())
+        EXPECT_FALSE(inst.passed(reg)) << reg;
+}
+
+TEST(EntanglementAssertionTest, FullModeFlagsAmplitudeImbalance)
+{
+    // a|00> + b|11> with a != b: Z-checks silent, X-check fires
+    // with probability |a - b|^2 / 2.
+    const double theta = 1.1;
+    Circuit payload(2, 0);
+    payload.ry(theta, 0).cx(0, 1);
+
+    const InstrumentedCircuit inst =
+        withCheck(payload, {0, 1}, Parity::Even, Mode::Full);
+    StatevectorSimulator sim(14);
+    const Result r = sim.run(inst.circuit(), 40000);
+    double error = 0.0;
+    for (const auto &[reg, cnt] : r.rawCounts())
+        if (!inst.passed(reg))
+            error += double(cnt) / double(r.shots());
+    const double a = std::cos(theta / 2.0);
+    const double b = std::sin(theta / 2.0);
+    EXPECT_NEAR(error, (a - b) * (a - b) / 2.0, 0.01);
+}
+
+TEST(EntanglementAssertionTest, FullModeIsClifford)
+{
+    // The complete stabiliser check still runs on the tableau
+    // backend (scales to wide registers).
+    Circuit payload(2, 0);
+    payload.h(0).cx(0, 1);
+    const InstrumentedCircuit inst =
+        withCheck(payload, {0, 1}, Parity::Even, Mode::Full);
+    EXPECT_TRUE(StabilizerSimulator::supports(inst.circuit()));
+    StabilizerSimulator sim(15);
+    const Result r = sim.run(inst.circuit(), 300);
+    for (const auto &[reg, cnt] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(EntanglementAssertionTest, FullModeGhzSurvivesCheck)
+{
+    Circuit payload(3, 0);
+    payload.h(0).cx(0, 1).cx(1, 2);
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(
+        3, Parity::Even, Mode::Full);
+    spec.targets = {0, 1, 2};
+    spec.insertAt = payload.size();
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    StatevectorSimulator sim(16);
+    const StateVector sv =
+        sim.evolveWithMeasurements(inst.circuit());
+    const auto marginal = sv.marginalProbabilities({0, 1, 2});
+    EXPECT_NEAR(marginal[0b000], 0.5, 1e-9);
+    EXPECT_NEAR(marginal[0b111], 0.5, 1e-9);
+}
+
+TEST(EntanglementAssertionTest, DescribeMentionsModeAndParity)
+{
+    EXPECT_NE(EntanglementAssertion(2).describe().find("entangled"),
+              std::string::npos);
+    EXPECT_NE(EntanglementAssertion(2, Parity::Odd)
+                  .describe()
+                  .find("a|01>+b|10>"),
+              std::string::npos);
+    EXPECT_NE(EntanglementAssertion(3, Parity::Even, Mode::Chain)
+                  .describe()
+                  .find("chain"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,234 @@
+/** @file Tests for the assertion instrumentation pass. */
+
+#include <gtest/gtest.h>
+
+#include "assertions/classical_assertion.hh"
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/injector.hh"
+#include "assertions/superposition_assertion.hh"
+#include "common/error.hh"
+#include "sim/statevector_simulator.hh"
+#include "sim/trajectory_simulator.hh"
+
+namespace qra {
+namespace {
+
+AssertionSpec
+classicalSpec(Qubit target, int expected, std::size_t at,
+              std::string label = "")
+{
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(expected);
+    spec.targets = {target};
+    spec.insertAt = at;
+    spec.label = std::move(label);
+    return spec;
+}
+
+TEST(InjectorTest, AllocatesAncillasAboveAndClbitsAbove)
+{
+    Circuit payload(2, 2);
+    payload.h(0).cx(0, 1).measureAll();
+
+    const InstrumentedCircuit inst = instrument(
+        payload,
+        {classicalSpec(0, 0, 0), classicalSpec(1, 0, 0)});
+
+    EXPECT_EQ(inst.payloadQubits(), 2u);
+    EXPECT_EQ(inst.payloadClbits(), 2u);
+    EXPECT_EQ(inst.circuit().numQubits(), 4u);
+    EXPECT_EQ(inst.circuit().numClbits(), 4u);
+    ASSERT_EQ(inst.checks().size(), 2u);
+    EXPECT_EQ(inst.checks()[0].ancillas[0], 2u);
+    EXPECT_EQ(inst.checks()[1].ancillas[0], 3u);
+    EXPECT_EQ(inst.checks()[0].clbits[0], 2u);
+    EXPECT_EQ(inst.checks()[1].clbits[0], 3u);
+}
+
+TEST(InjectorTest, AssertionMaskAndPredicates)
+{
+    Circuit payload(1, 1);
+    payload.h(0).measure(0, 0);
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 0, 0)});
+
+    EXPECT_EQ(inst.assertionMask(), 0b10u);
+    EXPECT_TRUE(inst.passed(0b00));
+    EXPECT_TRUE(inst.passed(0b01));
+    EXPECT_FALSE(inst.passed(0b10));
+    EXPECT_FALSE(inst.passed(0b11));
+    EXPECT_EQ(inst.payloadBits(0b11), 0b01u);
+    EXPECT_TRUE(inst.checkPassed(0, 0b01));
+    EXPECT_FALSE(inst.checkPassed(0, 0b10));
+    EXPECT_THROW(inst.checkPassed(5, 0), AssertionError);
+}
+
+TEST(InjectorTest, InsertionPointRespected)
+{
+    // Payload: x(0), h(0). Check at index 1 must see |1>, not H|1>.
+    Circuit payload(1, 0);
+    payload.x(0).h(0);
+
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 1, 1)});
+    StatevectorSimulator sim(1);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(InjectorTest, EndInsertionForLargeIndex)
+{
+    Circuit payload(1, 0);
+    payload.x(0);
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 1, 999)});
+    StatevectorSimulator sim(2);
+    const Result r = sim.run(inst.circuit(), 200);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg));
+}
+
+TEST(InjectorTest, MultipleChecksAtDifferentPoints)
+{
+    Circuit payload(2, 2);
+    payload.x(0).cx(0, 1).measureAll();
+
+    std::vector<AssertionSpec> specs{
+        classicalSpec(0, 1, 1, "after x"),
+        classicalSpec(1, 1, 2, "after cx"),
+    };
+    const InstrumentedCircuit inst = instrument(payload, specs);
+    EXPECT_EQ(inst.checks().size(), 2u);
+    EXPECT_EQ(inst.checks()[0].spec.label, "after x");
+
+    StatevectorSimulator sim(3);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, n] : r.rawCounts()) {
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+        // Payload still measures 11.
+        EXPECT_EQ(inst.payloadBits(reg), 0b11u);
+    }
+}
+
+TEST(InjectorTest, SpecValidation)
+{
+    Circuit payload(2, 0);
+
+    AssertionSpec no_assertion;
+    no_assertion.targets = {0};
+    EXPECT_THROW(instrument(payload, {no_assertion}), AssertionError);
+
+    AssertionSpec wrong_arity = classicalSpec(0, 0, 0);
+    wrong_arity.targets = {0, 1};
+    EXPECT_THROW(instrument(payload, {wrong_arity}), AssertionError);
+
+    AssertionSpec out_of_range = classicalSpec(5, 0, 0);
+    EXPECT_THROW(instrument(payload, {out_of_range}), AssertionError);
+}
+
+TEST(InjectorTest, BarriersWrapChecksByDefault)
+{
+    Circuit payload(1, 0);
+    payload.h(0);
+    const InstrumentedCircuit with_barriers =
+        instrument(payload, {classicalSpec(0, 0, 1)});
+    EXPECT_GE(with_barriers.circuit().countOps().at("barrier"), 2u);
+
+    InstrumentOptions opts;
+    opts.barriers = false;
+    const InstrumentedCircuit no_barriers =
+        instrument(payload, {classicalSpec(0, 0, 1)}, opts);
+    EXPECT_EQ(no_barriers.circuit().countOps().count("barrier"), 0u);
+}
+
+TEST(InjectorTest, AncillaReusePoolsQubits)
+{
+    Circuit payload(2, 2);
+    payload.h(0).cx(0, 1).measureAll();
+
+    std::vector<AssertionSpec> specs{
+        classicalSpec(0, 0, 0),
+        classicalSpec(1, 0, 1),
+        classicalSpec(0, 0, 2),
+    };
+
+    InstrumentOptions opts;
+    opts.reuseAncillas = true;
+    const InstrumentedCircuit pooled =
+        instrument(payload, specs, opts);
+    // One shared ancilla, three clbits.
+    EXPECT_EQ(pooled.circuit().numQubits(), 3u);
+    EXPECT_EQ(pooled.circuit().numClbits(), 5u);
+    // Reset appears between reuses.
+    EXPECT_GE(pooled.circuit().countOps().at("reset"), 2u);
+
+    const InstrumentedCircuit unpooled = instrument(payload, specs);
+    EXPECT_EQ(unpooled.circuit().numQubits(), 5u);
+}
+
+TEST(InjectorTest, AncillaReuseSemanticsOnTrajectoryBackend)
+{
+    // All three checks on |0> payload must pass with a reused
+    // ancilla.
+    Circuit payload(1, 0);
+    std::vector<AssertionSpec> specs{
+        classicalSpec(0, 0, 0),
+        classicalSpec(0, 0, 0),
+        classicalSpec(0, 0, 0),
+    };
+    InstrumentOptions opts;
+    opts.reuseAncillas = true;
+    const InstrumentedCircuit inst =
+        instrument(payload, specs, opts);
+
+    TrajectorySimulator sim(4);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(InjectorTest, MixedAssertionKindsTogether)
+{
+    Circuit payload(3, 3);
+    payload.h(0).cx(0, 1).h(2).measureAll();
+
+    AssertionSpec ent;
+    ent.assertion = std::make_shared<EntanglementAssertion>(2);
+    ent.targets = {0, 1};
+    ent.insertAt = 2;
+
+    AssertionSpec sup;
+    sup.assertion = std::make_shared<SuperpositionAssertion>();
+    sup.targets = {2};
+    sup.insertAt = 3;
+
+    const InstrumentedCircuit inst = instrument(payload, {ent, sup});
+    StatevectorSimulator sim(5);
+    const Result r = sim.run(inst.circuit(), 1000);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(InjectorTest, PayloadOpsPreservedInOrder)
+{
+    Circuit payload(2, 0);
+    payload.h(0).cx(0, 1).t(1);
+    InstrumentOptions opts;
+    opts.barriers = false;
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 0, 1)}, opts);
+
+    // Expect: h, [cx anc, measure anc], cx, t.
+    const auto &ops = inst.circuit().ops();
+    ASSERT_EQ(ops.size(), 5u);
+    EXPECT_EQ(ops[0].kind, OpKind::H);
+    EXPECT_EQ(ops[1].kind, OpKind::CX); // assertion CNOT
+    EXPECT_EQ(ops[1].qubits[1], 2u);    // into the ancilla
+    EXPECT_EQ(ops[2].kind, OpKind::Measure);
+    EXPECT_EQ(ops[3].kind, OpKind::CX); // payload CX
+    EXPECT_EQ(ops[4].kind, OpKind::T);
+}
+
+} // namespace
+} // namespace qra

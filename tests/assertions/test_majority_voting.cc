@@ -1,0 +1,178 @@
+/** @file Tests for repeated checks with majority voting. */
+
+#include <gtest/gtest.h>
+
+#include "assertions/classical_assertion.hh"
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/injector.hh"
+#include "assertions/report.hh"
+#include "common/error.hh"
+#include "sim/density_simulator.hh"
+#include "sim/statevector_simulator.hh"
+#include "sim/trajectory_simulator.hh"
+
+namespace qra {
+namespace {
+
+AssertionSpec
+classicalSpec(Qubit target, int expected, std::size_t at,
+              std::size_t reps)
+{
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(expected);
+    spec.targets = {target};
+    spec.insertAt = at;
+    spec.repetitions = reps;
+    return spec;
+}
+
+TEST(MajorityVotingTest, AllocatesPerRepetition)
+{
+    Circuit payload(1, 0);
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 0, 0, 3)});
+    EXPECT_EQ(inst.circuit().numQubits(), 4u); // 1 payload + 3 anc
+    EXPECT_EQ(inst.circuit().numClbits(), 3u);
+    ASSERT_EQ(inst.checks().size(), 1u);
+    EXPECT_EQ(inst.checks()[0].ancillas.size(), 3u);
+    EXPECT_EQ(inst.checks()[0].clbits.size(), 3u);
+    EXPECT_EQ(inst.checks()[0].clbitsPerRepetition, 1u);
+}
+
+TEST(MajorityVotingTest, ZeroRepetitionsRejected)
+{
+    Circuit payload(1, 0);
+    EXPECT_THROW(instrument(payload, {classicalSpec(0, 0, 0, 0)}),
+                 AssertionError);
+}
+
+TEST(MajorityVotingTest, MajorityDecides)
+{
+    Circuit payload(1, 0);
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 0, 0, 3)});
+    // Assertion clbits are 0, 1, 2 (payload has none).
+    EXPECT_TRUE(inst.passed(0b000));
+    EXPECT_TRUE(inst.passed(0b001));  // 1 of 3 fired: vote passes
+    EXPECT_TRUE(inst.passed(0b100));
+    EXPECT_FALSE(inst.passed(0b011)); // 2 of 3 fired
+    EXPECT_FALSE(inst.passed(0b111));
+}
+
+TEST(MajorityVotingTest, CleanStatePassesAllRepetitions)
+{
+    Circuit payload(1, 0);
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 0, 0, 5)});
+    StatevectorSimulator sim(1);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, n] : r.rawCounts()) {
+        EXPECT_EQ(reg, 0u);
+        EXPECT_TRUE(inst.passed(reg));
+    }
+}
+
+TEST(MajorityVotingTest, DeterministicBugStillAlwaysCaught)
+{
+    Circuit payload(1, 0);
+    payload.x(0); // |1> asserted == |0>
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 0, 1, 3)});
+    StatevectorSimulator sim(2);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_FALSE(inst.passed(reg)) << reg;
+}
+
+TEST(MajorityVotingTest, RepetitionsAgreeAfterProjection)
+{
+    // On a superposed input the FIRST check projects; the remaining
+    // repetitions must deterministically agree with it.
+    Circuit payload(1, 0);
+    payload.h(0);
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 0, 1, 3)});
+    StatevectorSimulator sim(3);
+    const Result r = sim.run(inst.circuit(), 2000);
+    for (const auto &[reg, n] : r.rawCounts()) {
+        const int b0 = (reg >> 0) & 1;
+        const int b1 = (reg >> 1) & 1;
+        const int b2 = (reg >> 2) & 1;
+        EXPECT_EQ(b0, b1) << reg;
+        EXPECT_EQ(b1, b2) << reg;
+    }
+}
+
+TEST(MajorityVotingTest, SuppressesReadoutFalsePositives)
+{
+    // Pure readout noise on the ancillas: a single check false-fires
+    // with probability p; majority-of-3 with ~3p^2. Model: perfect
+    // gates, 10% readout flip on every qubit.
+    NoiseModel noise;
+    for (Qubit q = 0; q < 4; ++q)
+        noise.setReadoutError(q, ReadoutError(0.1, 0.1));
+
+    Circuit payload(1, 0);
+
+    DensityMatrixSimulator sim(4);
+    sim.setNoiseModel(&noise);
+
+    const InstrumentedCircuit single =
+        instrument(payload, {classicalSpec(0, 0, 0, 1)});
+    const AssertionReport r1 =
+        analyze(single, sim.run(single.circuit(), 1000));
+    EXPECT_NEAR(r1.anyErrorRate, 0.10, 0.01);
+
+    const InstrumentedCircuit voted =
+        instrument(payload, {classicalSpec(0, 0, 0, 3)});
+    const AssertionReport r3 =
+        analyze(voted, sim.run(voted.circuit(), 1000));
+    // P(>= 2 of 3 flips) = 3 p^2 (1-p) + p^3 = 0.028.
+    EXPECT_NEAR(r3.anyErrorRate, 0.028, 0.01);
+    EXPECT_LT(r3.anyErrorRate, r1.anyErrorRate / 2.0);
+}
+
+TEST(MajorityVotingTest, WorksWithMultiAncillaChecks)
+{
+    Circuit payload(3, 0);
+    payload.h(0).cx(0, 1).cx(1, 2);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(
+        3, EntanglementAssertion::Parity::Even,
+        EntanglementAssertion::Mode::Chain);
+    spec.targets = {0, 1, 2};
+    spec.insertAt = 3;
+    spec.repetitions = 3;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    // 2 ancillas per repetition, 3 repetitions.
+    EXPECT_EQ(inst.checks()[0].clbits.size(), 6u);
+    EXPECT_EQ(inst.checks()[0].clbitsPerRepetition, 2u);
+
+    StatevectorSimulator sim(5);
+    const Result r = sim.run(inst.circuit(), 500);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(MajorityVotingTest, AncillaReuseComposesWithRepetition)
+{
+    Circuit payload(1, 0);
+    InstrumentOptions opts;
+    opts.reuseAncillas = true;
+    const InstrumentedCircuit inst =
+        instrument(payload, {classicalSpec(0, 0, 0, 3)}, opts);
+    // One pooled ancilla, three clbits, resets in between.
+    EXPECT_EQ(inst.circuit().numQubits(), 2u);
+    EXPECT_EQ(inst.circuit().numClbits(), 3u);
+    EXPECT_GE(inst.circuit().countOps().at("reset"), 2u);
+
+    TrajectorySimulator sim(6);
+    const Result r = sim.run(inst.circuit(), 300);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * The paper's Section 3 derivations as parameterized property tests.
+ *
+ * Each TEST_P sweep verifies a closed-form prediction of the proofs
+ * in Secs. 3.1-3.3 against exact simulator amplitudes (no sampling),
+ * across a grid of input states.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "assertions/classical_assertion.hh"
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/injector.hh"
+#include "assertions/superposition_assertion.hh"
+#include "sim/statevector_simulator.hh"
+#include "testutil.hh"
+
+namespace qra {
+namespace {
+
+/** Build the instrumented circuit, no barriers, check at the end. */
+InstrumentedCircuit
+instrumented(const Circuit &payload,
+             std::shared_ptr<const Assertion> assertion,
+             std::vector<Qubit> targets)
+{
+    AssertionSpec spec;
+    spec.assertion = std::move(assertion);
+    spec.targets = std::move(targets);
+    spec.insertAt = payload.size();
+    InstrumentOptions opts;
+    opts.barriers = false;
+    return instrument(payload, {spec}, opts);
+}
+
+/**
+ * Exact P(ancilla reads 1) of a single-check instrumentation: evolve
+ * unitaries only and inspect the ancilla marginal just before its
+ * measurement.
+ */
+double
+exactAncillaErrorProbability(const InstrumentedCircuit &inst)
+{
+    Circuit no_measure(inst.circuit().numQubits(), 0);
+    for (const Operation &op : inst.circuit().ops())
+        if (op.kind != OpKind::Measure)
+            no_measure.append(op);
+    StatevectorSimulator sim(1);
+    const StateVector sv = sim.finalState(no_measure);
+    return sv.probabilityOfOne(inst.checks()[0].ancillas[0]);
+}
+
+// ---------------------------------------------------------------
+// Sec. 3.1 sweep: classical assertion on a|0> + b|1>.
+// Prediction: P(error) = |b|^2; pass branch projects onto |0>.
+// ---------------------------------------------------------------
+
+class ClassicalProofSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ClassicalProofSweep, ErrorProbabilityEqualsB2)
+{
+    const double theta = GetParam();
+    Circuit payload(1, 0);
+    payload.ry(theta, 0);
+    const InstrumentedCircuit inst = instrumented(
+        payload, std::make_shared<ClassicalAssertion>(0), {0});
+    const double expected = std::pow(std::sin(theta / 2.0), 2);
+    EXPECT_NEAR(exactAncillaErrorProbability(inst), expected, 1e-10);
+}
+
+TEST_P(ClassicalProofSweep, PassBranchProjectsToZero)
+{
+    const double theta = GetParam();
+    // Skip the |1> endpoint where the pass branch has no weight.
+    if (std::abs(std::cos(theta / 2.0)) < 1e-6)
+        GTEST_SKIP();
+
+    Circuit payload(1, 0);
+    payload.ry(theta, 0);
+    InstrumentedCircuit inst = instrumented(
+        payload, std::make_shared<ClassicalAssertion>(0), {0});
+    Circuit conditioned = inst.circuit();
+    conditioned.postSelect(inst.checks()[0].ancillas[0], 0);
+    StatevectorSimulator sim(2);
+    const StateVector sv = sim.finalState(conditioned);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaGrid, ClassicalProofSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 1.0,
+                                           M_PI / 2, 2.0, 2.5, 3.0,
+                                           M_PI));
+
+// ---------------------------------------------------------------
+// Sec. 3.3 sweep: superposition assertion on a|0> + b|1>, real a, b.
+// Predictions: P(error) = (1 - 2ab)/2; either branch forces the
+// qubit into an equal-magnitude superposition.
+// ---------------------------------------------------------------
+
+class SuperpositionProofSweep
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SuperpositionProofSweep, ErrorProbabilityClosedForm)
+{
+    const double theta = GetParam();
+    const double a = std::cos(theta / 2.0);
+    const double b = std::sin(theta / 2.0);
+    Circuit payload(1, 0);
+    payload.ry(theta, 0);
+    const InstrumentedCircuit inst = instrumented(
+        payload, std::make_shared<SuperpositionAssertion>(), {0});
+    EXPECT_NEAR(exactAncillaErrorProbability(inst),
+                (1.0 - 2.0 * a * b) / 2.0, 1e-10);
+}
+
+TEST_P(SuperpositionProofSweep, BothBranchesForceEqualSuperposition)
+{
+    const double theta = GetParam();
+    for (int outcome : {0, 1}) {
+        const double a = std::cos(theta / 2.0);
+        const double b = std::sin(theta / 2.0);
+        const double p_branch = outcome
+                                    ? (1.0 - 2.0 * a * b) / 2.0
+                                    : (1.0 + 2.0 * a * b) / 2.0;
+        if (p_branch < 1e-9)
+            continue; // empty branch (|+> or |-> exactly)
+
+        Circuit payload(1, 0);
+        payload.ry(theta, 0);
+        InstrumentedCircuit inst = instrumented(
+            payload, std::make_shared<SuperpositionAssertion>(),
+            {0});
+        Circuit conditioned = inst.circuit();
+        conditioned.postSelect(inst.checks()[0].ancillas[0],
+                               outcome);
+        StatevectorSimulator sim(3);
+        const StateVector sv = sim.finalState(conditioned);
+        EXPECT_NEAR(sv.probabilityOfOne(0), 0.5, 1e-10)
+            << "theta " << theta << " outcome " << outcome;
+        EXPECT_NEAR(sv.qubitPurity(0), 1.0, 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaGrid, SuperpositionProofSweep,
+                         ::testing::Values(0.0, 0.3, 0.7, M_PI / 2,
+                                           1.9, 2.4, 2.9, M_PI));
+
+// ---------------------------------------------------------------
+// Sec. 3.2 sweep: entanglement assertion on
+// a|00> + b|11> + c|10> + d|01>.
+// Predictions: P(error) = |c|^2 + |d|^2; ancilla disentangles on
+// parity eigenstates; pass branch projects onto span{|00>, |11>}.
+// ---------------------------------------------------------------
+
+struct EntanglementCase
+{
+    double theta_pair; ///< weight between even/odd parity subspaces
+    double theta_in;   ///< rotation inside the even subspace
+};
+
+class EntanglementProofSweep
+    : public ::testing::TestWithParam<EntanglementCase>
+{
+  protected:
+    /**
+     * Prepare a|00> + b|11> + c|10> + d|01> with
+     * |c|^2 + |d|^2 = sin^2(theta_pair / 2).
+     */
+    static Circuit
+    preparePayload(const EntanglementCase &param)
+    {
+        Circuit payload(2, 0);
+        // RY on q0 sets the even/odd split after the entangler;
+        // RY on q1 before the CX shapes the inner distribution.
+        payload.ry(param.theta_in, 0);
+        payload.cx(0, 1);
+        payload.ry(param.theta_pair, 1);
+        return payload;
+    }
+};
+
+TEST_P(EntanglementProofSweep, ErrorProbabilityIsOddParityWeight)
+{
+    const EntanglementCase param = GetParam();
+    Circuit payload = preparePayload(param);
+
+    // Exact odd-parity weight of the payload state.
+    StatevectorSimulator sim(4);
+    const StateVector before = sim.finalState(payload);
+    const auto marginal = before.marginalProbabilities({0, 1});
+    const double odd_weight = marginal[0b01] + marginal[0b10];
+
+    const InstrumentedCircuit inst = instrumented(
+        payload, std::make_shared<EntanglementAssertion>(2), {0, 1});
+    EXPECT_NEAR(exactAncillaErrorProbability(inst), odd_weight,
+                1e-10);
+}
+
+TEST_P(EntanglementProofSweep, PassBranchProjectsOntoEvenParity)
+{
+    const EntanglementCase param = GetParam();
+    Circuit payload = preparePayload(param);
+
+    StatevectorSimulator sim(5);
+    const StateVector before = sim.finalState(payload);
+    const auto marginal_before =
+        before.marginalProbabilities({0, 1});
+    const double even_weight =
+        marginal_before[0b00] + marginal_before[0b11];
+    if (even_weight < 1e-9)
+        GTEST_SKIP();
+
+    InstrumentedCircuit inst = instrumented(
+        payload, std::make_shared<EntanglementAssertion>(2), {0, 1});
+    Circuit conditioned = inst.circuit();
+    conditioned.postSelect(inst.checks()[0].ancillas[0], 0);
+    const StateVector after = sim.finalState(conditioned);
+    const auto marginal = after.marginalProbabilities({0, 1});
+    EXPECT_NEAR(marginal[0b01] + marginal[0b10], 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PairGrid, EntanglementProofSweep,
+    ::testing::Values(EntanglementCase{0.0, M_PI / 2},
+                      EntanglementCase{0.0, 1.0},
+                      EntanglementCase{0.5, M_PI / 2},
+                      EntanglementCase{1.2, 0.8},
+                      EntanglementCase{M_PI / 2, M_PI / 2},
+                      EntanglementCase{2.2, 1.4},
+                      EntanglementCase{M_PI, M_PI / 2}));
+
+// ---------------------------------------------------------------
+// The ancilla-disentanglement invariant, swept across kinds: on a
+// state that satisfies the asserted property, measuring the ancilla
+// must leave the payload state exactly invariant (fidelity 1).
+// ---------------------------------------------------------------
+
+TEST(PaperInvariants, PassingAssertionLeavesPayloadInvariant)
+{
+    struct Case
+    {
+        Circuit payload;
+        std::shared_ptr<const Assertion> assertion;
+        std::vector<Qubit> targets;
+    };
+
+    std::vector<Case> cases;
+    {
+        Circuit c(1, 0); // |0> with classical ==0 check
+        cases.push_back({c, std::make_shared<ClassicalAssertion>(0),
+                         {0}});
+    }
+    {
+        Circuit c(1, 0);
+        c.h(0); // |+> with superposition check
+        cases.push_back({c, std::make_shared<SuperpositionAssertion>(),
+                         {0}});
+    }
+    {
+        Circuit c(2, 0);
+        c.h(0).cx(0, 1); // Bell with entanglement check
+        cases.push_back({c, std::make_shared<EntanglementAssertion>(2),
+                         {0, 1}});
+    }
+    {
+        Circuit c(3, 0);
+        c.h(0).cx(0, 1).cx(1, 2); // GHZ
+        cases.push_back({c, std::make_shared<EntanglementAssertion>(3),
+                         {0, 1, 2}});
+    }
+
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        Case &test_case = cases[i];
+        const InstrumentedCircuit inst = instrumented(
+            test_case.payload, test_case.assertion,
+            test_case.targets);
+
+        StatevectorSimulator sim(6);
+        const StateVector before =
+            sim.finalState(test_case.payload);
+        const StateVector after =
+            sim.evolveWithMeasurements(inst.circuit());
+
+        // Compare the payload-qubit marginals before and after.
+        std::vector<Qubit> payload_qubits(
+            test_case.payload.numQubits());
+        for (Qubit q = 0; q < payload_qubits.size(); ++q)
+            payload_qubits[q] = q;
+        const auto m_before =
+            before.marginalProbabilities(payload_qubits);
+        const auto m_after =
+            after.marginalProbabilities(payload_qubits);
+        for (std::size_t k = 0; k < m_before.size(); ++k)
+            EXPECT_NEAR(m_before[k], m_after[k], 1e-9)
+                << "case " << i << " basis " << k;
+    }
+}
+
+// ---------------------------------------------------------------
+// Sec. 3.2's even-CNOT-count warning, verified: an odd number of
+// CNOTs on a GHZ state leaves the ancilla entangled, so measuring
+// it destroys the GHZ superposition.
+// ---------------------------------------------------------------
+
+TEST(PaperInvariants, OddCnotCountCorruptsGhz)
+{
+    // Hand-build the *wrong* 3-CNOT check the paper warns about.
+    Circuit wrong(4, 1);
+    wrong.h(0).cx(0, 1).cx(1, 2);        // GHZ on 0,1,2
+    wrong.cx(0, 3).cx(1, 3).cx(2, 3);    // 3 CNOTs into ancilla q3
+    wrong.measure(3, 0);
+
+    StatevectorSimulator sim(7);
+    const StateVector sv = sim.evolveWithMeasurements(wrong);
+    // The GHZ superposition has collapsed: the payload is now a
+    // classical state (all-zeros or all-ones), not a superposition.
+    const auto marginal = sv.marginalProbabilities({0, 1, 2});
+    const bool collapsed =
+        std::abs(marginal[0b000] - 1.0) < 1e-9 ||
+        std::abs(marginal[0b111] - 1.0) < 1e-9;
+    EXPECT_TRUE(collapsed);
+
+    // The paper's even-count circuit keeps the superposition alive.
+    Circuit right(4, 1);
+    right.h(0).cx(0, 1).cx(1, 2);
+    right.cx(0, 3).cx(1, 3).cx(2, 3).cx(2, 3); // 4 CNOTs
+    right.measure(3, 0);
+    const StateVector ok = sim.evolveWithMeasurements(right);
+    const auto m_ok = ok.marginalProbabilities({0, 1, 2});
+    EXPECT_NEAR(m_ok[0b000], 0.5, 1e-9);
+    EXPECT_NEAR(m_ok[0b111], 0.5, 1e-9);
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,118 @@
+/** @file Tests for the assertion result analyser. */
+
+#include <gtest/gtest.h>
+
+#include "assertions/classical_assertion.hh"
+#include "assertions/report.hh"
+#include "sim/density_simulator.hh"
+#include "sim/statevector_simulator.hh"
+
+namespace qra {
+namespace {
+
+InstrumentedCircuit
+superposedPayloadWithCheck()
+{
+    // RY(theta) with P(1) = 0.25, asserted == |0>, measured payload.
+    Circuit payload(1, 1);
+    payload.ry(2.0 * std::asin(0.5), 0);
+    payload.measure(0, 0);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(0);
+    spec.targets = {0};
+    spec.insertAt = 1; // after the RY, before the measurement
+    spec.label = "mid";
+    return instrument(payload, {spec});
+}
+
+TEST(ReportTest, CheckErrorRateMatchesTheory)
+{
+    const InstrumentedCircuit inst = superposedPayloadWithCheck();
+    StatevectorSimulator sim(1);
+    const Result r = sim.run(inst.circuit(), 40000);
+    const AssertionReport report = analyze(inst, r);
+
+    ASSERT_EQ(report.checkErrorRates.size(), 1u);
+    EXPECT_NEAR(report.checkErrorRates[0], 0.25, 0.02);
+    EXPECT_NEAR(report.anyErrorRate, 0.25, 0.02);
+    EXPECT_NEAR(report.keptFraction, 0.75, 0.02);
+}
+
+TEST(ReportTest, FilteredPayloadConditionsOnPass)
+{
+    const InstrumentedCircuit inst = superposedPayloadWithCheck();
+    StatevectorSimulator sim(2);
+    const Result r = sim.run(inst.circuit(), 40000);
+    const AssertionReport report = analyze(inst, r);
+
+    // Raw payload: 25% ones. Filtered (assertion passed -> qubit
+    // projected to |0>): payload reads 0 always.
+    EXPECT_NEAR(report.rawPayload.at(1), 0.25, 0.02);
+    EXPECT_NEAR(report.filteredPayload.at(0), 1.0, 1e-9);
+    EXPECT_EQ(report.filteredPayload.count(1), 0u);
+}
+
+TEST(ReportTest, UsesExactDistributionWhenAvailable)
+{
+    const InstrumentedCircuit inst = superposedPayloadWithCheck();
+    DensityMatrixSimulator sim(3);
+    const Result r = sim.run(inst.circuit(), 10);
+    const AssertionReport report = analyze(inst, r);
+    // With only 10 sampled shots the empirical estimate would be
+    // coarse; the exact distribution gives the precise 0.25.
+    EXPECT_NEAR(report.checkErrorRates[0], 0.25, 1e-9);
+}
+
+TEST(ReportTest, ErrorRatesAgainstPredicate)
+{
+    const InstrumentedCircuit inst = superposedPayloadWithCheck();
+    DensityMatrixSimulator sim(4);
+    const Result r = sim.run(inst.circuit(), 10);
+    const stats::ErrorRateReport err = errorRates(
+        inst, r,
+        [](std::uint64_t payload) { return payload == 1; });
+    EXPECT_NEAR(err.rawErrorRate, 0.25, 1e-9);
+    EXPECT_NEAR(err.filteredErrorRate, 0.0, 1e-9);
+    EXPECT_NEAR(err.reduction(), 1.0, 1e-9);
+}
+
+TEST(ReportTest, StrIncludesLabel)
+{
+    const InstrumentedCircuit inst = superposedPayloadWithCheck();
+    StatevectorSimulator sim(5);
+    const Result r = sim.run(inst.circuit(), 100);
+    const AssertionReport report = analyze(inst, r);
+    const std::string s = report.str(inst);
+    EXPECT_NE(s.find("mid"), std::string::npos);
+    EXPECT_NE(s.find("assert qubit == |0>"), std::string::npos);
+}
+
+TEST(ReportTest, MultipleChecksReportedIndependently)
+{
+    Circuit payload(2, 0);
+    payload.x(1);
+
+    AssertionSpec good;
+    good.assertion = std::make_shared<ClassicalAssertion>(1);
+    good.targets = {1};
+    good.insertAt = 1;
+
+    AssertionSpec bad;
+    bad.assertion = std::make_shared<ClassicalAssertion>(1);
+    bad.targets = {0}; // q0 is |0>: always fails
+    bad.insertAt = 1;
+
+    const InstrumentedCircuit inst = instrument(payload, {good, bad});
+    StatevectorSimulator sim(6);
+    const Result r = sim.run(inst.circuit(), 1000);
+    const AssertionReport report = analyze(inst, r);
+    ASSERT_EQ(report.checkErrorRates.size(), 2u);
+    EXPECT_NEAR(report.checkErrorRates[0], 0.0, 1e-9);
+    EXPECT_NEAR(report.checkErrorRates[1], 1.0, 1e-9);
+    EXPECT_NEAR(report.keptFraction, 0.0, 1e-9);
+    EXPECT_TRUE(report.filteredPayload.empty());
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,173 @@
+/** @file Tests for the statistical-assertion baseline (ISCA'19). */
+
+#include <gtest/gtest.h>
+
+#include "assertions/statistical_assertion.hh"
+#include "common/error.hh"
+#include "sim/statevector_simulator.hh"
+
+namespace qra {
+namespace {
+
+stats::Counts
+runBreakpoint(const Circuit &breakpoint, std::size_t shots,
+              std::uint64_t seed)
+{
+    StatevectorSimulator sim(seed);
+    const Result r = sim.run(breakpoint, shots);
+    stats::Counts counts;
+    for (const auto &[key, n] : r.rawCounts())
+        counts[key] = n;
+    return counts;
+}
+
+TEST(StatisticalAssertionTest, Validation)
+{
+    EXPECT_THROW(
+        StatisticalAssertion(AssertionKind::Classical, {}),
+        AssertionError);
+    EXPECT_THROW(
+        StatisticalAssertion(AssertionKind::Entanglement, {0}),
+        AssertionError);
+    EXPECT_THROW(
+        StatisticalAssertion(AssertionKind::Classical, {0}, 0b10),
+        AssertionError);
+}
+
+TEST(StatisticalAssertionTest, BreakpointTruncatesProgram)
+{
+    Circuit payload(2, 2);
+    payload.x(0).cx(0, 1).measureAll();
+
+    StatisticalAssertion assertion(AssertionKind::Classical, {0}, 1);
+    const Circuit bp = assertion.breakpointCircuit(payload, 1);
+    // Only x(0) survives, plus the diagnostic measurement.
+    EXPECT_EQ(bp.countOps().count("cx"), 0u);
+    EXPECT_EQ(bp.countOps().at("measure"), 1u);
+    EXPECT_EQ(bp.numClbits(), 1u);
+}
+
+TEST(StatisticalAssertionTest, BreakpointSkipsPayloadMeasures)
+{
+    Circuit payload(1, 1);
+    payload.h(0).measure(0, 0).h(0);
+    StatisticalAssertion assertion(AssertionKind::Superposition, {0});
+    const Circuit bp = assertion.breakpointCircuit(payload, 3);
+    // The payload's own measure is dropped; one diagnostic measure.
+    EXPECT_EQ(bp.countOps().at("measure"), 1u);
+}
+
+TEST(StatisticalAssertionTest, ExpectedDistributions)
+{
+    StatisticalAssertion classical(AssertionKind::Classical, {0, 1},
+                                   0b10);
+    const auto dc = classical.expectedDistribution();
+    EXPECT_DOUBLE_EQ(dc.at(0b10), 1.0);
+    EXPECT_EQ(dc.size(), 1u);
+
+    StatisticalAssertion uniform(AssertionKind::Superposition,
+                                 {0, 1});
+    const auto du = uniform.expectedDistribution();
+    EXPECT_EQ(du.size(), 4u);
+    EXPECT_DOUBLE_EQ(du.at(0), 0.25);
+
+    StatisticalAssertion ghz(AssertionKind::Entanglement, {0, 1, 2});
+    const auto dg = ghz.expectedDistribution();
+    EXPECT_DOUBLE_EQ(dg.at(0), 0.5);
+    EXPECT_DOUBLE_EQ(dg.at(0b111), 0.5);
+}
+
+TEST(StatisticalAssertionTest, ClassicalHoldsOnCorrectProgram)
+{
+    Circuit payload(1, 0);
+    payload.x(0);
+    StatisticalAssertion assertion(AssertionKind::Classical, {0}, 1);
+    const Circuit bp = assertion.breakpointCircuit(payload, 1);
+    const auto counts = runBreakpoint(bp, 4096, 1);
+    EXPECT_FALSE(assertion.check(counts).rejected);
+}
+
+TEST(StatisticalAssertionTest, ClassicalCatchesWrongValue)
+{
+    Circuit payload(1, 0); // |0>, asserted |1>
+    StatisticalAssertion assertion(AssertionKind::Classical, {0}, 1);
+    const Circuit bp = assertion.breakpointCircuit(payload, 0);
+    const auto counts = runBreakpoint(bp, 4096, 2);
+    EXPECT_TRUE(assertion.check(counts).rejected);
+}
+
+TEST(StatisticalAssertionTest, SuperpositionHoldsOnH)
+{
+    Circuit payload(1, 0);
+    payload.h(0);
+    StatisticalAssertion assertion(AssertionKind::Superposition, {0});
+    const Circuit bp = assertion.breakpointCircuit(payload, 1);
+    const auto counts = runBreakpoint(bp, 8192, 3);
+    EXPECT_FALSE(assertion.check(counts).rejected);
+}
+
+TEST(StatisticalAssertionTest, SuperpositionCatchesMissingH)
+{
+    Circuit payload(1, 0); // bug: H omitted
+    StatisticalAssertion assertion(AssertionKind::Superposition, {0});
+    const Circuit bp = assertion.breakpointCircuit(payload, 0);
+    const auto counts = runBreakpoint(bp, 8192, 4);
+    EXPECT_TRUE(assertion.check(counts).rejected);
+}
+
+TEST(StatisticalAssertionTest, EntanglementHoldsOnBell)
+{
+    Circuit payload(2, 0);
+    payload.h(0).cx(0, 1);
+    StatisticalAssertion assertion(AssertionKind::Entanglement,
+                                   {0, 1});
+    const Circuit bp = assertion.breakpointCircuit(payload, 2);
+    // A 5% significance test flags ~1 in 20 correct runs by design;
+    // average over seeds and require the typical case to hold.
+    int rejections = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto counts = runBreakpoint(bp, 8192, seed);
+        if (assertion.check(counts).rejected)
+            ++rejections;
+    }
+    EXPECT_LE(rejections, 2);
+}
+
+TEST(StatisticalAssertionTest, EntanglementCatchesProductState)
+{
+    Circuit payload(2, 0);
+    payload.h(0).h(1); // bug: H instead of CX
+    StatisticalAssertion assertion(AssertionKind::Entanglement,
+                                   {0, 1});
+    const Circuit bp = assertion.breakpointCircuit(payload, 2);
+    const auto counts = runBreakpoint(bp, 8192, 6);
+    EXPECT_TRUE(assertion.check(counts).rejected);
+}
+
+TEST(StatisticalAssertionTest, CannotDistinguishGhzFromMixture)
+{
+    // The known blind spot of Z-basis statistics: a classical 50/50
+    // mixture of |00> and |11> passes the entanglement test. The
+    // dynamic assertion (which measures parity coherently) shares
+    // this limit only for the Z-parity; the statistical baseline
+    // cannot do better without basis changes.
+    stats::Counts mixture{{0b00, 4096}, {0b11, 4096}};
+    StatisticalAssertion assertion(AssertionKind::Entanglement,
+                                   {0, 1});
+    EXPECT_FALSE(assertion.check(mixture).rejected);
+}
+
+TEST(StatisticalAssertionTest, OutcomeStr)
+{
+    Circuit payload(1, 0);
+    StatisticalAssertion assertion(AssertionKind::Classical, {0}, 0);
+    const Circuit bp = assertion.breakpointCircuit(payload, 0);
+    const auto counts = runBreakpoint(bp, 1024, 7);
+    const auto outcome = assertion.check(counts);
+    EXPECT_NE(outcome.str().find("chi2"), std::string::npos);
+    EXPECT_NE(outcome.str().find("assertion holds"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,98 @@
+/** @file Tests for the ASCII circuit drawer. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hh"
+#include "circuit/drawer.hh"
+
+namespace qra {
+namespace {
+
+TEST(DrawerTest, SingleQubitGateAppears)
+{
+    Circuit c(1, 0, "one");
+    c.h(0);
+    const std::string art = c.draw();
+    EXPECT_NE(art.find("one"), std::string::npos);
+    EXPECT_NE(art.find("q0:"), std::string::npos);
+    EXPECT_NE(art.find("H"), std::string::npos);
+}
+
+TEST(DrawerTest, CnotShowsControlAndTarget)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    const std::string art = c.draw();
+    EXPECT_NE(art.find("*"), std::string::npos);
+    EXPECT_NE(art.find("X"), std::string::npos);
+    EXPECT_NE(art.find("|"), std::string::npos);
+}
+
+TEST(DrawerTest, MeasureUsesM)
+{
+    Circuit c(1, 1);
+    c.measure(0, 0);
+    EXPECT_NE(c.draw().find("M"), std::string::npos);
+}
+
+TEST(DrawerTest, RotationsShowAngle)
+{
+    Circuit c(1);
+    c.rx(1.57, 0);
+    EXPECT_NE(c.draw().find("rx(1.57)"), std::string::npos);
+}
+
+TEST(DrawerTest, PostSelectShowsValue)
+{
+    Circuit c(1);
+    c.postSelect(0, 1);
+    EXPECT_NE(c.draw().find("P1"), std::string::npos);
+}
+
+TEST(DrawerTest, EveryQubitGetsAWire)
+{
+    Circuit c(4);
+    c.h(2);
+    const std::string art = c.draw();
+    for (int q = 0; q < 4; ++q) {
+        const std::string label = "q" + std::to_string(q) + ":";
+        EXPECT_NE(art.find(label), std::string::npos) << label;
+    }
+}
+
+TEST(DrawerTest, ConnectorSpansNonAdjacentQubits)
+{
+    Circuit c(3);
+    c.cx(0, 2);
+    const std::string art = c.draw();
+    // Middle wire must carry the connector.
+    EXPECT_NE(art.find("|"), std::string::npos);
+}
+
+TEST(DrawerTest, ParallelGatesShareColumn)
+{
+    Circuit parallel(2);
+    parallel.h(0).h(1);
+    Circuit serial(2);
+    serial.h(0).h(0);
+
+    // Parallel circuit is drawn narrower than the serial one
+    // (compare wire lines only; the title line has a fixed width).
+    const auto width = [](const std::string &art) {
+        std::size_t longest = 0, line_start = 0;
+        bool first_line = true;
+        for (std::size_t i = 0; i <= art.size(); ++i) {
+            if (i == art.size() || art[i] == '\n') {
+                if (!first_line)
+                    longest = std::max(longest, i - line_start);
+                first_line = false;
+                line_start = i + 1;
+            }
+        }
+        return longest;
+    };
+    EXPECT_LT(width(parallel.draw()), width(serial.draw()));
+}
+
+} // namespace
+} // namespace qra

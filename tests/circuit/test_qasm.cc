@@ -1,0 +1,161 @@
+/** @file Tests for OpenQASM 2.0 export and import. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/qasm.hh"
+#include "common/error.hh"
+
+namespace qra {
+namespace {
+
+TEST(QasmTest, ExportHeaderAndRegisters)
+{
+    Circuit c(3, 2);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(qasm.find("creg c[2];"), std::string::npos);
+}
+
+TEST(QasmTest, ExportGatesAndMeasure)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).measure(1, 0);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0], q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("measure q[1] -> c[0];"), std::string::npos);
+}
+
+TEST(QasmTest, ExportParameters)
+{
+    Circuit c(1);
+    c.rx(0.5, 0);
+    EXPECT_NE(toQasm(c).find("rx(0.5) q[0];"), std::string::npos);
+}
+
+TEST(QasmTest, RoundTripSimple)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    const Circuit back = fromQasm(toQasm(c));
+    EXPECT_EQ(back.numQubits(), 2u);
+    EXPECT_EQ(back.numClbits(), 2u);
+    ASSERT_EQ(back.size(), c.size());
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_TRUE(back.ops()[i] == c.ops()[i]) << i;
+}
+
+TEST(QasmTest, RoundTripAllGateKinds)
+{
+    Circuit c(3, 1);
+    c.i(0).x(0).y(1).z(2).h(0).s(1).sdg(2).t(0).tdg(1).sx(2);
+    c.rx(0.1, 0).ry(0.2, 1).rz(0.3, 2).p(0.4, 0).u(0.5, 0.6, 0.7, 1);
+    c.cx(0, 1).cy(1, 2).cz(0, 2).swap(0, 1).ccx(0, 1, 2);
+    c.reset(0).barrier().measure(2, 0);
+
+    const Circuit back = fromQasm(toQasm(c));
+    ASSERT_EQ(back.size(), c.size());
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_TRUE(back.ops()[i] == c.ops()[i])
+            << i << ": " << c.ops()[i].str();
+}
+
+TEST(QasmTest, RoundTripPostSelectDirective)
+{
+    Circuit c(2, 1);
+    c.h(0).postSelect(0, 1).measure(1, 0);
+    const Circuit back = fromQasm(toQasm(c));
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back.ops()[1].kind, OpKind::PostSelect);
+    EXPECT_EQ(back.ops()[1].postselectValue, 1);
+}
+
+TEST(QasmTest, ImportPiExpressions)
+{
+    const std::string text = R"(OPENQASM 2.0;
+qreg q[1];
+rx(pi/2) q[0];
+rz(-pi) q[0];
+p(2*pi/4) q[0];
+ry(pi/2 + pi/4) q[0];
+)";
+    const Circuit c = fromQasm(text);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_NEAR(c.ops()[0].params[0], M_PI / 2, 1e-12);
+    EXPECT_NEAR(c.ops()[1].params[0], -M_PI, 1e-12);
+    EXPECT_NEAR(c.ops()[2].params[0], M_PI / 2, 1e-12);
+    EXPECT_NEAR(c.ops()[3].params[0], 0.75 * M_PI, 1e-12);
+}
+
+TEST(QasmTest, ImportParenthesisedExpression)
+{
+    const std::string text =
+        "OPENQASM 2.0;\nqreg q[1];\nrx((1+2)*0.5) q[0];\n";
+    const Circuit c = fromQasm(text);
+    EXPECT_NEAR(c.ops()[0].params[0], 1.5, 1e-12);
+}
+
+TEST(QasmTest, ImportU2U3Aliases)
+{
+    const std::string text = R"(OPENQASM 2.0;
+qreg q[1];
+u3(0.1, 0.2, 0.3) q[0];
+u2(0.4, 0.5) q[0];
+u1(0.6) q[0];
+)";
+    const Circuit c = fromQasm(text);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.ops()[0].kind, OpKind::U);
+    EXPECT_EQ(c.ops()[1].kind, OpKind::U);
+    EXPECT_NEAR(c.ops()[1].params[0], M_PI / 2, 1e-12);
+    EXPECT_EQ(c.ops()[2].kind, OpKind::P);
+}
+
+TEST(QasmTest, ImportIgnoresComments)
+{
+    const std::string text = R"(OPENQASM 2.0;
+// a comment line
+qreg q[1]; // trailing comment
+h q[0];
+)";
+    const Circuit c = fromQasm(text);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmTest, ImportErrors)
+{
+    EXPECT_THROW(fromQasm("OPENQASM 2.0;\nh q[0];\n"), QasmError);
+    EXPECT_THROW(fromQasm("OPENQASM 2.0;\nqreg q[1];\nfrobnicate "
+                          "q[0];\n"),
+                 QasmError);
+    EXPECT_THROW(
+        fromQasm("OPENQASM 2.0;\nqreg q[1];\nqreg q[2];\nh q[0];\n"),
+        QasmError);
+    EXPECT_THROW(
+        fromQasm("OPENQASM 2.0;\nqreg q[1];\nrx(1/0) q[0];\n"),
+        QasmError);
+    EXPECT_THROW(
+        fromQasm("OPENQASM 2.0;\nqreg q[1];\nmeasure q[0];\n"),
+        QasmError);
+}
+
+TEST(QasmTest, ImportDivisionByZeroExpression)
+{
+    EXPECT_THROW(
+        fromQasm("OPENQASM 2.0;\nqreg q[1];\nrx(pi/(1-1)) q[0];\n"),
+        QasmError);
+}
+
+TEST(QasmTest, BarrierSubsetRoundTrip)
+{
+    Circuit c(3);
+    c.barrier({0, 2});
+    const Circuit back = fromQasm(toQasm(c));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back.ops()[0].kind, OpKind::Barrier);
+    EXPECT_EQ(back.ops()[0].qubits, (std::vector<Qubit>{0, 2}));
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,68 @@
+/** @file Tests for the error/exception machinery. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+namespace qra {
+namespace {
+
+TEST(ErrorTest, FatalThrowsValueError)
+{
+    EXPECT_THROW(QRA_FATAL("bad input"), ValueError);
+}
+
+TEST(ErrorTest, PanicThrowsBaseError)
+{
+    EXPECT_THROW(QRA_PANIC("broken invariant"), Error);
+}
+
+TEST(ErrorTest, FatalMessageCarriesFileAndLine)
+{
+    try {
+        QRA_FATAL("something specific");
+        FAIL() << "expected throw";
+    } catch (const ValueError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("something specific"), std::string::npos);
+        EXPECT_NE(what.find("test_error.cc"), std::string::npos);
+        EXPECT_NE(what.find("fatal"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, AssertMacroPassesOnTrue)
+{
+    EXPECT_NO_THROW(QRA_ASSERT(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(ErrorTest, AssertMacroThrowsOnFalse)
+{
+    EXPECT_THROW(QRA_ASSERT(1 + 1 == 3, "arithmetic"), Error);
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsBase)
+{
+    try {
+        throw CircuitError("circuit problem");
+    } catch (const Error &e) {
+        EXPECT_STREQ(e.what(), "circuit problem");
+    }
+
+    try {
+        throw SimulationError("sim problem");
+    } catch (const Error &e) {
+        EXPECT_STREQ(e.what(), "sim problem");
+    }
+}
+
+TEST(ErrorTest, DistinctTypesAreDistinct)
+{
+    EXPECT_THROW(throw QasmError("x"), QasmError);
+    EXPECT_THROW(throw NoiseError("x"), NoiseError);
+    EXPECT_THROW(throw TranspileError("x"), TranspileError);
+    EXPECT_THROW(throw AssertionError("x"), AssertionError);
+    EXPECT_THROW(throw IndexError("x"), IndexError);
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,116 @@
+/** @file Tests for the xoshiro256++ RNG and discrete sampling. */
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace qra {
+namespace {
+
+TEST(RngTest, Deterministic)
+{
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestoresStream)
+{
+    Xoshiro256 a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a());
+    a.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a(), first[i]);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Xoshiro256 rng(123);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanIsHalf)
+{
+    Xoshiro256 rng(99);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysBelow)
+{
+    Xoshiro256 rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.below(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    // All ten residues should appear over 1000 draws.
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, SampleDiscreteDegenerate)
+{
+    Xoshiro256 rng(1);
+    const std::vector<double> probs{0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampleDiscrete(probs, rng), 1u);
+}
+
+TEST(RngTest, SampleDiscreteProportions)
+{
+    Xoshiro256 rng(2024);
+    const std::vector<double> probs{0.2, 0.5, 0.3};
+    std::vector<int> hist(3, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++hist[sampleDiscrete(probs, rng)];
+    EXPECT_NEAR(hist[0] / double(n), 0.2, 0.01);
+    EXPECT_NEAR(hist[1] / double(n), 0.5, 0.01);
+    EXPECT_NEAR(hist[2] / double(n), 0.3, 0.01);
+}
+
+TEST(RngTest, SampleDiscreteToleratesDrift)
+{
+    Xoshiro256 rng(3);
+    // Sums to slightly under one; the tail must absorb the slack.
+    const std::vector<double> probs{0.5, 0.4999999};
+    for (int i = 0; i < 1000; ++i) {
+        const std::size_t s = sampleDiscrete(probs, rng);
+        EXPECT_LT(s, 2u);
+    }
+}
+
+TEST(RngTest, SampleDiscreteEmptyThrows)
+{
+    Xoshiro256 rng(4);
+    EXPECT_ANY_THROW(sampleDiscrete({}, rng));
+}
+
+} // namespace
+} // namespace qra

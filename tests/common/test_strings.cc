@@ -1,0 +1,67 @@
+/** @file Tests for bitstring and formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qra {
+namespace {
+
+TEST(StringsTest, ToBitstringBasic)
+{
+    EXPECT_EQ(toBitstring(0, 3), "000");
+    EXPECT_EQ(toBitstring(1, 3), "001");
+    EXPECT_EQ(toBitstring(2, 3), "010");
+    EXPECT_EQ(toBitstring(5, 3), "101");
+    EXPECT_EQ(toBitstring(7, 3), "111");
+}
+
+TEST(StringsTest, ToBitstringWidthOne)
+{
+    EXPECT_EQ(toBitstring(0, 1), "0");
+    EXPECT_EQ(toBitstring(1, 1), "1");
+}
+
+TEST(StringsTest, ToBitstringTruncatesHighBits)
+{
+    // Only the low `width` bits are rendered.
+    EXPECT_EQ(toBitstring(0b1101, 2), "01");
+}
+
+TEST(StringsTest, FromBitstringRoundTrip)
+{
+    for (std::uint64_t v = 0; v < 64; ++v)
+        EXPECT_EQ(fromBitstring(toBitstring(v, 6)), v);
+}
+
+TEST(StringsTest, FromBitstringRejectsJunk)
+{
+    EXPECT_THROW(fromBitstring("01x"), ValueError);
+    EXPECT_THROW(fromBitstring("2"), ValueError);
+}
+
+TEST(StringsTest, JoinBasics)
+{
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"a"}, ", "), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.935, 1), "93.5%");
+    EXPECT_EQ(formatPercent(0.0, 1), "0.0%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+    EXPECT_EQ(formatPercent(0.12345, 2), "12.35%");
+}
+
+TEST(StringsTest, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Integration tests: real algorithms instrumented with assertions,
+ * including the paper's motivating debugging scenarios (bugs caught
+ * by the right assertion at the right program point).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "assertions/classical_assertion.hh"
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/injector.hh"
+#include "assertions/report.hh"
+#include "assertions/superposition_assertion.hh"
+#include "sim/statevector_simulator.hh"
+
+namespace qra {
+namespace {
+
+/** Two-qubit Grover search for the marked item |11>. */
+Circuit
+grover2(bool inject_bug)
+{
+    Circuit c(2, 2, "grover2");
+    // Superposition preamble (buggy version forgets H on q1).
+    c.h(0);
+    if (!inject_bug)
+        c.h(1);
+    // Oracle for |11>: CZ.
+    c.cz(0, 1);
+    // Diffusion.
+    c.h(0).h(1);
+    c.x(0).x(1);
+    c.cz(0, 1);
+    c.x(0).x(1);
+    c.h(0).h(1);
+    c.measureAll();
+    return c;
+}
+
+/** Teleport the state RY(theta)|0> from qubit 0 to qubit 2. */
+Circuit
+teleport(double theta)
+{
+    Circuit c(3, 3, "teleport");
+    c.ry(theta, 0);          // message
+    c.h(1).cx(1, 2);         // Bell resource
+    c.cx(0, 1).h(0);         // Bell measurement basis
+    c.measure(0, 0).measure(1, 1);
+    // Deferred corrections (quantum-controlled equivalent).
+    c.cx(1, 2);
+    c.cz(0, 2);
+    c.measure(2, 2);
+    return c;
+}
+
+double
+assertionErrorRate(const InstrumentedCircuit &inst, const Result &r)
+{
+    double error = 0.0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if (!inst.passed(reg))
+            error += double(n) / double(r.shots());
+    return error;
+}
+
+TEST(GroverIntegrationTest, CorrectGroverFindsMarkedItem)
+{
+    StatevectorSimulator sim(1);
+    const Result r = sim.run(grover2(false), 2000);
+    // One iteration of 2-qubit Grover is exact.
+    EXPECT_EQ(r.count(0b11), 2000u);
+}
+
+TEST(GroverIntegrationTest, SuperpositionAssertionPassesOnCorrectCode)
+{
+    const Circuit payload = grover2(false);
+    // Assert both input qubits are in |+> after the preamble
+    // (instruction index 2 = after h(0), h(1)).
+    std::vector<AssertionSpec> specs;
+    for (Qubit q : {Qubit{0}, Qubit{1}}) {
+        AssertionSpec spec;
+        spec.assertion = std::make_shared<SuperpositionAssertion>();
+        spec.targets = {q};
+        spec.insertAt = 2;
+        specs.push_back(spec);
+    }
+    const InstrumentedCircuit inst = instrument(payload, specs);
+    StatevectorSimulator sim(2);
+    const Result r = sim.run(inst.circuit(), 4000);
+    EXPECT_NEAR(assertionErrorRate(inst, r), 0.0, 1e-12);
+}
+
+TEST(GroverIntegrationTest, SuperpositionAssertionCatchesMissingH)
+{
+    const Circuit payload = grover2(true);
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<SuperpositionAssertion>();
+    spec.targets = {1};  // the qubit whose H was dropped
+    spec.insertAt = 1;   // after the (buggy) preamble
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+    StatevectorSimulator sim(3);
+    const Result r = sim.run(inst.circuit(), 20000);
+    // Classical input to the superposition check: ~50% error rate,
+    // unmistakably flagging the bug.
+    EXPECT_NEAR(assertionErrorRate(inst, r), 0.5, 0.02);
+}
+
+TEST(TeleportIntegrationTest, TeleportDeliversTheState)
+{
+    const double theta = 1.1;
+    StatevectorSimulator sim(4);
+    const Result r = sim.run(teleport(theta), 40000);
+    // P(q2 == 1) must equal sin^2(theta/2) regardless of the
+    // correction bits.
+    double p1 = 0.0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if ((reg >> 2) & 1)
+            p1 += double(n) / double(r.shots());
+    EXPECT_NEAR(p1, std::pow(std::sin(theta / 2.0), 2), 0.01);
+}
+
+TEST(TeleportIntegrationTest, EntanglementAssertionGuardsResource)
+{
+    // Insert the entanglement check right after the Bell resource
+    // is prepared (ops: ry, h, cx -> index 3).
+    const Circuit payload = teleport(0.7);
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {1, 2};
+    spec.insertAt = 3;
+    spec.label = "bell resource";
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    StatevectorSimulator sim(5);
+    const Result r = sim.run(inst.circuit(), 4000);
+    EXPECT_NEAR(assertionErrorRate(inst, r), 0.0, 1e-12);
+
+    // Teleportation still works with the check in place.
+    double p1 = 0.0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if ((inst.payloadBits(reg) >> 2) & 1)
+            p1 += double(n) / double(r.shots());
+    EXPECT_NEAR(p1, std::pow(std::sin(0.35), 2), 0.02);
+}
+
+TEST(TeleportIntegrationTest, EntanglementAssertionCatchesBrokenBell)
+{
+    // Bug: the resource CX is dropped, so qubits 1,2 are |+>|0>.
+    Circuit payload(3, 3, "teleport_buggy");
+    payload.ry(0.7, 0);
+    payload.h(1); // missing cx(1, 2)
+    payload.cx(0, 1).h(0);
+    payload.measure(0, 0).measure(1, 1);
+    payload.cx(1, 2).cz(0, 2);
+    payload.measure(2, 2);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {1, 2};
+    spec.insertAt = 2;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    StatevectorSimulator sim(6);
+    const Result r = sim.run(inst.circuit(), 20000);
+    // |+>|0> has odd parity with probability 1/2.
+    EXPECT_NEAR(assertionErrorRate(inst, r), 0.5, 0.02);
+}
+
+TEST(BernsteinVaziraniTest, ClassicalAssertionValidatesAnswer)
+{
+    // BV with secret s = 101: output register must read s.
+    const std::uint64_t secret = 0b101;
+    Circuit c(4, 3, "bv");
+    // Input register 0..2, oracle ancilla 3 in |->.
+    c.x(3).h(3);
+    c.h(0).h(1).h(2);
+    for (Qubit q = 0; q < 3; ++q)
+        if ((secret >> q) & 1)
+            c.cx(q, 3);
+    c.h(0).h(1).h(2);
+
+    // Dynamic classical assertion: the answer register equals s
+    // *before* the final measurement — exactly what the statistical
+    // approach cannot do without consuming the state.
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(secret, 3);
+    spec.targets = {0, 1, 2};
+    spec.insertAt = c.size();
+    InstrumentedCircuit inst = instrument(c, {spec});
+    for (Qubit q = 0; q < 3; ++q)
+        inst.circuit().measure(q, q);
+
+    StatevectorSimulator sim(7);
+    const Result r = sim.run(inst.circuit(), 2000);
+    for (const auto &[reg, n] : r.rawCounts()) {
+        EXPECT_TRUE(inst.passed(reg));
+        EXPECT_EQ(inst.payloadBits(reg), secret);
+    }
+}
+
+TEST(ChainedAssertionsTest, GhzPipelineWithThreeKinds)
+{
+    // Build GHZ, then assert: q0 classical ==0 pre-H, q0 in |+>
+    // post-H, and all three entangled at the end.
+    Circuit payload(3, 3, "ghz");
+    payload.h(0);         // index 0
+    payload.cx(0, 1);     // index 1
+    payload.cx(1, 2);     // index 2
+    payload.measureAll();
+
+    AssertionSpec classical;
+    classical.assertion = std::make_shared<ClassicalAssertion>(0);
+    classical.targets = {1};
+    classical.insertAt = 0; // before anything: q1 is |0>
+
+    AssertionSpec superpos;
+    superpos.assertion = std::make_shared<SuperpositionAssertion>();
+    superpos.targets = {0};
+    superpos.insertAt = 1; // right after h(0)
+
+    AssertionSpec entangle;
+    entangle.assertion = std::make_shared<EntanglementAssertion>(3);
+    entangle.targets = {0, 1, 2};
+    entangle.insertAt = 3; // after the full GHZ prep
+
+    const InstrumentedCircuit inst =
+        instrument(payload, {classical, superpos, entangle});
+    StatevectorSimulator sim(8);
+    const Result r = sim.run(inst.circuit(), 4000);
+
+    const AssertionReport report = analyze(inst, r);
+    for (double rate : report.checkErrorRates)
+        EXPECT_NEAR(rate, 0.0, 1e-12);
+    // GHZ statistics intact on the payload.
+    EXPECT_NEAR(report.rawPayload.at(0b000), 0.5, 0.03);
+    EXPECT_NEAR(report.rawPayload.at(0b111), 0.5, 0.03);
+}
+
+} // namespace
+} // namespace qra

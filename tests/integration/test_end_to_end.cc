@@ -1,0 +1,180 @@
+/**
+ * @file
+ * End-to-end pipeline tests: build -> instrument -> transpile ->
+ * simulate -> analyse, plus QASM round-trips of instrumented
+ * circuits and cross-backend consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/injector.hh"
+#include "assertions/report.hh"
+#include "assertions/superposition_assertion.hh"
+#include "circuit/qasm.hh"
+#include "noise/device_model.hh"
+#include "sim/density_simulator.hh"
+#include "sim/statevector_simulator.hh"
+#include "sim/trajectory_simulator.hh"
+#include "stats/distance.hh"
+#include "transpile/transpiler.hh"
+
+namespace qra {
+namespace {
+
+InstrumentedCircuit
+bellWithCheck()
+{
+    Circuit payload(2, 2, "bell");
+    payload.h(0).cx(0, 1);
+    payload.measure(0, 0).measure(1, 1);
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, 1};
+    spec.insertAt = 2;
+    return instrument(payload, {spec});
+}
+
+TEST(EndToEndTest, InstrumentedCircuitSurvivesQasmRoundTrip)
+{
+    const InstrumentedCircuit inst = bellWithCheck();
+    const Circuit back = fromQasm(toQasm(inst.circuit()));
+
+    StatevectorSimulator sim(1);
+    const Result a = sim.run(inst.circuit(), 2000);
+    sim.seed(1);
+    const Result b = sim.run(back, 2000);
+    EXPECT_EQ(a.rawCounts(), b.rawCounts());
+}
+
+TEST(EndToEndTest, TranspiledInstrumentedCircuitStillPasses)
+{
+    const InstrumentedCircuit inst = bellWithCheck();
+    const DeviceModel device = DeviceModel::ibmqx4();
+    const TranspileResult mapped =
+        transpile(inst.circuit(), device.couplingMap());
+
+    StatevectorSimulator sim(2);
+    const Result r = sim.run(mapped.circuit, 2000);
+    for (const auto &[reg, n] : r.rawCounts())
+        EXPECT_TRUE(inst.passed(reg)) << reg;
+}
+
+TEST(EndToEndTest, ThreeBackendsAgreeOnIdealCircuit)
+{
+    const InstrumentedCircuit inst = bellWithCheck();
+
+    StatevectorSimulator sv(3);
+    DensityMatrixSimulator dm(3);
+    TrajectorySimulator tj(3);
+
+    const Result r_sv = sv.run(inst.circuit(), 30000);
+    const Result r_dm = dm.run(inst.circuit(), 30000);
+    const Result r_tj = tj.run(inst.circuit(), 30000);
+
+    auto to_dist = [](const Result &r) {
+        stats::Distribution d;
+        for (const auto &[k, n] : r.rawCounts())
+            d[k] = double(n) / double(r.shots());
+        return d;
+    };
+
+    EXPECT_LT(stats::totalVariation(to_dist(r_sv), to_dist(r_dm)),
+              0.02);
+    EXPECT_LT(stats::totalVariation(to_dist(r_sv), to_dist(r_tj)),
+              0.02);
+}
+
+TEST(EndToEndTest, DensityAndTrajectoryAgreeUnderIbmqx4Noise)
+{
+    const InstrumentedCircuit inst = bellWithCheck();
+    const DeviceModel device = DeviceModel::ibmqx4();
+    const TranspileResult mapped =
+        transpile(inst.circuit(), device.couplingMap());
+
+    DensityMatrixSimulator dm(4);
+    dm.setNoiseModel(&device.noiseModel());
+    const auto exact = dm.exactDistribution(mapped.circuit);
+
+    TrajectorySimulator tj(4);
+    tj.setNoiseModel(&device.noiseModel());
+    const Result r = tj.run(mapped.circuit, 30000);
+
+    stats::Distribution exact_dist(exact.begin(), exact.end());
+    stats::Distribution empirical;
+    for (const auto &[k, n] : r.rawCounts())
+        empirical[k] = double(n) / double(r.shots());
+
+    EXPECT_LT(stats::totalVariation(empirical, exact_dist), 0.02);
+}
+
+TEST(EndToEndTest, AnalysisIdenticalAcrossTranspilation)
+{
+    // The report depends only on clbits, so the physical mapping
+    // must not change the analysis.
+    const InstrumentedCircuit inst = bellWithCheck();
+    const DeviceModel device = DeviceModel::ibmqx4();
+    const TranspileResult mapped =
+        transpile(inst.circuit(), device.couplingMap());
+
+    DensityMatrixSimulator sim(5);
+    const AssertionReport direct =
+        analyze(inst, sim.run(inst.circuit(), 1000));
+    const AssertionReport via_device =
+        analyze(inst, sim.run(mapped.circuit, 1000));
+
+    EXPECT_NEAR(direct.anyErrorRate, via_device.anyErrorRate, 1e-9);
+    EXPECT_NEAR(direct.rawPayload.at(0b00),
+                via_device.rawPayload.at(0b00), 1e-9);
+}
+
+TEST(EndToEndTest, MixedKindInstrumentationOnDevice)
+{
+    Circuit payload(3, 3, "mixed");
+    payload.h(0).cx(0, 1).h(2);
+    payload.measure(0, 0).measure(1, 1).measure(2, 2);
+
+    AssertionSpec ent;
+    ent.assertion = std::make_shared<EntanglementAssertion>(2);
+    ent.targets = {0, 1};
+    ent.insertAt = 2;
+
+    AssertionSpec sup;
+    sup.assertion = std::make_shared<SuperpositionAssertion>();
+    sup.targets = {2};
+    sup.insertAt = 3;
+
+    const InstrumentedCircuit inst = instrument(payload, {ent, sup});
+    const DeviceModel device = DeviceModel::ibmqx4();
+    const TranspileResult mapped =
+        transpile(inst.circuit(), device.couplingMap());
+
+    DensityMatrixSimulator sim(6);
+    sim.setNoiseModel(&device.noiseModel());
+    const AssertionReport report =
+        analyze(inst, sim.run(mapped.circuit, 4096));
+
+    // Under realistic noise both checks fire occasionally but not
+    // wildly; the filtered payload keeps the Bell correlation
+    // stronger than the raw payload.
+    for (double rate : report.checkErrorRates) {
+        EXPECT_GT(rate, 0.0);
+        EXPECT_LT(rate, 0.3);
+    }
+
+    auto bell_error = [](const stats::Distribution &d) {
+        double err = 0.0;
+        for (const auto &[payload_bits, p] : d) {
+            const int b0 = payload_bits & 1;
+            const int b1 = (payload_bits >> 1) & 1;
+            if (b0 != b1)
+                err += p;
+        }
+        return err;
+    };
+    EXPECT_LT(bell_error(report.filteredPayload),
+              bell_error(report.rawPayload));
+}
+
+} // namespace
+} // namespace qra

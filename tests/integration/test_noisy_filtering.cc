@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Integration tests of the paper's NISQ error-filtering claim: on the
+ * calibrated ibmqx4 model, discarding shots flagged by the assertion
+ * ancilla lowers the payload error rate (Tables 1-2 shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "assertions/classical_assertion.hh"
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/injector.hh"
+#include "assertions/report.hh"
+#include "noise/device_model.hh"
+#include "sim/density_simulator.hh"
+#include "transpile/transpiler.hh"
+
+namespace qra {
+namespace {
+
+TEST(NoisyFilteringTest, ClassicalAssertionReducesErrorRate)
+{
+    // Table 1 workload: q under test stays |0>, ancilla checks it.
+    const DeviceModel device = DeviceModel::ibmqx4();
+
+    Circuit payload(1, 1, "t1");
+    payload.measure(0, 0);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(0);
+    spec.targets = {0};
+    spec.insertAt = 0;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    const TranspileResult mapped =
+        transpile(inst.circuit(), device.couplingMap());
+
+    DensityMatrixSimulator sim(1);
+    sim.setNoiseModel(&device.noiseModel());
+    const Result r = sim.run(mapped.circuit, 8192);
+
+    const stats::ErrorRateReport report = errorRates(
+        inst, r, [](std::uint64_t payload_bits) {
+            return payload_bits != 0;
+        });
+
+    EXPECT_GT(report.rawErrorRate, 0.005);
+    EXPECT_LT(report.rawErrorRate, 0.15);
+    EXPECT_LT(report.filteredErrorRate, report.rawErrorRate);
+    EXPECT_GT(report.reduction(), 0.05);
+}
+
+TEST(NoisyFilteringTest, EntanglementAssertionReducesErrorRate)
+{
+    // Table 2 workload: Bell pair + parity check ancilla.
+    const DeviceModel device = DeviceModel::ibmqx4();
+
+    Circuit payload(2, 2, "t2");
+    payload.h(0).cx(0, 1);
+    payload.measure(0, 0).measure(1, 1);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, 1};
+    spec.insertAt = 2;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    const TranspileResult mapped =
+        transpile(inst.circuit(), device.couplingMap());
+
+    DensityMatrixSimulator sim(2);
+    sim.setNoiseModel(&device.noiseModel());
+    const Result r = sim.run(mapped.circuit, 8192);
+
+    const stats::ErrorRateReport report = errorRates(
+        inst, r, [](std::uint64_t payload_bits) {
+            // Error when the Bell qubits disagree.
+            return payload_bits == 0b01 || payload_bits == 0b10;
+        });
+
+    EXPECT_GT(report.rawErrorRate, 0.02);
+    EXPECT_LT(report.rawErrorRate, 0.35);
+    EXPECT_LT(report.filteredErrorRate, report.rawErrorRate);
+    EXPECT_GT(report.reduction(), 0.1);
+}
+
+TEST(NoisyFilteringTest, FilteringCostsShots)
+{
+    // The filter trades shots for fidelity: kept fraction < 1 under
+    // noise, == 1 without noise.
+    const DeviceModel device = DeviceModel::ibmqx4();
+
+    Circuit payload(2, 2);
+    payload.h(0).cx(0, 1);
+    payload.measure(0, 0).measure(1, 1);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, 1};
+    spec.insertAt = 2;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+    const TranspileResult mapped =
+        transpile(inst.circuit(), device.couplingMap());
+
+    DensityMatrixSimulator noisy(3);
+    noisy.setNoiseModel(&device.noiseModel());
+    const AssertionReport noisy_report =
+        analyze(inst, noisy.run(mapped.circuit, 8192));
+    EXPECT_LT(noisy_report.keptFraction, 0.999);
+    EXPECT_GT(noisy_report.keptFraction, 0.5);
+
+    DensityMatrixSimulator ideal(4);
+    const AssertionReport ideal_report =
+        analyze(inst, ideal.run(mapped.circuit, 8192));
+    EXPECT_NEAR(ideal_report.keptFraction, 1.0, 1e-9);
+}
+
+TEST(NoisyFilteringTest, ReductionShrinksAsNoiseVanishes)
+{
+    // With noise scaled toward zero the raw error rate goes to zero;
+    // the absolute benefit of filtering must shrink with it.
+    Circuit payload(2, 2);
+    payload.h(0).cx(0, 1);
+    payload.measure(0, 0).measure(1, 1);
+
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<EntanglementAssertion>(2);
+    spec.targets = {0, 1};
+    spec.insertAt = 2;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    double previous_raw = 1.0;
+    for (double scale : {1.0, 0.5, 0.1}) {
+        const DeviceModel device =
+            DeviceModel::ibmqx4().scaledNoise(scale);
+        const TranspileResult mapped =
+            transpile(inst.circuit(), device.couplingMap());
+        DensityMatrixSimulator sim(5);
+        sim.setNoiseModel(&device.noiseModel());
+        const stats::ErrorRateReport report = errorRates(
+            inst, sim.run(mapped.circuit, 4096),
+            [](std::uint64_t p) { return p == 0b01 || p == 0b10; });
+        EXPECT_LT(report.rawErrorRate, previous_raw);
+        previous_raw = report.rawErrorRate;
+    }
+    EXPECT_LT(previous_raw, 0.05);
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Randomised property tests across module boundaries: QASM
+ * round-trips of random circuits, transpiler semantic preservation
+ * under fuzzing, complex-phase extensions of the paper's proofs, and
+ * register-limit enforcement.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "assertions/injector.hh"
+#include "assertions/superposition_assertion.hh"
+#include "circuit/qasm.hh"
+#include "common/error.hh"
+#include "noise/device_model.hh"
+#include "sim/statevector_simulator.hh"
+#include "testutil.hh"
+#include "transpile/transpiler.hh"
+
+namespace qra {
+namespace {
+
+/** Random circuit over a configurable gate alphabet. */
+Circuit
+randomCircuit(std::size_t num_qubits, std::size_t num_gates,
+              Rng &rng, bool with_measures)
+{
+    Circuit c(num_qubits, with_measures ? num_qubits : 0, "fuzz");
+    for (std::size_t i = 0; i < num_gates; ++i) {
+        const Qubit q = static_cast<Qubit>(rng.below(num_qubits));
+        const Qubit r = static_cast<Qubit>(
+            (q + 1 + rng.below(num_qubits - 1)) % num_qubits);
+        switch (rng.below(10)) {
+          case 0: c.h(q); break;
+          case 1: c.x(q); break;
+          case 2: c.s(q); break;
+          case 3: c.t(q); break;
+          case 4: c.rx(rng.uniform() * 2 * M_PI, q); break;
+          case 5: c.rz(rng.uniform() * 2 * M_PI, q); break;
+          case 6: c.u(rng.uniform() * M_PI, rng.uniform(),
+                      rng.uniform(), q);
+                  break;
+          case 7: c.cx(q, r); break;
+          case 8: c.cz(q, r); break;
+          default: c.swap(q, r); break;
+        }
+    }
+    if (with_measures)
+        c.measureAll();
+    return c;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzSweep, QasmRoundTripPreservesCircuit)
+{
+    Rng rng(1000 + GetParam());
+    const Circuit original = randomCircuit(4, 30, rng, true);
+    const Circuit back = fromQasm(toQasm(original));
+    ASSERT_EQ(back.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(back.ops()[i].kind, original.ops()[i].kind) << i;
+        EXPECT_EQ(back.ops()[i].qubits, original.ops()[i].qubits)
+            << i;
+        ASSERT_EQ(back.ops()[i].params.size(),
+                  original.ops()[i].params.size());
+        for (std::size_t p = 0; p < back.ops()[i].params.size(); ++p)
+            EXPECT_NEAR(back.ops()[i].params[p],
+                        original.ops()[i].params[p], 1e-9);
+    }
+}
+
+TEST_P(FuzzSweep, QasmRoundTripPreservesSemantics)
+{
+    Rng rng(2000 + GetParam());
+    const Circuit original = randomCircuit(4, 25, rng, false);
+    const Circuit back = fromQasm(toQasm(original));
+    StatevectorSimulator sim(1);
+    const StateVector a = sim.finalState(original);
+    const StateVector b = sim.finalState(back);
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-9);
+}
+
+TEST_P(FuzzSweep, TranspilerPreservesDistributions)
+{
+    Rng rng(3000 + GetParam());
+    const Circuit original = randomCircuit(4, 20, rng, true);
+    const DeviceModel device = DeviceModel::ibmqx4();
+    const TranspileResult mapped =
+        transpile(original, device.couplingMap());
+
+    // Every 2-qubit gate must respect the coupling map.
+    for (const Operation &op : mapped.circuit.ops()) {
+        if (op.qubits.size() == 2 && opIsUnitary(op.kind)) {
+            EXPECT_TRUE(device.couplingMap().connected(op.qubits[0],
+                                                       op.qubits[1]))
+                << op.str();
+            if (op.kind == OpKind::CX)
+                EXPECT_TRUE(device.couplingMap().hasEdge(
+                    op.qubits[0], op.qubits[1]))
+                    << op.str();
+        }
+    }
+
+    // Outcome distributions agree within sampling noise.
+    StatevectorSimulator sim(50 + GetParam());
+    const Result ideal = sim.run(original, 20000);
+    sim.seed(90 + GetParam());
+    const Result routed = sim.run(mapped.circuit, 20000);
+    for (const auto &[key, n] : ideal.rawCounts()) {
+        EXPECT_NEAR(double(n) / 20000.0, routed.probability(key),
+                    0.025)
+            << "outcome " << key;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------
+// Complex-phase extension of the Sec. 3.3 proof: for a general
+// state a|0> + b|1> (complex b), the superposition assertion's
+// error probability is |a - b|^2 / 2.
+// ---------------------------------------------------------------
+
+class ComplexPhaseSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ComplexPhaseSweep, SuperpositionErrorIsHalfDistanceSquared)
+{
+    const double phi = GetParam();
+    for (double theta : {0.5, M_PI / 2, 2.0}) {
+        // |psi> = cos(t/2)|0> + e^{i phi} sin(t/2)|1>.
+        Circuit payload(1, 0);
+        payload.u(theta, phi, 0.0, 0);
+
+        AssertionSpec spec;
+        spec.assertion = std::make_shared<SuperpositionAssertion>();
+        spec.targets = {0};
+        spec.insertAt = 1;
+        InstrumentOptions opts;
+        opts.barriers = false;
+        const InstrumentedCircuit inst =
+            instrument(payload, {spec}, opts);
+
+        Circuit no_measure(inst.circuit().numQubits(), 0);
+        for (const Operation &op : inst.circuit().ops())
+            if (op.kind != OpKind::Measure)
+                no_measure.append(op);
+
+        StatevectorSimulator sim(1);
+        const double measured =
+            sim.finalState(no_measure)
+                .probabilityOfOne(inst.checks()[0].ancillas[0]);
+
+        const Complex a{std::cos(theta / 2.0), 0.0};
+        const Complex b =
+            std::polar(std::sin(theta / 2.0), phi);
+        const double expected = std::norm(a - b) / 2.0;
+        EXPECT_NEAR(measured, expected, 1e-10)
+            << "theta " << theta << " phi " << phi;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PhiGrid, ComplexPhaseSweep,
+                         ::testing::Values(0.0, 0.5, M_PI / 2, 2.0,
+                                           M_PI, 4.5));
+
+// ---------------------------------------------------------------
+// Classical register limits (results pack into 64-bit words).
+// ---------------------------------------------------------------
+
+TEST(RegisterLimitTest, ClbitCapEnforced)
+{
+    EXPECT_NO_THROW(Circuit(2, 63));
+    EXPECT_THROW(Circuit(2, 64), CircuitError);
+
+    Circuit c(2, 60);
+    EXPECT_NO_THROW(c.addClbits(3));
+    EXPECT_THROW(c.addClbits(1), CircuitError);
+}
+
+TEST(RegisterLimitTest, WideRegisterStillWorks)
+{
+    // 63 clbits: the top bit (62) must round-trip through Result.
+    Circuit c(2, 63);
+    c.x(0).measure(0, 62);
+    StatevectorSimulator sim(1);
+    const Result r = sim.run(c, 10);
+    EXPECT_EQ(r.count(std::uint64_t{1} << 62), 10u);
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,182 @@
+/** @file Tests for the algorithm circuit factories. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "library/algorithms.hh"
+#include "sim/statevector_simulator.hh"
+#include "testutil.hh"
+
+namespace qra {
+namespace {
+
+using namespace library;
+
+StateVector
+finalState(const Circuit &c)
+{
+    StatevectorSimulator sim(1);
+    return sim.finalState(c);
+}
+
+TEST(AlgorithmsTest, BellPairsAllFour)
+{
+    struct Case
+    {
+        BellKind kind;
+        BasisIndex a, b;
+        double sign; // relative sign of the second amplitude
+    };
+    const Case cases[] = {
+        {BellKind::PhiPlus, 0b00, 0b11, 1.0},
+        {BellKind::PhiMinus, 0b00, 0b11, -1.0},
+        {BellKind::PsiPlus, 0b10, 0b01, 1.0},
+        {BellKind::PsiMinus, 0b10, 0b01, -1.0},
+    };
+    for (const Case &c : cases) {
+        const StateVector sv = finalState(bellPair(c.kind));
+        const Complex amp_a = sv.amplitude(c.a);
+        const Complex amp_b = sv.amplitude(c.b);
+        EXPECT_NEAR(std::abs(amp_a), kInvSqrt2, 1e-9);
+        EXPECT_NEAR(std::abs(amp_b), kInvSqrt2, 1e-9);
+        // Relative phase.
+        EXPECT_NEAR((amp_b / amp_a).real(), c.sign, 1e-9);
+    }
+}
+
+TEST(AlgorithmsTest, GhzState)
+{
+    for (std::size_t n : {2u, 3u, 5u}) {
+        const StateVector sv = finalState(ghzState(n));
+        const BasisIndex ones = (BasisIndex{1} << n) - 1;
+        EXPECT_NEAR(std::abs(sv.amplitude(0)), kInvSqrt2, 1e-9);
+        EXPECT_NEAR(std::abs(sv.amplitude(ones)), kInvSqrt2, 1e-9);
+    }
+    EXPECT_THROW(ghzState(1), ValueError);
+}
+
+TEST(AlgorithmsTest, WStateHasUniformSingleExcitation)
+{
+    for (std::size_t n : {2u, 3u, 4u, 5u}) {
+        const StateVector sv = finalState(wState(n));
+        const double expected = 1.0 / static_cast<double>(n);
+        double total = 0.0;
+        for (BasisIndex i = 0; i < sv.dim(); ++i) {
+            const double p = std::norm(sv.amplitude(i));
+            const int popcount = __builtin_popcountll(i);
+            if (popcount == 1) {
+                EXPECT_NEAR(p, expected, 1e-9)
+                    << "n=" << n << " basis " << i;
+                total += p;
+            } else {
+                EXPECT_NEAR(p, 0.0, 1e-9)
+                    << "n=" << n << " basis " << i;
+            }
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+    EXPECT_THROW(wState(1), ValueError);
+}
+
+TEST(AlgorithmsTest, QftOnBasisStateGivesUniform)
+{
+    // QFT|0> = uniform superposition with flat phases.
+    const StateVector sv = finalState(qft(3));
+    for (BasisIndex i = 0; i < 8; ++i)
+        EXPECT_NEAR(std::norm(sv.amplitude(i)), 0.125, 1e-9) << i;
+}
+
+TEST(AlgorithmsTest, QftInverseRoundTrip)
+{
+    for (std::size_t n : {1u, 2u, 3u, 4u}) {
+        Circuit round_trip(n, 0);
+        round_trip.compose(qft(n));
+        round_trip.compose(inverseQft(n));
+        // Apply to a non-trivial input.
+        Circuit with_input(n, 0);
+        with_input.x(0);
+        if (n > 1)
+            with_input.h(n - 1);
+        Circuit full(n, 0);
+        full.compose(with_input);
+        full.compose(round_trip);
+
+        const StateVector expected = finalState(with_input);
+        const StateVector actual = finalState(full);
+        EXPECT_NEAR(actual.fidelityWith(expected), 1.0, 1e-9)
+            << "n=" << n;
+    }
+}
+
+TEST(AlgorithmsTest, QftMatchesDft)
+{
+    // QFT amplitudes of |x> are exp(2 pi i x k / N) / sqrt(N).
+    const std::size_t n = 3;
+    const std::size_t dim = 8;
+    for (BasisIndex x : {1u, 5u}) {
+        Circuit c(n, 0);
+        for (std::size_t b = 0; b < n; ++b)
+            if ((x >> b) & 1)
+                c.x(static_cast<Qubit>(b));
+        c.compose(qft(n));
+        const StateVector sv = finalState(c);
+        for (BasisIndex k = 0; k < dim; ++k) {
+            const double angle = 2.0 * M_PI *
+                                 static_cast<double>(x * k) /
+                                 static_cast<double>(dim);
+            const Complex expected =
+                std::polar(1.0 / std::sqrt(8.0), angle);
+            EXPECT_NEAR(std::abs(sv.amplitude(k) - expected), 0.0,
+                        1e-9)
+                << "x=" << x << " k=" << k;
+        }
+    }
+}
+
+TEST(AlgorithmsTest, GroverFindsMarked)
+{
+    StatevectorSimulator sim(3);
+    const Result r = sim.run(groverSearch2(), 500);
+    EXPECT_EQ(r.count(std::uint64_t{0b11}), 500u);
+}
+
+TEST(AlgorithmsTest, GroverBugsChangeOutcome)
+{
+    StatevectorSimulator sim(5);
+    const Result missing_h =
+        sim.run(groverSearch2(GroverBug::MissingPreambleH), 2000);
+    // The buggy run no longer returns |11> deterministically.
+    EXPECT_LT(missing_h.probability(std::uint64_t{0b11}), 0.9);
+
+    const Result wrong_oracle =
+        sim.run(groverSearch2(GroverBug::WrongOracle), 2000);
+    EXPECT_EQ(wrong_oracle.count(std::uint64_t{0b10}), 2000u);
+}
+
+TEST(AlgorithmsTest, BernsteinVaziraniRecoversSecret)
+{
+    for (std::uint64_t secret : {0b000ull, 0b101ull, 0b111ull}) {
+        StatevectorSimulator sim(7);
+        const Result r = sim.run(bernsteinVazirani(secret, 3), 200);
+        EXPECT_EQ(r.count(secret), 200u) << secret;
+    }
+    EXPECT_THROW(bernsteinVazirani(0b100, 2), ValueError);
+    EXPECT_THROW(bernsteinVazirani(0, 0), ValueError);
+}
+
+TEST(AlgorithmsTest, TeleportationDeliversState)
+{
+    const double theta = 0.987;
+    StatevectorSimulator sim(9);
+    const Result r = sim.run(teleportation(theta), 40000);
+    double p1 = 0.0;
+    for (const auto &[reg, n] : r.rawCounts())
+        if ((reg >> 2) & 1)
+            p1 += double(n) / double(r.shots());
+    EXPECT_NEAR(p1, std::pow(std::sin(theta / 2.0), 2), 0.01);
+}
+
+} // namespace
+} // namespace qra

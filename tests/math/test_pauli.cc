@@ -1,0 +1,127 @@
+/** @file Tests for Pauli-string observables. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "library/algorithms.hh"
+#include "math/pauli.hh"
+#include "sim/density_matrix.hh"
+#include "sim/statevector_simulator.hh"
+
+namespace qra {
+namespace {
+
+StateVector
+finalState(const Circuit &c)
+{
+    StatevectorSimulator sim(1);
+    return sim.finalState(c);
+}
+
+TEST(PauliStringTest, ParseAndValidate)
+{
+    PauliString p("XZI");
+    EXPECT_EQ(p.numQubits(), 3u);
+    EXPECT_EQ(p.label(0), 'X');
+    EXPECT_EQ(p.label(2), 'I');
+    EXPECT_EQ(p.support(), (std::vector<Qubit>{0, 1}));
+    EXPECT_FALSE(p.isIdentity());
+    EXPECT_TRUE(PauliString("III").isIdentity());
+    EXPECT_THROW(PauliString(""), ValueError);
+    EXPECT_THROW(PauliString("XQ"), ValueError);
+}
+
+TEST(PauliStringTest, ToMatrixMatchesKron)
+{
+    // "XZ" = Z (x) X with qubit 0 as the low factor.
+    const Matrix m = PauliString("XZ").toMatrix();
+    EXPECT_EQ(m.rows(), 4u);
+    // X on qubit 0 flips bit 0; Z on qubit 1 signs bit 1.
+    EXPECT_EQ(m(1, 0), Complex(1.0, 0.0));
+    EXPECT_EQ(m(3, 2), Complex(-1.0, 0.0));
+}
+
+TEST(PauliStringTest, SingleQubitExpectations)
+{
+    // |0>: <Z> = 1, <X> = 0. |+>: <X> = 1, <Z> = 0.
+    StateVector zero(1);
+    EXPECT_NEAR(PauliString("Z").expectation(zero), 1.0, 1e-12);
+    EXPECT_NEAR(PauliString("X").expectation(zero), 0.0, 1e-12);
+
+    Circuit plus_c(1, 0);
+    plus_c.h(0);
+    const StateVector plus = finalState(plus_c);
+    EXPECT_NEAR(PauliString("X").expectation(plus), 1.0, 1e-12);
+    EXPECT_NEAR(PauliString("Z").expectation(plus), 0.0, 1e-12);
+
+    // |i> = S|+>: <Y> = 1.
+    Circuit yplus_c(1, 0);
+    yplus_c.h(0).s(0);
+    EXPECT_NEAR(PauliString("Y").expectation(finalState(yplus_c)),
+                1.0, 1e-12);
+}
+
+TEST(PauliStringTest, BellCorrelations)
+{
+    // Phi+: <XX> = <ZZ> = 1, <YY> = -1, single-qubit Paulis = 0.
+    const StateVector bell = finalState(library::bellPair());
+    EXPECT_NEAR(PauliString("XX").expectation(bell), 1.0, 1e-12);
+    EXPECT_NEAR(PauliString("ZZ").expectation(bell), 1.0, 1e-12);
+    EXPECT_NEAR(PauliString("YY").expectation(bell), -1.0, 1e-12);
+    EXPECT_NEAR(PauliString("XI").expectation(bell), 0.0, 1e-12);
+    EXPECT_NEAR(PauliString("IZ").expectation(bell), 0.0, 1e-12);
+}
+
+TEST(PauliStringTest, GhzStabilizerExpectations)
+{
+    // GHZ-3 stabilizers: XXX, ZZI, IZZ all have expectation +1.
+    const StateVector ghz = finalState(library::ghzState(3));
+    EXPECT_NEAR(PauliString("XXX").expectation(ghz), 1.0, 1e-12);
+    EXPECT_NEAR(PauliString("ZZI").expectation(ghz), 1.0, 1e-12);
+    EXPECT_NEAR(PauliString("IZZ").expectation(ghz), 1.0, 1e-12);
+    // Non-stabilizer: XII has expectation 0.
+    EXPECT_NEAR(PauliString("XII").expectation(ghz), 0.0, 1e-12);
+}
+
+TEST(PauliStringTest, DensityMatrixExpectations)
+{
+    DensityMatrix bell(2);
+    bell.applyUnitary({.kind = OpKind::H, .qubits = {0}});
+    bell.applyUnitary({.kind = OpKind::CX, .qubits = {0, 1}});
+    EXPECT_NEAR(PauliString("XX").expectation(bell), 1.0, 1e-10);
+    EXPECT_NEAR(PauliString("ZZ").expectation(bell), 1.0, 1e-10);
+
+    // Dephasing kills <XX> but not <ZZ>.
+    bell.dephase(0);
+    EXPECT_NEAR(PauliString("XX").expectation(bell), 0.0, 1e-10);
+    EXPECT_NEAR(PauliString("ZZ").expectation(bell), 1.0, 1e-10);
+}
+
+TEST(PauliStringTest, EntanglementWitnessOnAssertionPassPath)
+{
+    // The assertion disentanglement claim via a witness: after a
+    // passing (measured) entanglement check, <XX> of the Bell pair
+    // must remain 1 — coherence, not just parity, is preserved.
+    Circuit c = library::bellPair();
+    const Qubit anc = c.addQubits(1);
+    c.addClbits(1);
+    c.cx(0, anc).cx(1, anc);
+    c.measure(anc, 0);
+
+    StatevectorSimulator sim(3);
+    const StateVector sv = sim.evolveWithMeasurements(c);
+    // Trace out the ancilla implicitly: XXI acts as XX (x) I.
+    EXPECT_NEAR(PauliString("XXI").expectation(sv), 1.0, 1e-9);
+    EXPECT_NEAR(PauliString("ZZI").expectation(sv), 1.0, 1e-9);
+}
+
+TEST(PauliStringTest, WidthMismatchThrows)
+{
+    StateVector sv(2);
+    EXPECT_THROW(PauliString("X").expectation(sv), ValueError);
+    DensityMatrix dm(1);
+    EXPECT_THROW(PauliString("XX").expectation(dm), ValueError);
+}
+
+} // namespace
+} // namespace qra

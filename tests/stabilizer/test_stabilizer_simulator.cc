@@ -1,0 +1,163 @@
+/** @file Tests for the stabilizer shot simulator, including
+ *  cross-backend agreement with the state vector. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "sim/statevector_simulator.hh"
+#include "stabilizer/stabilizer_simulator.hh"
+#include "stats/distance.hh"
+
+namespace qra {
+namespace {
+
+stats::Distribution
+toDist(const Result &r)
+{
+    stats::Distribution d;
+    for (const auto &[k, n] : r.rawCounts())
+        d[k] = double(n) / double(r.shots());
+    return d;
+}
+
+TEST(StabilizerSimulatorTest, SupportsPredicate)
+{
+    Circuit clifford(2, 2);
+    clifford.h(0).cx(0, 1).s(1).measureAll();
+    EXPECT_TRUE(StabilizerSimulator::supports(clifford));
+
+    Circuit nonclifford(1, 1);
+    nonclifford.t(0).measure(0, 0);
+    EXPECT_FALSE(StabilizerSimulator::supports(nonclifford));
+}
+
+TEST(StabilizerSimulatorTest, DeterministicCircuit)
+{
+    Circuit c(2, 2);
+    c.x(0).measureAll();
+    StabilizerSimulator sim(1);
+    const Result r = sim.run(c, 100);
+    EXPECT_EQ(r.count(std::uint64_t{0b01}), 100u);
+}
+
+TEST(StabilizerSimulatorTest, BellAgreesWithStatevector)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).measureAll();
+
+    StabilizerSimulator stab(3);
+    StatevectorSimulator sv(3);
+    const Result r_stab = stab.run(c, 20000);
+    const Result r_sv = sv.run(c, 20000);
+
+    EXPECT_LT(stats::totalVariation(toDist(r_stab), toDist(r_sv)),
+              0.02);
+    EXPECT_EQ(r_stab.count(0b01) + r_stab.count(0b10), 0u);
+}
+
+TEST(StabilizerSimulatorTest, RandomCliffordAgreesWithStatevector)
+{
+    // Random 4-qubit Clifford circuits: outcome distributions of the
+    // two backends must agree.
+    Rng gen(2024);
+    for (int trial = 0; trial < 5; ++trial) {
+        Circuit c(4, 4);
+        for (int step = 0; step < 30; ++step) {
+            const Qubit q = static_cast<Qubit>(gen.below(4));
+            const Qubit r =
+                static_cast<Qubit>((q + 1 + gen.below(3)) % 4);
+            switch (gen.below(6)) {
+              case 0: c.h(q); break;
+              case 1: c.s(q); break;
+              case 2: c.x(q); break;
+              case 3: c.cx(q, r); break;
+              case 4: c.cz(q, r); break;
+              default: c.sdg(q); break;
+            }
+        }
+        c.measureAll();
+
+        StabilizerSimulator stab(100 + trial);
+        StatevectorSimulator sv(200 + trial);
+        const Result r_stab = stab.run(c, 20000);
+        const Result r_sv = sv.run(c, 20000);
+        EXPECT_LT(
+            stats::totalVariation(toDist(r_stab), toDist(r_sv)),
+            0.03)
+            << "trial " << trial;
+    }
+}
+
+TEST(StabilizerSimulatorTest, MidCircuitMeasureAndReuse)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).measure(1, 0).reset(1).cx(0, 1).measure(1, 1);
+    StabilizerSimulator sim(5);
+    const Result r = sim.run(c, 2000);
+    for (const auto &[key, n] : r.rawCounts())
+        EXPECT_EQ(key & 1, (key >> 1) & 1) << key;
+}
+
+TEST(StabilizerSimulatorTest, PostSelectConditioning)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).postSelect(0, 1).measureAll();
+    StabilizerSimulator sim(7);
+    const Result r = sim.run(c, 1000);
+    EXPECT_EQ(r.count(std::uint64_t{0b11}), 1000u);
+    EXPECT_NEAR(r.retainedFraction(), 0.5, 0.05);
+}
+
+TEST(StabilizerSimulatorTest, ImpossiblePostSelectThrows)
+{
+    Circuit c(1, 1);
+    c.postSelect(0, 1).measure(0, 0);
+    StabilizerSimulator sim(9);
+    EXPECT_THROW(sim.run(c, 10), SimulationError);
+}
+
+TEST(StabilizerSimulatorTest, NonCliffordCircuitThrows)
+{
+    Circuit c(1, 1);
+    c.t(0).measure(0, 0);
+    StabilizerSimulator sim(11);
+    EXPECT_THROW(sim.run(c, 10), SimulationError);
+}
+
+TEST(StabilizerSimulatorTest, LargeGhzWithAssertionAncilla)
+{
+    // The paper's entanglement assertion at 200 qubits: GHZ-200 plus
+    // a parity ancilla with an even CNOT count; the ancilla always
+    // reads 0 and the payload stays perfectly correlated.
+    const std::size_t n = 200;
+    Circuit c(n + 1, 3);
+    c.h(0);
+    for (Qubit q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    const Qubit anc = static_cast<Qubit>(n);
+    c.cx(0, anc).cx(1, anc); // even pair-parity check
+    c.measure(anc, 0);
+    c.measure(0, 1);
+    c.measure(static_cast<Qubit>(n - 1), 2);
+
+    StabilizerSimulator sim(13);
+    const Result r = sim.run(c, 500);
+    for (const auto &[key, cnt] : r.rawCounts()) {
+        EXPECT_EQ(key & 1, 0u) << "assertion fired";
+        EXPECT_EQ((key >> 1) & 1, (key >> 2) & 1)
+            << "GHZ ends decorrelated";
+    }
+}
+
+TEST(StabilizerSimulatorTest, EvolveOneReturnsState)
+{
+    Circuit c(2, 0);
+    c.h(0).cx(0, 1);
+    StabilizerSimulator sim(15);
+    const StabilizerState s = sim.evolveOne(c);
+    EXPECT_EQ(s.numQubits(), 2u);
+    EXPECT_DOUBLE_EQ(s.probabilityOfOne(0), 0.5);
+}
+
+} // namespace
+} // namespace qra

@@ -1,0 +1,227 @@
+/** @file Tests for the CHP stabilizer tableau. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "stabilizer/stabilizer_state.hh"
+
+namespace qra {
+namespace {
+
+TEST(StabilizerStateTest, InitialStabilizersAreZ)
+{
+    StabilizerState s(3);
+    const auto strs = s.stabilizerStrings();
+    ASSERT_EQ(strs.size(), 3u);
+    EXPECT_EQ(strs[0], "+ZII");
+    EXPECT_EQ(strs[1], "+IZI");
+    EXPECT_EQ(strs[2], "+IIZ");
+}
+
+TEST(StabilizerStateTest, SizeLimits)
+{
+    EXPECT_THROW(StabilizerState(0), SimulationError);
+    EXPECT_THROW(StabilizerState(5000), SimulationError);
+    EXPECT_NO_THROW(StabilizerState(1024));
+}
+
+TEST(StabilizerStateTest, HadamardMakesX)
+{
+    StabilizerState s(1);
+    s.applyH(0);
+    EXPECT_EQ(s.stabilizerStrings()[0], "+X");
+    EXPECT_FALSE(s.isDeterministic(0));
+    EXPECT_DOUBLE_EQ(s.probabilityOfOne(0), 0.5);
+}
+
+TEST(StabilizerStateTest, XFlipsOutcome)
+{
+    StabilizerState s(1);
+    s.applyX(0);
+    EXPECT_EQ(s.stabilizerStrings()[0], "-Z");
+    EXPECT_TRUE(s.isDeterministic(0));
+    EXPECT_DOUBLE_EQ(s.probabilityOfOne(0), 1.0);
+}
+
+TEST(StabilizerStateTest, PauliSigns)
+{
+    StabilizerState s(1);
+    s.applyH(0); // +X
+    s.applyZ(0); // -X
+    EXPECT_EQ(s.stabilizerStrings()[0], "-X");
+    s.applyY(0); // Y X Y = -X -> back to +X
+    EXPECT_EQ(s.stabilizerStrings()[0], "+X");
+}
+
+TEST(StabilizerStateTest, SMakesY)
+{
+    StabilizerState s(1);
+    s.applyH(0); // +X
+    s.applyS(0); // S X Sdg = Y
+    EXPECT_EQ(s.stabilizerStrings()[0], "+Y");
+    s.applySdg(0);
+    EXPECT_EQ(s.stabilizerStrings()[0], "+X");
+}
+
+TEST(StabilizerStateTest, SxEqualsHSH)
+{
+    StabilizerState a(1), b(1);
+    a.applySx(0);
+    b.applyH(0);
+    b.applyS(0);
+    b.applyH(0);
+    EXPECT_EQ(a.stabilizerStrings(), b.stabilizerStrings());
+}
+
+TEST(StabilizerStateTest, BellStabilizers)
+{
+    StabilizerState s(2);
+    s.applyH(0);
+    s.applyCx(0, 1);
+    const auto strs = s.stabilizerStrings();
+    // Generators of the Bell pair: XX and ZZ (in some order/signs).
+    EXPECT_TRUE(std::find(strs.begin(), strs.end(), "+XX") !=
+                strs.end());
+    EXPECT_TRUE(std::find(strs.begin(), strs.end(), "+ZZ") !=
+                strs.end());
+}
+
+TEST(StabilizerStateTest, BellMeasurementCorrelated)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        StabilizerState s(2);
+        s.applyH(0);
+        s.applyCx(0, 1);
+        const int first = s.measure(0, rng);
+        EXPECT_TRUE(s.isDeterministic(1));
+        EXPECT_EQ(s.measure(1, rng), first);
+    }
+}
+
+TEST(StabilizerStateTest, MeasurementIsRepeatable)
+{
+    Rng rng(7);
+    StabilizerState s(1);
+    s.applyH(0);
+    const int outcome = s.measure(0, rng);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(s.measure(0, rng), outcome);
+}
+
+TEST(StabilizerStateTest, RandomOutcomeFrequencies)
+{
+    Rng rng(11);
+    int ones = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        StabilizerState s(1);
+        s.applyH(0);
+        ones += s.measure(0, rng);
+    }
+    EXPECT_NEAR(ones / double(n), 0.5, 0.02);
+}
+
+TEST(StabilizerStateTest, CzViaConjugation)
+{
+    // CZ |+>|+> produces the cluster-state stabilizers XZ, ZX.
+    StabilizerState s(2);
+    s.applyH(0);
+    s.applyH(1);
+    s.applyCz(0, 1);
+    const auto strs = s.stabilizerStrings();
+    EXPECT_TRUE(std::find(strs.begin(), strs.end(), "+XZ") !=
+                strs.end());
+    EXPECT_TRUE(std::find(strs.begin(), strs.end(), "+ZX") !=
+                strs.end());
+}
+
+TEST(StabilizerStateTest, SwapMovesState)
+{
+    Rng rng(13);
+    StabilizerState s(2);
+    s.applyX(0);
+    s.applySwap(0, 1);
+    EXPECT_DOUBLE_EQ(s.probabilityOfOne(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.probabilityOfOne(1), 1.0);
+}
+
+TEST(StabilizerStateTest, PostSelectBranches)
+{
+    // Bell pair: post-select q0 = 1 -> q1 must be 1.
+    StabilizerState s(2);
+    s.applyH(0);
+    s.applyCx(0, 1);
+    const double p = s.postSelect(0, 1);
+    EXPECT_DOUBLE_EQ(p, 0.5);
+    EXPECT_DOUBLE_EQ(s.probabilityOfOne(1), 1.0);
+
+    // Impossible branch: |0> post-selected to 1 has p = 0 and the
+    // state is untouched.
+    StabilizerState zero(1);
+    EXPECT_DOUBLE_EQ(zero.postSelect(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(zero.probabilityOfOne(0), 0.0);
+
+    // Deterministic match: p = 1.
+    EXPECT_DOUBLE_EQ(zero.postSelect(0, 0), 1.0);
+}
+
+TEST(StabilizerStateTest, ResetQubit)
+{
+    Rng rng(17);
+    for (int i = 0; i < 20; ++i) {
+        StabilizerState s(2);
+        s.applyH(0);
+        s.applyCx(0, 1);
+        s.resetQubit(0, rng);
+        EXPECT_DOUBLE_EQ(s.probabilityOfOne(0), 0.0);
+        // Partner collapsed to a classical state.
+        EXPECT_TRUE(s.isDeterministic(1));
+    }
+}
+
+TEST(StabilizerStateTest, NonCliffordRejected)
+{
+    StabilizerState s(1);
+    EXPECT_THROW(
+        s.applyUnitary({.kind = OpKind::T, .qubits = {0}}),
+        SimulationError);
+    EXPECT_THROW(
+        s.applyUnitary(
+            {.kind = OpKind::RX, .qubits = {0}, .params = {0.3}}),
+        SimulationError);
+    EXPECT_FALSE(StabilizerState::isCliffordOp(OpKind::T));
+    EXPECT_TRUE(StabilizerState::isCliffordOp(OpKind::H));
+}
+
+TEST(StabilizerStateTest, GhzAtScale)
+{
+    // 500-qubit GHZ: far beyond state-vector reach.
+    const std::size_t n = 500;
+    StabilizerState s(n);
+    s.applyH(0);
+    for (Qubit q = 0; q + 1 < n; ++q)
+        s.applyCx(q, q + 1);
+
+    EXPECT_FALSE(s.isDeterministic(0));
+
+    Rng rng(19);
+    const int first = s.measure(0, rng);
+    // Every other qubit is now deterministic and equal.
+    for (Qubit q = 1; q < n; q += 97)
+        EXPECT_EQ(s.measure(q, rng), first) << q;
+}
+
+TEST(StabilizerStateTest, OutOfRangeThrows)
+{
+    StabilizerState s(2);
+    Rng rng(1);
+    EXPECT_THROW(s.applyH(2), IndexError);
+    EXPECT_THROW(s.measure(9, rng), IndexError);
+    EXPECT_THROW(s.applyCx(0, 0), SimulationError);
+}
+
+} // namespace
+} // namespace qra

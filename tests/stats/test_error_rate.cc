@@ -1,0 +1,96 @@
+/** @file Tests for the raw-vs-filtered error-rate accounting. */
+
+#include <gtest/gtest.h>
+
+#include "stats/error_rate.hh"
+
+namespace qra {
+namespace stats {
+namespace {
+
+/**
+ * Reconstruct the paper's Table 1 arithmetic. Register layout:
+ * bit 0 = payload (q1), bit 1 = assertion ancilla (q2).
+ * Paper distribution: 00 93.8%, 01 2.7%, 10 2.4%, 11 1.1%, where the
+ * table's label order is q1 q2 (payload first); our register value
+ * packs the payload in bit 0 and the ancilla in bit 1.
+ */
+Distribution
+table1Distribution()
+{
+    // q1 q2 -> (payload, assertion): 00 -> p0 a0, 01 -> p0 a1, etc.
+    Distribution dist;
+    dist[0b00] = 0.938; // payload 0, assertion 0
+    dist[0b10] = 0.027; // payload 0, assertion 1
+    dist[0b01] = 0.024; // payload 1, assertion 0 (false negative)
+    dist[0b11] = 0.011; // payload 1, assertion 1
+    return dist;
+}
+
+TEST(ErrorRateTest, ReproducesTable1Arithmetic)
+{
+    const ErrorRateReport report = computeErrorRates(
+        table1Distribution(),
+        [](std::uint64_t reg) { return (reg & 1) == 1; },
+        [](std::uint64_t reg) { return ((reg >> 1) & 1) == 0; });
+
+    // Raw error rate: 2.4% + 1.1% = 3.5%.
+    EXPECT_NEAR(report.rawErrorRate, 0.035, 1e-9);
+    // Filtered: 2.4 / (93.8 + 2.4) = 2.494%.
+    EXPECT_NEAR(report.filteredErrorRate, 0.024 / 0.962, 1e-9);
+    // Reduction ~ 28.7% (paper rounds to 28.5%).
+    EXPECT_NEAR(report.reduction(), 0.287, 0.01);
+    EXPECT_NEAR(report.keptFraction, 0.962, 1e-9);
+}
+
+TEST(ErrorRateTest, NoErrorsGivesZeroRates)
+{
+    Distribution dist{{0, 1.0}};
+    const ErrorRateReport report = computeErrorRates(
+        dist, [](std::uint64_t) { return false; },
+        [](std::uint64_t) { return true; });
+    EXPECT_DOUBLE_EQ(report.rawErrorRate, 0.0);
+    EXPECT_DOUBLE_EQ(report.filteredErrorRate, 0.0);
+    EXPECT_DOUBLE_EQ(report.reduction(), 0.0);
+}
+
+TEST(ErrorRateTest, PerfectFilterRemovesAllErrors)
+{
+    // Errors occur only when the assertion also fires.
+    Distribution dist{{0b00, 0.9}, {0b11, 0.1}};
+    const ErrorRateReport report = computeErrorRates(
+        dist, [](std::uint64_t reg) { return (reg & 1) == 1; },
+        [](std::uint64_t reg) { return ((reg >> 1) & 1) == 0; });
+    EXPECT_NEAR(report.rawErrorRate, 0.1, 1e-12);
+    EXPECT_NEAR(report.filteredErrorRate, 0.0, 1e-12);
+    EXPECT_NEAR(report.reduction(), 1.0, 1e-12);
+    EXPECT_NEAR(report.keptFraction, 0.9, 1e-12);
+}
+
+TEST(ErrorRateTest, UselessFilterKeepsRate)
+{
+    // Assertion fires independently of the payload error.
+    Distribution dist{{0b00, 0.45}, {0b01, 0.05},
+                      {0b10, 0.45}, {0b11, 0.05}};
+    const ErrorRateReport report = computeErrorRates(
+        dist, [](std::uint64_t reg) { return (reg & 1) == 1; },
+        [](std::uint64_t reg) { return ((reg >> 1) & 1) == 0; });
+    EXPECT_NEAR(report.rawErrorRate, 0.1, 1e-12);
+    EXPECT_NEAR(report.filteredErrorRate, 0.1, 1e-12);
+    EXPECT_NEAR(report.reduction(), 0.0, 1e-12);
+}
+
+TEST(ErrorRateTest, StrMentionsRates)
+{
+    ErrorRateReport report;
+    report.rawErrorRate = 0.035;
+    report.filteredErrorRate = 0.025;
+    report.keptFraction = 0.96;
+    const std::string s = report.str();
+    EXPECT_NE(s.find("3.5%"), std::string::npos);
+    EXPECT_NE(s.find("2.5%"), std::string::npos);
+}
+
+} // namespace
+} // namespace stats
+} // namespace qra

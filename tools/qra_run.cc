@@ -1,0 +1,202 @@
+/**
+ * @file
+ * qra_run — command-line assertion runner.
+ *
+ * Reads an OpenQASM 2.0 file annotated with `// qra:assert-*`
+ * directives, instruments it, executes it on a chosen backend and
+ * device model, and prints the assertion report plus the (raw and
+ * filtered) payload distribution.
+ *
+ * Usage:
+ *   qra_run FILE.qasm [--shots N] [--device ideal|ibmqx4]
+ *           [--backend auto|statevector|density|trajectory|stabilizer]
+ *           [--seed S] [--draw]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "assertions/directives.hh"
+#include "qra.hh"
+#include "stabilizer/stabilizer_simulator.hh"
+
+using namespace qra;
+
+namespace {
+
+struct Options
+{
+    std::string file;
+    std::size_t shots = 8192;
+    std::string device = "ideal";
+    std::string backend = "auto";
+    std::uint64_t seed = 7;
+    bool draw = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: qra_run FILE.qasm [--shots N] [--device "
+        "ideal|ibmqx4]\n"
+        "               [--backend auto|statevector|density|"
+        "trajectory|stabilizer]\n"
+        "               [--seed S] [--draw]\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--shots") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.shots = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--device") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.device = v;
+        } else if (arg == "--backend") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.backend = v;
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--draw") {
+            opts.draw = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return false;
+        } else if (opts.file.empty()) {
+            opts.file = arg;
+        } else {
+            std::fprintf(stderr, "unexpected argument %s\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    return !opts.file.empty();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(opts.file);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", opts.file.c_str());
+        return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    try {
+        const InstrumentedCircuit inst =
+            instrumentAnnotatedQasm(buffer.str());
+        Circuit circuit = inst.circuit();
+
+        // Map to the device if one was requested.
+        if (opts.device == "ibmqx4") {
+            const DeviceModel device = DeviceModel::ibmqx4();
+            const TranspileResult mapped =
+                transpile(circuit, device.couplingMap());
+            std::printf("%s\n", mapped.str().c_str());
+            circuit = mapped.circuit;
+        } else if (opts.device != "ideal") {
+            std::fprintf(stderr, "unknown device '%s'\n",
+                         opts.device.c_str());
+            return 2;
+        }
+
+        if (opts.draw)
+            std::printf("%s\n", circuit.draw().c_str());
+
+        // Pick the backend.
+        std::string backend = opts.backend;
+        if (backend == "auto") {
+            if (opts.device == "ibmqx4")
+                backend = "density";
+            else if (StabilizerSimulator::supports(circuit) &&
+                     circuit.numQubits() > 16)
+                backend = "stabilizer";
+            else
+                backend = "statevector";
+        }
+
+        Result result;
+        const DeviceModel device = DeviceModel::ibmqx4();
+        if (backend == "statevector") {
+            StatevectorSimulator sim(opts.seed);
+            result = sim.run(circuit, opts.shots);
+        } else if (backend == "density") {
+            DensityMatrixSimulator sim(opts.seed);
+            if (opts.device == "ibmqx4")
+                sim.setNoiseModel(&device.noiseModel());
+            result = sim.run(circuit, opts.shots);
+        } else if (backend == "trajectory") {
+            TrajectorySimulator sim(opts.seed);
+            if (opts.device == "ibmqx4")
+                sim.setNoiseModel(&device.noiseModel());
+            result = sim.run(circuit, opts.shots);
+        } else if (backend == "stabilizer") {
+            StabilizerSimulator sim(opts.seed);
+            result = sim.run(circuit, opts.shots);
+        } else {
+            std::fprintf(stderr, "unknown backend '%s'\n",
+                         backend.c_str());
+            return 2;
+        }
+
+        std::printf("backend: %s, device: %s, shots: %zu\n\n",
+                    backend.c_str(), opts.device.c_str(),
+                    result.shots());
+
+        const AssertionReport report = analyze(inst, result);
+        std::printf("%s\n", report.str(inst).c_str());
+
+        std::printf("raw payload:      %s\n",
+                    stats::distributionToString(
+                        report.rawPayload, inst.payloadClbits())
+                        .c_str());
+        std::printf("filtered payload: %s\n",
+                    stats::distributionToString(
+                        report.filteredPayload, inst.payloadClbits())
+                        .c_str());
+
+        // Exit status mirrors the assertion outcome so the tool can
+        // gate CI pipelines: 0 = all checks clean (on an ideal
+        // device) or mostly clean (noisy), 1 = a check fired hard.
+        const bool failed = report.anyErrorRate > 0.45;
+        return failed ? 1 : 0;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}
