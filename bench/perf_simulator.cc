@@ -139,6 +139,55 @@ BM_TrajectoryShots(benchmark::State &state)
 BENCHMARK(BM_TrajectoryShots)->Arg(64)->Arg(512);
 
 void
+BM_EngineShardedTrajectoryShots(benchmark::State &state)
+{
+    // The engine-parallel counterpart of BM_TrajectoryShots: same
+    // noisy Bell job, shot budget sharded across the pool.
+    const DeviceModel device = DeviceModel::ibmqx4();
+    Circuit c(5, 2, "bell");
+    c.h(1).cx(1, 0).measure(1, 0).measure(0, 1);
+    runtime::ExecutionEngine engine(
+        runtime::EngineOptions{.shardShots = 64});
+    const std::size_t shots =
+        static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const Result r =
+            engine.run(c, shots, "trajectory", 1,
+                       &device.noiseModel());
+        benchmark::DoNotOptimize(&r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(shots));
+}
+BENCHMARK(BM_EngineShardedTrajectoryShots)->Arg(64)->Arg(512);
+
+void
+BM_JobQueueBatchSubmission(benchmark::State &state)
+{
+    // Batch cost of the queue itself: many small jobs over one
+    // cached prepared circuit.
+    const Circuit c = randomCircuit(6, 30, 13);
+    runtime::ExecutionEngine engine(
+        runtime::EngineOptions{.shardShots = 256});
+    runtime::JobQueue queue(engine);
+    for (auto _ : state) {
+        std::vector<runtime::JobSpec> batch(8);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            batch[i].circuit = c;
+            batch[i].shots = 128;
+            batch[i].backend = "statevector";
+            batch[i].seed = i;
+        }
+        const auto results = queue.runAll(batch);
+        benchmark::DoNotOptimize(&results);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 8 * 128);
+}
+BENCHMARK(BM_JobQueueBatchSubmission);
+
+void
 BM_AssertionInstrumentation(benchmark::State &state)
 {
     const Circuit payload = randomCircuit(8, 60, 3);

@@ -1,11 +1,12 @@
 /**
  * @file
  * Quickstart: build a Bell pair, attach an entanglement assertion,
- * run it on the ideal simulator and on the noisy ibmqx4 model, and
- * read the assertion report.
+ * run it through the runtime execution engine on the ideal
+ * state-vector backend and on the noisy ibmqx4 model, and read the
+ * assertion report.
  *
  * Build & run:
- *   cmake -B build -G Ninja && cmake --build build
+ *   cmake -B build && cmake --build build -j
  *   ./build/examples/quickstart
  */
 
@@ -15,6 +16,7 @@
 #include "qra.hh"
 
 using namespace qra;
+using namespace qra::runtime;
 
 int
 main()
@@ -37,25 +39,27 @@ main()
     const InstrumentedCircuit inst = instrument(payload, {spec});
     std::printf("%s\n", inst.circuit().draw().c_str());
 
-    // 4. Ideal run: the assertion never fires and the payload stays
-    //    perfectly correlated.
-    StatevectorSimulator ideal(1234);
-    const Result r_ideal = ideal.run(inst.circuit(), 4096);
-    const AssertionReport ideal_report = analyze(inst, r_ideal);
+    // 4. The execution engine shards the shot budget across a thread
+    //    pool and picks a backend from the registry ("auto" would
+    //    also work). Ideal run: the assertion never fires and the
+    //    payload stays perfectly correlated.
+    ExecutionEngine engine;
+    const AssertionReport ideal_report =
+        engine.runInstrumented(inst, 4096, "statevector", 1234);
     std::printf("ideal device:\n%s\n",
                 ideal_report.str(inst).c_str());
 
     // 5. Noisy run on the ibmqx4 model: transpile to the device
     //    (connectivity + directed CNOTs), then simulate with its
-    //    calibrated noise.
+    //    calibrated noise on the exact density backend — all routed
+    //    through the same engine call with a noise model attached.
     const DeviceModel device = DeviceModel::ibmqx4();
     const TranspileResult mapped =
         transpile(inst.circuit(), device.couplingMap());
     std::printf("%s\n", mapped.str().c_str());
 
-    DensityMatrixSimulator noisy(1234);
-    noisy.setNoiseModel(&device.noiseModel());
-    const Result r_noisy = noisy.run(mapped.circuit, 4096);
+    const Result r_noisy = engine.run(
+        mapped.circuit, 4096, "auto", 1234, &device.noiseModel());
     const AssertionReport noisy_report = analyze(inst, r_noisy);
     std::printf("ibmqx4 model:\n%s\n",
                 noisy_report.str(inst).c_str());

@@ -1,8 +1,10 @@
 #include "circuit/circuit.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hh"
+#include "common/hash.hh"
 
 namespace qra {
 
@@ -393,6 +395,33 @@ Circuit::operator==(const Circuit &rhs) const
 {
     return numQubits_ == rhs.numQubits_ && numClbits_ == rhs.numClbits_ &&
            ops_ == rhs.ops_;
+}
+
+std::uint64_t
+Circuit::hash() const
+{
+    // FNV-1a over the semantic content of the circuit.
+    std::uint64_t h = kFnv1aOffset;
+    auto mix = [&h](std::uint64_t value) {
+        h = fnv1aMix64(h, value);
+    };
+    mix(numQubits_);
+    mix(numClbits_);
+    for (const Operation &op : ops_) {
+        mix(static_cast<std::uint64_t>(op.kind));
+        mix(op.qubits.size());
+        for (const Qubit q : op.qubits)
+            mix(static_cast<std::uint64_t>(q));
+        mix(op.params.size());
+        for (const double p : op.params) {
+            std::uint64_t bits = 0;
+            std::memcpy(&bits, &p, sizeof bits);
+            mix(bits);
+        }
+        mix(op.clbit ? 1 + static_cast<std::uint64_t>(*op.clbit) : 0);
+        mix(static_cast<std::uint64_t>(op.postselectValue));
+    }
+    return h;
 }
 
 } // namespace qra

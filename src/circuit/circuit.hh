@@ -142,6 +142,15 @@ class Circuit
 
     bool operator==(const Circuit &rhs) const;
 
+    /**
+     * Semantic 64-bit hash: register widths plus every instruction's
+     * kind, operands, parameters, clbit wiring, and post-selection
+     * value. Names and provenance labels are excluded, so two
+     * circuits that execute identically hash identically. Used as
+     * the preparation-cache key in the runtime JobQueue.
+     */
+    std::uint64_t hash() const;
+
   private:
     void validate(const Operation &op) const;
 

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * FNV-1a hashing primitives shared by the circuit semantic hash and
+ * the runtime preparation cache.
+ */
+
+#ifndef QRA_COMMON_HASH_HH
+#define QRA_COMMON_HASH_HH
+
+#include <cstdint>
+
+namespace qra {
+
+/** FNV-1a 64-bit offset basis. */
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+
+/** Fold one 64-bit word into an FNV-1a state, byte by byte. */
+inline std::uint64_t
+fnv1aMix64(std::uint64_t h, std::uint64_t value)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (value >> (8 * byte)) & 0xffULL;
+        h *= kPrime;
+    }
+    return h;
+}
+
+} // namespace qra
+
+#endif // QRA_COMMON_HASH_HH

@@ -70,6 +70,19 @@ Xoshiro256::below(std::uint64_t bound)
     return (*this)() % bound;
 }
 
+std::uint64_t
+splitSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Two splitmix64 rounds over a mix of base and stream. A plain
+    // base + stream would make streams of adjacent jobs collide
+    // (job 7 stream 1 == job 8 stream 0); the golden-ratio multiply
+    // decorrelates the two inputs before mixing.
+    std::uint64_t x = base ^ (stream * 0x9e3779b97f4a7c15ULL +
+                              0x6a09e667f3bcc909ULL);
+    splitmix64(x);
+    return splitmix64(x);
+}
+
 std::size_t
 sampleDiscrete(const std::vector<double> &probs, Rng &rng)
 {

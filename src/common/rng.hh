@@ -59,6 +59,18 @@ class Xoshiro256
 using Rng = Xoshiro256;
 
 /**
+ * Derive an independent seed for a numbered RNG stream.
+ *
+ * Mixes @p base and @p stream through splitmix64 so that streams
+ * split from the same base seed are statistically independent. Used
+ * by the execution engine to give every shot-shard its own RNG
+ * stream: the derived seeds depend only on (job seed, shard index),
+ * never on the thread that happens to run the shard, which keeps
+ * sharded execution deterministic at any thread count.
+ */
+std::uint64_t splitSeed(std::uint64_t base, std::uint64_t stream);
+
+/**
  * Draw an index from a discrete probability distribution.
  *
  * @param probs Probabilities; they should sum to ~1 but small

@@ -37,6 +37,12 @@
 #include "noise/kraus.hh"
 #include "noise/noise_model.hh"
 #include "noise/readout_error.hh"
+#include "runtime/backend.hh"
+#include "runtime/backend_registry.hh"
+#include "runtime/builtin_backends.hh"
+#include "runtime/execution_engine.hh"
+#include "runtime/job_queue.hh"
+#include "runtime/thread_pool.hh"
 #include "sim/density_matrix.hh"
 #include "sim/density_simulator.hh"
 #include "sim/result.hh"

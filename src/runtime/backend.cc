@@ -1,0 +1,47 @@
+#include "runtime/backend.hh"
+
+#include <set>
+
+#include "stabilizer/stabilizer_simulator.hh"
+
+namespace qra {
+namespace runtime {
+
+std::string
+Backend::rejectReason(const Circuit &circuit,
+                      const NoiseModel *noise) const
+{
+    const BackendCapabilities &caps = capabilities();
+    if (circuit.numQubits() > caps.maxQubits)
+        return name() + " is limited to " +
+               std::to_string(caps.maxQubits) + " qubits (circuit has " +
+               std::to_string(circuit.numQubits()) + ")";
+    if (noise != nullptr && !caps.supportsNoise)
+        return name() + " does not support noise models";
+    if (caps.cliffordOnly && !StabilizerSimulator::supports(circuit))
+        return name() + " executes Clifford circuits only";
+    if (!caps.supportsMidCircuitMeasurement &&
+        !measurementsTerminalPerQubit(circuit))
+        return name() + " requires measurements to be terminal per "
+                        "qubit (no reuse after measure, no reset)";
+    return {};
+}
+
+bool
+measurementsTerminalPerQubit(const Circuit &circuit)
+{
+    std::set<Qubit> measured;
+    for (const Operation &op : circuit.ops()) {
+        if (op.kind == OpKind::Barrier)
+            continue;
+        for (const Qubit q : op.qubits)
+            if (measured.count(q))
+                return false;
+        if (op.kind == OpKind::Measure)
+            measured.insert(op.qubits[0]);
+    }
+    return true;
+}
+
+} // namespace runtime
+} // namespace qra

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Backend wrappers for the four simulator classes, plus the hook that
+ * registers them all with a BackendRegistry under their canonical
+ * names: "statevector", "density", "trajectory", "stabilizer".
+ */
+
+#ifndef QRA_RUNTIME_BUILTIN_BACKENDS_HH
+#define QRA_RUNTIME_BUILTIN_BACKENDS_HH
+
+#include "runtime/backend.hh"
+
+namespace qra {
+namespace runtime {
+
+class BackendRegistry;
+
+/** Ideal state-vector backend ("statevector"). */
+BackendPtr makeStatevectorBackend();
+
+/** Exact noisy density-matrix backend ("density"). */
+BackendPtr makeDensityBackend();
+
+/** Monte-Carlo trajectory backend ("trajectory"). */
+BackendPtr makeTrajectoryBackend();
+
+/** Clifford stabilizer-tableau backend ("stabilizer"). */
+BackendPtr makeStabilizerBackend();
+
+/** Register all four builtin backends with @p registry. */
+void registerBuiltinBackends(BackendRegistry &registry);
+
+} // namespace runtime
+} // namespace qra
+
+#endif // QRA_RUNTIME_BUILTIN_BACKENDS_HH

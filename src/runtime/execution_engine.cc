@@ -1,0 +1,129 @@
+#include "runtime/execution_engine.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace qra {
+namespace runtime {
+
+ExecutionEngine::ExecutionEngine(EngineOptions options,
+                                 BackendRegistry *registry)
+    : options_(options),
+      registry_(registry != nullptr ? registry
+                                    : &BackendRegistry::global()),
+      pool_(options.threads)
+{
+    if (options_.shardShots == 0)
+        throw ValueError("EngineOptions.shardShots must be positive");
+    if (options_.maxShards == 0)
+        throw ValueError("EngineOptions.maxShards must be positive");
+}
+
+ExecutionEngine::ExecutionEngine(std::size_t threads)
+    : ExecutionEngine(EngineOptions{.threads = threads})
+{
+}
+
+std::vector<Shard>
+ExecutionEngine::shardPlan(std::size_t shots, std::uint64_t seed,
+                           const Backend &backend) const
+{
+    std::size_t count = 1;
+    if (backend.capabilities().shardable && shots > 0) {
+        count = (shots + options_.shardShots - 1) / options_.shardShots;
+        count = std::clamp<std::size_t>(count, 1, options_.maxShards);
+    }
+    std::vector<Shard> plan(count);
+    const std::size_t base = shots / count;
+    const std::size_t remainder = shots % count;
+    for (std::size_t i = 0; i < count; ++i) {
+        plan[i].shots = base + (i < remainder ? 1 : 0);
+        plan[i].seed = splitSeed(seed, i);
+    }
+    return plan;
+}
+
+std::vector<std::future<Result>>
+ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
+{
+    if (!job.circuit)
+        throw ValueError("job has no circuit");
+    const std::string reason =
+        backend->rejectReason(*job.circuit, job.noise);
+    if (!reason.empty())
+        throw SimulationError(reason);
+
+    std::vector<std::future<Result>> futures;
+    for (const Shard &shard :
+         shardPlan(job.shots, job.seed, *backend)) {
+        futures.push_back(pool_.submit(
+            [backend, circuit = job.circuit, noise = job.noise,
+             shard]() {
+                return backend->run(*circuit, shard.shots, shard.seed,
+                                    noise);
+            }));
+    }
+    return futures;
+}
+
+Result
+ExecutionEngine::run(const Job &job)
+{
+    if (!job.circuit)
+        throw ValueError("job has no circuit");
+    const BackendPtr backend =
+        registry_->resolve(job.backend, *job.circuit, job.noise);
+    std::vector<std::future<Result>> futures = dispatch(job, backend);
+    Result merged(job.circuit->numClbits());
+    for (std::future<Result> &future : futures)
+        merged.merge(future.get());
+    return merged;
+}
+
+Result
+ExecutionEngine::run(const Circuit &circuit, std::size_t shots,
+                     const std::string &backend, std::uint64_t seed,
+                     const NoiseModel *noise)
+{
+    return run(Job(circuit, shots, backend, seed, noise));
+}
+
+std::future<Result>
+ExecutionEngine::submit(Job job)
+{
+    if (!job.circuit)
+        throw ValueError("job has no circuit");
+    const BackendPtr backend =
+        registry_->resolve(job.backend, *job.circuit, job.noise);
+    // Shards go to the pool now; the merge is deferred to get() so a
+    // waiting caller never occupies a pool thread.
+    auto futures = std::make_shared<std::vector<std::future<Result>>>(
+        dispatch(job, backend));
+    const std::size_t num_clbits = job.circuit->numClbits();
+    return std::async(std::launch::deferred, [futures, num_clbits]() {
+        Result merged(num_clbits);
+        for (std::future<Result> &future : *futures)
+            merged.merge(future.get());
+        return merged;
+    });
+}
+
+AssertionReport
+ExecutionEngine::runInstrumented(const InstrumentedCircuit &inst,
+                                 std::size_t shots,
+                                 const std::string &backend,
+                                 std::uint64_t seed,
+                                 const NoiseModel *noise,
+                                 Result *result_out)
+{
+    const Result result =
+        run(inst.circuit(), shots, backend, seed, noise);
+    if (result_out != nullptr)
+        *result_out = result;
+    return analyze(inst, result);
+}
+
+} // namespace runtime
+} // namespace qra

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * ExecutionEngine: sharded, deterministic, multi-threaded circuit
+ * execution over registry backends.
+ *
+ * A job's shot budget is split into shards by a plan that depends
+ * only on the job (shots, seed, backend capabilities, engine shard
+ * options) — never on the thread count. Each shard runs on the
+ * thread pool with an RNG stream split from the job seed by shard
+ * index, and the partial Results are merged in shard order, so the
+ * merged counts for a fixed seed are bit-identical whether the
+ * engine drives 1 thread or 64.
+ */
+
+#ifndef QRA_RUNTIME_EXECUTION_ENGINE_HH
+#define QRA_RUNTIME_EXECUTION_ENGINE_HH
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assertions/injector.hh"
+#include "assertions/report.hh"
+#include "circuit/circuit.hh"
+#include "noise/noise_model.hh"
+#include "runtime/backend_registry.hh"
+#include "runtime/thread_pool.hh"
+#include "sim/result.hh"
+
+namespace qra {
+namespace runtime {
+
+/** One unit of work: a circuit, a shot budget, and how to run it. */
+struct Job
+{
+    std::shared_ptr<const Circuit> circuit;
+    std::size_t shots = 1024;
+    /** Registry name, or "auto" to let the registry pick. */
+    std::string backend = "auto";
+    std::uint64_t seed = 7;
+    /** Not owned; must outlive the job's execution. */
+    const NoiseModel *noise = nullptr;
+
+    Job() = default;
+
+    /** Convenience: copies @p circuit into shared ownership. */
+    Job(Circuit circuit_value, std::size_t shots_value,
+        std::string backend_name = "auto", std::uint64_t seed_value = 7,
+        const NoiseModel *noise_model = nullptr)
+        : circuit(std::make_shared<Circuit>(std::move(circuit_value))),
+          shots(shots_value), backend(std::move(backend_name)),
+          seed(seed_value), noise(noise_model)
+    {
+    }
+};
+
+/** Engine tuning knobs. */
+struct EngineOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t threads = 0;
+
+    /**
+     * Target shots per shard. Shard count is
+     * clamp(ceil(shots / shardShots), 1, maxShards) and is part of
+     * the deterministic shard plan: changing it changes the sampled
+     * counts (like changing the seed), changing `threads` does not.
+     */
+    std::size_t shardShots = 1024;
+
+    /** Upper bound on shards per job. */
+    std::size_t maxShards = 64;
+};
+
+/** One entry of a job's deterministic shard plan. */
+struct Shard
+{
+    std::size_t shots = 0;
+    std::uint64_t seed = 0;
+};
+
+/** Sharded multi-threaded executor over registry backends. */
+class ExecutionEngine
+{
+  public:
+    /** @param registry Defaults to the global registry. */
+    explicit ExecutionEngine(EngineOptions options = {},
+                             BackendRegistry *registry = nullptr);
+
+    /** Shorthand for EngineOptions{.threads = threads}. */
+    explicit ExecutionEngine(std::size_t threads);
+
+    std::size_t threads() const { return pool_.size(); }
+    const EngineOptions &options() const { return options_; }
+    BackendRegistry &registry() const { return *registry_; }
+
+    /**
+     * The shard plan for @p shots shots under @p seed: shot budget
+     * split near-evenly, per-shard seeds derived via splitSeed.
+     * Backends with shardable=false get a single shard.
+     */
+    std::vector<Shard> shardPlan(std::size_t shots, std::uint64_t seed,
+                                 const Backend &backend) const;
+
+    /**
+     * Execute @p job synchronously; shards run on the pool while the
+     * calling thread merges. @throws SimulationError/ValueError on
+     * unsupported circuits or unknown backend names.
+     */
+    Result run(const Job &job);
+
+    /** Convenience: run a circuit without building a Job by hand. */
+    Result run(const Circuit &circuit, std::size_t shots,
+               const std::string &backend = "auto",
+               std::uint64_t seed = 7,
+               const NoiseModel *noise = nullptr);
+
+    /**
+     * Dispatch @p job's shards to the pool immediately and return a
+     * future that merges them on get(). The merge runs on whichever
+     * thread calls get(), so waiting never deadlocks the pool.
+     */
+    std::future<Result> submit(Job job);
+
+    /**
+     * Assertion-flow entry point: execute an instrumented circuit and
+     * decode the assertion report from the merged result.
+     *
+     * @param result_out Optional sink for the merged raw Result.
+     */
+    AssertionReport runInstrumented(const InstrumentedCircuit &inst,
+                                    std::size_t shots,
+                                    const std::string &backend = "auto",
+                                    std::uint64_t seed = 7,
+                                    const NoiseModel *noise = nullptr,
+                                    Result *result_out = nullptr);
+
+  private:
+    std::vector<std::future<Result>> dispatch(const Job &job,
+                                              const BackendPtr &backend);
+
+    EngineOptions options_;
+    BackendRegistry *registry_;
+    ThreadPool pool_;
+};
+
+} // namespace runtime
+} // namespace qra
+
+#endif // QRA_RUNTIME_EXECUTION_ENGINE_HH

@@ -1,0 +1,138 @@
+#include "runtime/job_queue.hh"
+
+#include "common/hash.hh"
+#include "transpile/transpiler.hh"
+
+namespace qra {
+namespace runtime {
+
+JobQueue::JobQueue(ExecutionEngine &engine) : engine_(engine)
+{
+}
+
+std::uint64_t
+JobQueue::prepareKey(const JobSpec &spec)
+{
+    std::uint64_t h = spec.circuit.hash();
+    // Assertion specs key by the assertion object's identity: two
+    // submissions sharing spec objects hit; semantically equal but
+    // distinct objects miss, which costs a re-preparation but can
+    // never alias two different preparations.
+    h = fnv1aMix64(h, spec.assertions.size());
+    for (const AssertionSpec &a : spec.assertions) {
+        h = fnv1aMix64(
+            h, reinterpret_cast<std::uintptr_t>(a.assertion.get()));
+        h = fnv1aMix64(h, a.insertAt);
+        h = fnv1aMix64(h, a.repetitions);
+        for (const Qubit q : a.targets)
+            h = fnv1aMix64(h, static_cast<std::uint64_t>(q));
+    }
+    if (spec.coupling != nullptr) {
+        h = fnv1aMix64(h, spec.coupling->numQubits());
+        for (const auto &[control, target] : spec.coupling->edges()) {
+            h = fnv1aMix64(h, static_cast<std::uint64_t>(control));
+            h = fnv1aMix64(h, static_cast<std::uint64_t>(target));
+        }
+    }
+    return h;
+}
+
+std::shared_ptr<const JobQueue::Prepared>
+JobQueue::prepare(const JobSpec &spec, bool count_stats)
+{
+    const std::uint64_t key = prepareKey(spec);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = cache_.find(key); it != cache_.end()) {
+            if (count_stats)
+                ++hits_;
+            return it->second;
+        }
+    }
+
+    auto prepared = std::make_shared<Prepared>();
+    Circuit working = spec.circuit;
+    if (!spec.assertions.empty()) {
+        auto inst = std::make_shared<InstrumentedCircuit>(
+            instrument(working, spec.assertions));
+        working = inst->circuit();
+        prepared->instrumented = std::move(inst);
+    }
+    if (spec.coupling != nullptr)
+        working = transpile(working, *spec.coupling).circuit;
+    prepared->circuit =
+        std::make_shared<const Circuit>(std::move(working));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A racing thread may have prepared the same key; keep the first
+    // entry so every job of the batch shares one instance.
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+        if (count_stats)
+            ++hits_;
+        return it->second;
+    }
+    if (count_stats)
+        ++misses_;
+    cache_[key] = prepared;
+    return prepared;
+}
+
+std::future<Result>
+JobQueue::submit(const JobSpec &spec)
+{
+    const std::shared_ptr<const Prepared> prepared =
+        prepare(spec, /*count_stats=*/true);
+    Job job;
+    job.circuit = prepared->circuit;
+    job.shots = spec.shots;
+    job.backend = spec.backend;
+    job.seed = spec.seed;
+    job.noise = spec.noise;
+    return engine_.submit(std::move(job));
+}
+
+std::vector<Result>
+JobQueue::runAll(const std::vector<JobSpec> &specs)
+{
+    std::vector<std::future<Result>> futures;
+    futures.reserve(specs.size());
+    for (const JobSpec &spec : specs)
+        futures.push_back(submit(spec));
+    std::vector<Result> results;
+    results.reserve(futures.size());
+    for (std::future<Result> &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+std::shared_ptr<const InstrumentedCircuit>
+JobQueue::instrumented(const JobSpec &spec)
+{
+    return prepare(spec, /*count_stats=*/false)->instrumented;
+}
+
+std::size_t
+JobQueue::cacheHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+JobQueue::cacheMisses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+JobQueue::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace runtime
+} // namespace qra

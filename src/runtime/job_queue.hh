@@ -1,0 +1,119 @@
+/**
+ * @file
+ * JobQueue: the batch front-end of the runtime.
+ *
+ * Submit many (circuit, shots, backend, noise) jobs, get a future per
+ * job; shards of all in-flight jobs interleave on the engine's thread
+ * pool. A preparation cache keyed by Circuit::hash() memoises the
+ * expensive per-circuit work — device transpilation and assertion
+ * injection — so resubmitting the same circuit (the bench suite's
+ * dominant pattern: thousands of shot-jobs over a handful of
+ * circuits) skips straight to execution.
+ */
+
+#ifndef QRA_RUNTIME_JOB_QUEUE_HH
+#define QRA_RUNTIME_JOB_QUEUE_HH
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assertions/injector.hh"
+#include "runtime/execution_engine.hh"
+#include "transpile/coupling_map.hh"
+
+namespace qra {
+namespace runtime {
+
+/** One batch request: a Job plus optional preparation steps. */
+struct JobSpec
+{
+    Circuit circuit{1};
+    std::size_t shots = 1024;
+    std::string backend = "auto";
+    std::uint64_t seed = 7;
+    /** Not owned; must outlive execution. */
+    const NoiseModel *noise = nullptr;
+
+    /**
+     * Assertion checks to inject before execution (cached by payload
+     * hash). Empty = run the circuit as-is.
+     */
+    std::vector<AssertionSpec> assertions;
+
+    /**
+     * Device coupling map to transpile to (cached together with the
+     * injection step). Not owned; null = no transpilation.
+     */
+    const CouplingMap *coupling = nullptr;
+};
+
+/** Batch submission with a prepare (transpile/inject) cache. */
+class JobQueue
+{
+  public:
+    /** @param engine Not owned; must outlive the queue. */
+    explicit JobQueue(ExecutionEngine &engine);
+
+    /**
+     * Prepare @p spec (inject assertions, transpile), reusing the
+     * cache when an identical circuit was prepared before, and hand
+     * the resulting job to the engine. The future resolves to the
+     * merged Result when every shard has run.
+     */
+    std::future<Result> submit(const JobSpec &spec);
+
+    /** Submit every spec, then wait for all results, in order. */
+    std::vector<Result> runAll(const std::vector<JobSpec> &specs);
+
+    /**
+     * The instrumented form of @p spec's circuit, as submit() would
+     * prepare it. Use it to decode Results of jobs with assertions.
+     */
+    std::shared_ptr<const InstrumentedCircuit>
+    instrumented(const JobSpec &spec);
+
+    /**
+     * Prepared-circuit cache hits since construction. Only submit()
+     * counts toward the hit/miss statistics; instrumented() is
+     * introspection and leaves them untouched.
+     */
+    std::size_t cacheHits() const;
+
+    /** Prepared-circuit cache misses since construction. */
+    std::size_t cacheMisses() const;
+
+    void clearCache();
+
+  private:
+    struct Prepared
+    {
+        /** Final executable circuit (injected + transpiled). */
+        std::shared_ptr<const Circuit> circuit;
+        /** Set when the spec requested assertion injection. */
+        std::shared_ptr<const InstrumentedCircuit> instrumented;
+    };
+
+    /** Cache key: payload hash x preparation recipe. */
+    static std::uint64_t prepareKey(const JobSpec &spec);
+
+    /** @param count_stats False for introspection-only lookups. */
+    std::shared_ptr<const Prepared> prepare(const JobSpec &spec,
+                                            bool count_stats);
+
+    ExecutionEngine &engine_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const Prepared>>
+        cache_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace runtime
+} // namespace qra
+
+#endif // QRA_RUNTIME_JOB_QUEUE_HH

@@ -1,0 +1,66 @@
+#include "runtime/thread_pool.hh"
+
+#include "common/error.hh"
+
+namespace qra {
+namespace runtime {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            QRA_FATAL("task submitted to a stopping thread pool");
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ with a drained queue
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the packaged_task's future
+    }
+}
+
+} // namespace runtime
+} // namespace qra

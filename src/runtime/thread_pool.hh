@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker pool used by the execution engine to run shot
+ * shards concurrently. Tasks are arbitrary callables; submit()
+ * returns a std::future for the callable's result, with exceptions
+ * propagated through the future.
+ */
+
+#ifndef QRA_RUNTIME_THREAD_POOL_HH
+#define QRA_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace qra {
+namespace runtime {
+
+/** Fixed set of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 means defaultThreads(). With one
+     *        worker the pool still runs tasks on that worker, so
+     *        submission never executes inline.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Joins all workers after draining queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /** Hardware concurrency, floored at 1. */
+    static std::size_t defaultThreads();
+
+    /** Queue @p task; the future resolves when a worker finishes it. */
+    template <typename F>
+    auto
+    submit(F &&task) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto packaged = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(task));
+        std::future<R> future = packaged->get_future();
+        post([packaged]() { (*packaged)(); });
+        return future;
+    }
+
+  private:
+    void post(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace runtime
+} // namespace qra
+
+#endif // QRA_RUNTIME_THREAD_POOL_HH

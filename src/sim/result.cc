@@ -88,6 +88,27 @@ Result::merge(const Result &other)
 {
     if (numClbits_ != other.numClbits_)
         QRA_FATAL("cannot merge results with different register widths");
+    // Pooled retained fraction: retention is kept/attempted, so the
+    // merge must weight by *attempted* shots (recorded / fraction),
+    // not recorded shots — total kept over total attempted. A side
+    // with no recorded shots contributes no weight.
+    auto attempted = [](std::size_t recorded, double fraction) {
+        if (recorded == 0 || fraction <= 0.0)
+            return 0.0;
+        return static_cast<double>(recorded) / fraction;
+    };
+    const double total_attempted =
+        attempted(shots_, retainedFraction_) +
+        attempted(other.shots_, other.retainedFraction_);
+    if (total_attempted > 0.0)
+        retainedFraction_ =
+            static_cast<double>(shots_ + other.shots_) /
+            total_attempted;
+    // Exact distributions are per-circuit, not per-shot, so merged
+    // shards of the same job carry identical copies; adopt the other
+    // side's when this result has none.
+    if (!exact_ && other.exact_)
+        exact_ = other.exact_;
     for (const auto &[key, n] : other.counts_)
         record(key, n);
 }

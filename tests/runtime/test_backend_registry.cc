@@ -1,0 +1,159 @@
+/**
+ * @file
+ * BackendRegistry: builtin registration, capability flags, creation,
+ * custom registration, and auto-selection policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "library/algorithms.hh"
+#include "noise/device_model.hh"
+#include "runtime/backend_registry.hh"
+#include "runtime/builtin_backends.hh"
+
+using namespace qra;
+using namespace qra::runtime;
+
+TEST(BackendRegistry, GlobalHasAllBuiltins)
+{
+    const auto names = BackendRegistry::global().names();
+    EXPECT_EQ(names.size(), 4u);
+    for (const char *name :
+         {"density", "stabilizer", "statevector", "trajectory"})
+        EXPECT_TRUE(BackendRegistry::global().contains(name))
+            << "missing builtin backend " << name;
+}
+
+TEST(BackendRegistry, CreateReturnsCachedInstance)
+{
+    auto &registry = BackendRegistry::global();
+    const BackendPtr a = registry.create("statevector");
+    const BackendPtr b = registry.create("statevector");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a.get(), b.get()) << "stateless backends should be cached";
+    EXPECT_EQ(a->name(), "statevector");
+}
+
+TEST(BackendRegistry, UnknownNameThrowsListingKnown)
+{
+    try {
+        BackendRegistry::global().create("qpu9000");
+        FAIL() << "expected ValueError";
+    } catch (const ValueError &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("qpu9000"), std::string::npos);
+        EXPECT_NE(message.find("statevector"), std::string::npos);
+    }
+}
+
+TEST(BackendRegistry, CapabilityFlags)
+{
+    auto &registry = BackendRegistry::global();
+    const auto &sv = registry.create("statevector")->capabilities();
+    EXPECT_FALSE(sv.supportsNoise);
+    EXPECT_TRUE(sv.supportsMidCircuitMeasurement);
+    EXPECT_TRUE(sv.shardable);
+
+    const auto &density = registry.create("density")->capabilities();
+    EXPECT_TRUE(density.supportsNoise);
+    EXPECT_FALSE(density.supportsMidCircuitMeasurement);
+    EXPECT_TRUE(density.exactDistribution);
+    EXPECT_FALSE(density.shardable);
+
+    const auto &traj = registry.create("trajectory")->capabilities();
+    EXPECT_TRUE(traj.supportsNoise);
+    EXPECT_TRUE(traj.supportsMidCircuitMeasurement);
+
+    const auto &stab = registry.create("stabilizer")->capabilities();
+    EXPECT_TRUE(stab.cliffordOnly);
+    EXPECT_GT(stab.maxQubits, sv.maxQubits);
+}
+
+TEST(BackendRegistry, RejectReasons)
+{
+    auto &registry = BackendRegistry::global();
+    Circuit t_gate(1, 1);
+    t_gate.t(0).measure(0, 0);
+    EXPECT_FALSE(
+        registry.create("stabilizer")->supports(t_gate, nullptr));
+    EXPECT_TRUE(
+        registry.create("statevector")->supports(t_gate, nullptr));
+
+    // Ancilla reuse: measured qubit gated again.
+    Circuit reuse(2, 2);
+    reuse.h(0).measure(0, 0).x(0).measure(1, 1);
+    EXPECT_FALSE(registry.create("density")->supports(reuse, nullptr));
+    EXPECT_TRUE(
+        registry.create("trajectory")->supports(reuse, nullptr));
+
+    // Noise on a noiseless backend.
+    const DeviceModel device = DeviceModel::ibmqx4();
+    Circuit bell(2, 2);
+    bell.h(0).cx(0, 1).measureAll();
+    EXPECT_FALSE(registry.create("statevector")
+                     ->supports(bell, &device.noiseModel()));
+    EXPECT_TRUE(registry.create("density")
+                    ->supports(bell, &device.noiseModel()));
+}
+
+TEST(BackendRegistry, AutoPicksStatevectorForSmallIdealCircuits)
+{
+    Circuit bell(2, 2);
+    bell.h(0).cx(0, 1).measureAll();
+    const BackendPtr backend =
+        BackendRegistry::global().resolveAuto(bell, nullptr);
+    EXPECT_EQ(backend->name(), "statevector");
+}
+
+TEST(BackendRegistry, AutoPicksDensityForNoisyCircuits)
+{
+    const DeviceModel device = DeviceModel::ibmqx4();
+    Circuit bell(2, 2);
+    bell.h(0).cx(0, 1).measureAll();
+    const BackendPtr backend = BackendRegistry::global().resolveAuto(
+        bell, &device.noiseModel());
+    EXPECT_EQ(backend->name(), "density");
+}
+
+TEST(BackendRegistry, AutoFallsBackToTrajectoryForNoisyReuse)
+{
+    const DeviceModel device = DeviceModel::ibmqx4();
+    Circuit reuse(2, 2);
+    reuse.h(0).measure(0, 0).x(0).measure(1, 1);
+    const BackendPtr backend = BackendRegistry::global().resolveAuto(
+        reuse, &device.noiseModel());
+    EXPECT_EQ(backend->name(), "trajectory");
+}
+
+TEST(BackendRegistry, AutoPicksStabilizerForLargeCliffordCircuits)
+{
+    Circuit ghz = library::ghzState(24);
+    ghz.addClbits(24);
+    ghz.measureAll();
+    const BackendPtr backend =
+        BackendRegistry::global().resolveAuto(ghz, nullptr);
+    EXPECT_EQ(backend->name(), "stabilizer");
+}
+
+TEST(BackendRegistry, ResolveRoutesAutoAndNames)
+{
+    Circuit bell(2, 2);
+    bell.h(0).cx(0, 1).measureAll();
+    auto &registry = BackendRegistry::global();
+    EXPECT_EQ(registry.resolve("auto", bell)->name(), "statevector");
+    EXPECT_EQ(registry.resolve("trajectory", bell)->name(),
+              "trajectory");
+}
+
+TEST(BackendRegistry, CustomRegistration)
+{
+    BackendRegistry registry;
+    EXPECT_TRUE(registry.names().empty());
+    registerBuiltinBackends(registry);
+    EXPECT_EQ(registry.names().size(), 4u);
+
+    // Replace one name with another factory.
+    registry.registerBackend("statevector", makeTrajectoryBackend);
+    EXPECT_EQ(registry.create("statevector")->name(), "trajectory");
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * JobQueue: batch submission, preparation caching keyed by circuit
+ * hash, and the assertion/transpile prepare pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assertions/entanglement_assertion.hh"
+#include "noise/device_model.hh"
+#include "runtime/job_queue.hh"
+
+using namespace qra;
+using namespace qra::runtime;
+
+namespace {
+
+Circuit
+bellCircuit()
+{
+    Circuit c(2, 2, "bell");
+    c.h(0).cx(0, 1).measureAll();
+    return c;
+}
+
+JobSpec
+bellSpec(std::uint64_t seed = 7)
+{
+    JobSpec spec;
+    spec.circuit = bellCircuit();
+    spec.shots = 512;
+    spec.backend = "statevector";
+    spec.seed = seed;
+    return spec;
+}
+
+} // namespace
+
+TEST(CircuitHash, SemanticInvariants)
+{
+    const Circuit a = bellCircuit();
+    Circuit b = bellCircuit();
+    b.setName("renamed"); // names are cosmetic
+    EXPECT_EQ(a.hash(), b.hash());
+
+    Circuit c = bellCircuit();
+    c.x(0); // trailing gate changes semantics
+    EXPECT_NE(a.hash(), c.hash());
+
+    Circuit d(2, 2);
+    d.h(1).cx(1, 0).measureAll(); // same ops, different wires
+    EXPECT_NE(a.hash(), d.hash());
+
+    Circuit e(2, 2);
+    e.rx(0.5, 0);
+    Circuit f(2, 2);
+    f.rx(0.25, 0); // parameters participate
+    EXPECT_NE(e.hash(), f.hash());
+}
+
+TEST(JobQueue, RepeatedSubmissionHitsPrepareCache)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+
+    const DeviceModel device = DeviceModel::ibmqx4();
+    JobSpec spec;
+    spec.circuit = bellCircuit();
+    spec.shots = 256;
+    spec.backend = "statevector";
+    spec.coupling = &device.couplingMap();
+
+    std::vector<std::future<Result>> futures;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        spec.seed = seed;
+        futures.push_back(queue.submit(spec));
+    }
+    for (auto &future : futures)
+        EXPECT_EQ(future.get().shots(), 256u);
+
+    // Seeds and shots are not part of the prepare key: one miss,
+    // then five hits on the transpiled circuit.
+    EXPECT_EQ(queue.cacheMisses(), 1u);
+    EXPECT_EQ(queue.cacheHits(), 5u);
+}
+
+TEST(JobQueue, DistinctCircuitsMissSeparately)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+
+    JobSpec bell = bellSpec();
+    JobSpec flipped = bellSpec();
+    flipped.circuit = Circuit(2, 2);
+    flipped.circuit.h(1).cx(1, 0).measureAll();
+
+    queue.submit(bell).get();
+    queue.submit(flipped).get();
+    queue.submit(bell).get();
+    EXPECT_EQ(queue.cacheMisses(), 2u);
+    EXPECT_EQ(queue.cacheHits(), 1u);
+
+    queue.clearCache();
+    EXPECT_EQ(queue.cacheMisses(), 0u);
+    queue.submit(bell).get();
+    EXPECT_EQ(queue.cacheMisses(), 1u);
+}
+
+TEST(JobQueue, RunAllPreservesOrderAndSeeds)
+{
+    ExecutionEngine engine(EngineOptions{
+        .threads = 4, .shardShots = 64, .maxShards = 16});
+    JobQueue queue(engine);
+
+    std::vector<JobSpec> specs;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        JobSpec spec = bellSpec(seed);
+        spec.shots = 128 + 16 * seed;
+        specs.push_back(spec);
+    }
+    const std::vector<Result> results = queue.runAll(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i].shots(), specs[i].shots);
+
+    // Re-running a spec reproduces its counts exactly.
+    const Result again = queue.submit(specs[3]).get();
+    EXPECT_EQ(again.rawCounts(), results[3].rawCounts());
+}
+
+TEST(JobQueue, AssertionInjectionFlowsThroughQueue)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+
+    JobSpec spec;
+    spec.circuit = Circuit(2, 2, "bell");
+    spec.circuit.h(0).cx(0, 1).measureAll();
+    spec.shots = 1024;
+    spec.backend = "statevector";
+
+    AssertionSpec check;
+    check.assertion = std::make_shared<EntanglementAssertion>(2);
+    check.targets = {0, 1};
+    check.insertAt = 2;
+    spec.assertions = {check};
+
+    const Result result = queue.submit(spec).get();
+    const auto inst = queue.instrumented(spec);
+    ASSERT_NE(inst, nullptr);
+    // Prepared once by submit(); the instrumented() lookup is
+    // introspection and does not move the hit/miss counters.
+    EXPECT_EQ(queue.cacheMisses(), 1u);
+    EXPECT_EQ(queue.cacheHits(), 0u);
+
+    const AssertionReport report = analyze(*inst, result);
+    EXPECT_NEAR(report.anyErrorRate, 0.0, 1e-12);
+
+    // Specs without assertions expose no instrumented circuit.
+    EXPECT_EQ(queue.instrumented(bellSpec()), nullptr);
+}

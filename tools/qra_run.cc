@@ -3,27 +3,29 @@
  * qra_run — command-line assertion runner.
  *
  * Reads an OpenQASM 2.0 file annotated with `// qra:assert-*`
- * directives, instruments it, executes it on a chosen backend and
- * device model, and prints the assertion report plus the (raw and
- * filtered) payload distribution.
+ * directives, instruments it, executes it through the runtime
+ * execution engine on a registry backend, and prints the assertion
+ * report plus the (raw and filtered) payload distribution.
  *
  * Usage:
  *   qra_run FILE.qasm [--shots N] [--device ideal|ibmqx4]
- *           [--backend auto|statevector|density|trajectory|stabilizer]
+ *           [--backend NAME|auto] [--jobs N] [--threads N]
  *           [--seed S] [--draw]
+ *   qra_run --list-backends
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "assertions/directives.hh"
 #include "qra.hh"
-#include "stabilizer/stabilizer_simulator.hh"
 
 using namespace qra;
+using namespace qra::runtime;
 
 namespace {
 
@@ -33,8 +35,11 @@ struct Options
     std::size_t shots = 8192;
     std::string device = "ideal";
     std::string backend = "auto";
+    std::size_t jobs = 1;
+    std::size_t threads = 0; // 0 = hardware concurrency
     std::uint64_t seed = 7;
     bool draw = false;
+    bool listBackends = false;
 };
 
 void
@@ -44,9 +49,10 @@ usage()
         stderr,
         "usage: qra_run FILE.qasm [--shots N] [--device "
         "ideal|ibmqx4]\n"
-        "               [--backend auto|statevector|density|"
-        "trajectory|stabilizer]\n"
-        "               [--seed S] [--draw]\n");
+        "               [--backend NAME|auto] [--jobs N] "
+        "[--threads N]\n"
+        "               [--seed S] [--draw]\n"
+        "       qra_run --list-backends\n");
 }
 
 bool
@@ -77,6 +83,20 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.backend = v;
+        } else if (arg == "--jobs") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.jobs = std::strtoull(v, nullptr, 10);
+            if (opts.jobs == 0) {
+                std::fprintf(stderr, "--jobs must be >= 1\n");
+                return false;
+            }
+        } else if (arg == "--threads") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.threads = std::strtoull(v, nullptr, 10);
         } else if (arg == "--seed") {
             const char *v = next();
             if (!v)
@@ -84,6 +104,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.seed = std::strtoull(v, nullptr, 10);
         } else if (arg == "--draw") {
             opts.draw = true;
+        } else if (arg == "--list-backends") {
+            opts.listBackends = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             return false;
@@ -95,7 +117,26 @@ parseArgs(int argc, char **argv, Options &opts)
             return false;
         }
     }
-    return !opts.file.empty();
+    return opts.listBackends || !opts.file.empty();
+}
+
+void
+listBackends()
+{
+    std::printf("%-14s %-6s %-12s %-6s %-10s %s\n", "name", "noise",
+                "mid-measure", "exact", "max-qubits", "sharding");
+    for (const std::string &name :
+         BackendRegistry::global().names()) {
+        const BackendPtr backend =
+            BackendRegistry::global().create(name);
+        const BackendCapabilities &caps = backend->capabilities();
+        std::printf("%-14s %-6s %-12s %-6s %-10zu %s\n", name.c_str(),
+                    caps.supportsNoise ? "yes" : "no",
+                    caps.supportsMidCircuitMeasurement ? "yes" : "no",
+                    caps.exactDistribution ? "yes" : "no",
+                    caps.maxQubits,
+                    caps.shardable ? "parallel" : "single");
+    }
 }
 
 } // namespace
@@ -108,6 +149,10 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    if (opts.listBackends) {
+        listBackends();
+        return 0;
+    }
 
     std::ifstream in(opts.file);
     if (!in) {
@@ -118,76 +163,79 @@ main(int argc, char **argv)
     buffer << in.rdbuf();
 
     try {
-        const InstrumentedCircuit inst =
-            instrumentAnnotatedQasm(buffer.str());
-        Circuit circuit = inst.circuit();
+        const AnnotatedProgram program =
+            parseAnnotatedQasm(buffer.str());
 
-        // Map to the device if one was requested.
+        // Device model selection governs both the transpile target
+        // and the noise the simulator applies.
+        const NoiseModel *noise = nullptr;
+        const CouplingMap *coupling = nullptr;
+        std::optional<DeviceModel> device;
         if (opts.device == "ibmqx4") {
-            const DeviceModel device = DeviceModel::ibmqx4();
-            const TranspileResult mapped =
-                transpile(circuit, device.couplingMap());
-            std::printf("%s\n", mapped.str().c_str());
-            circuit = mapped.circuit;
+            device.emplace(DeviceModel::ibmqx4());
+            noise = &device->noiseModel();
+            coupling = &device->couplingMap();
         } else if (opts.device != "ideal") {
             std::fprintf(stderr, "unknown device '%s'\n",
                          opts.device.c_str());
             return 2;
         }
 
+        ExecutionEngine engine(
+            EngineOptions{.threads = opts.threads});
+        JobQueue queue(engine);
+
+        // One spec per job; jobs split the shot budget and get
+        // independent seed streams, so --jobs N models N submissions
+        // of the same program batched through the queue.
+        JobSpec spec;
+        spec.circuit = program.payload;
+        spec.backend = opts.backend;
+        spec.noise = noise;
+        spec.coupling = coupling;
+        spec.assertions = program.specs;
+
+        std::vector<JobSpec> batch;
+        for (std::size_t job = 0; job < opts.jobs; ++job) {
+            spec.shots = opts.shots / opts.jobs +
+                         (job < opts.shots % opts.jobs ? 1 : 0);
+            spec.seed = splitSeed(opts.seed, 0x10000 + job);
+            batch.push_back(spec);
+        }
+        const std::vector<Result> results = queue.runAll(batch);
+
+        Result result(results.front().numClbits());
+        for (const Result &partial : results)
+            result.merge(partial);
+
+        // Plain QASM (no qra:assert-* directives) still runs; the
+        // report then has no checks and filtering is the identity.
+        std::shared_ptr<const InstrumentedCircuit> inst =
+            queue.instrumented(batch.front());
+        if (!inst)
+            inst = std::make_shared<const InstrumentedCircuit>(
+                instrument(program.payload, {}));
+
         if (opts.draw)
-            std::printf("%s\n", circuit.draw().c_str());
+            std::printf("%s\n", inst->circuit().draw().c_str());
 
-        // Pick the backend.
-        std::string backend = opts.backend;
-        if (backend == "auto") {
-            if (opts.device == "ibmqx4")
-                backend = "density";
-            else if (StabilizerSimulator::supports(circuit) &&
-                     circuit.numQubits() > 16)
-                backend = "stabilizer";
-            else
-                backend = "statevector";
-        }
+        std::printf("backend: %s, device: %s, shots: %zu, jobs: %zu, "
+                    "threads: %zu (prepare cache: %zu hit%s)\n\n",
+                    opts.backend.c_str(), opts.device.c_str(),
+                    result.shots(), opts.jobs, engine.threads(),
+                    queue.cacheHits(),
+                    queue.cacheHits() == 1 ? "" : "s");
 
-        Result result;
-        const DeviceModel device = DeviceModel::ibmqx4();
-        if (backend == "statevector") {
-            StatevectorSimulator sim(opts.seed);
-            result = sim.run(circuit, opts.shots);
-        } else if (backend == "density") {
-            DensityMatrixSimulator sim(opts.seed);
-            if (opts.device == "ibmqx4")
-                sim.setNoiseModel(&device.noiseModel());
-            result = sim.run(circuit, opts.shots);
-        } else if (backend == "trajectory") {
-            TrajectorySimulator sim(opts.seed);
-            if (opts.device == "ibmqx4")
-                sim.setNoiseModel(&device.noiseModel());
-            result = sim.run(circuit, opts.shots);
-        } else if (backend == "stabilizer") {
-            StabilizerSimulator sim(opts.seed);
-            result = sim.run(circuit, opts.shots);
-        } else {
-            std::fprintf(stderr, "unknown backend '%s'\n",
-                         backend.c_str());
-            return 2;
-        }
-
-        std::printf("backend: %s, device: %s, shots: %zu\n\n",
-                    backend.c_str(), opts.device.c_str(),
-                    result.shots());
-
-        const AssertionReport report = analyze(inst, result);
-        std::printf("%s\n", report.str(inst).c_str());
+        const AssertionReport report = analyze(*inst, result);
+        std::printf("%s\n", report.str(*inst).c_str());
 
         std::printf("raw payload:      %s\n",
                     stats::distributionToString(
-                        report.rawPayload, inst.payloadClbits())
+                        report.rawPayload, inst->payloadClbits())
                         .c_str());
         std::printf("filtered payload: %s\n",
                     stats::distributionToString(
-                        report.filteredPayload, inst.payloadClbits())
+                        report.filteredPayload, inst->payloadClbits())
                         .c_str());
 
         // Exit status mirrors the assertion outcome so the tool can
