@@ -8,6 +8,7 @@
 #ifndef QRA_BENCH_BENCH_UTIL_HH
 #define QRA_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,6 +17,15 @@
 
 namespace qra {
 namespace bench {
+
+/** Seconds elapsed since @p start (for throughput measurements). */
+inline double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 /** Print the bench banner. */
 inline void

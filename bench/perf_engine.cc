@@ -2,20 +2,28 @@
  * @file
  * P2: engine-parallel vs direct single-threaded execution throughput.
  *
- * Runs the same per-shot workload (mid-circuit measurement + reset,
- * so every shot is a full trajectory) directly on
- * StatevectorSimulator::run and through the ExecutionEngine with one
- * shard per pool thread, at 4-16 qubits. Emits one JSON line per
- * size for the bench trajectory, then a human-readable table and a
- * verdict: on hosts with >= 4 cores the engine must deliver >= 2x
- * shots/sec at 16 qubits.
+ * Two sections:
+ *  - per-shot: the same trajectory workload (mid-circuit measurement
+ *    + reset, so every shot is a full state evolution) directly on
+ *    StatevectorSimulator::run and through the ExecutionEngine with
+ *    one shard per pool thread, at 4-16 qubits;
+ *  - sampled: a terminal-measurement workload where the engine cost
+ *    is one evolution + alias-table draws per shard, engine vs
+ *    direct.
  *
- * Usage: perf_engine [SHOTS]   (default 96)
+ * Emits one JSON line per measurement for the bench trajectory, then
+ * a human-readable table and a verdict: on hosts with >= 4 cores the
+ * engine must deliver >= 2x shots/sec at 16 qubits on the per-shot
+ * workload.
+ *
+ * Usage: perf_engine [SHOTS] [--json]   (default 96 per-shot shots;
+ * --json emits only the JSON lines)
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_util.hh"
 #include "qra.hh"
@@ -67,30 +75,39 @@ trajectoryWorkload(std::size_t num_qubits, std::size_t num_gates,
     return c;
 }
 
-double
-secondsSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
+using bench::secondsSince;
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const std::size_t shots =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 96;
+    std::size_t shots = 96;
+    bool json_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json_only = true;
+            continue;
+        }
+        char *end = nullptr;
+        shots = std::strtoull(argv[i], &end, 10);
+        if (end == argv[i] || *end != '\0' || shots == 0) {
+            std::fprintf(stderr,
+                         "usage: perf_engine [SHOTS] [--json]\n");
+            return 2;
+        }
+    }
     const std::size_t threads = ThreadPool::defaultThreads();
 
-    bench::banner("P2",
-                  "engine-parallel vs direct single-threaded "
-                  "state-vector execution");
-    bench::note("host threads: " + std::to_string(threads) +
-                ", shots/size: " + std::to_string(shots));
-    std::printf("  %-8s %14s %14s %10s\n", "qubits", "direct sh/s",
-                "engine sh/s", "speedup");
+    if (!json_only) {
+        bench::banner("P2",
+                      "engine-parallel vs direct single-threaded "
+                      "state-vector execution");
+        bench::note("host threads: " + std::to_string(threads) +
+                    ", shots/size: " + std::to_string(shots));
+        std::printf("  %-8s %14s %14s %10s\n", "qubits",
+                    "direct sh/s", "engine sh/s", "speedup");
+    }
 
     // One shard per pool thread keeps every worker busy exactly once.
     ExecutionEngine engine(EngineOptions{
@@ -125,10 +142,12 @@ main(int argc, char **argv)
         if (num_qubits == 16)
             speedup_at_16 = speedup;
 
-        std::printf("  %-8zu %14.1f %14.1f %9.2fx\n", num_qubits,
-                    direct_sps, engine_sps, speedup);
+        if (!json_only)
+            std::printf("  %-8zu %14.1f %14.1f %9.2fx\n", num_qubits,
+                        direct_sps, engine_sps, speedup);
         // Machine-readable trajectory line.
-        std::printf("{\"bench\":\"perf_engine\",\"qubits\":%zu,"
+        std::printf("{\"bench\":\"perf_engine\","
+                    "\"section\":\"per_shot\",\"qubits\":%zu,"
                     "\"shots\":%zu,\"threads\":%zu,"
                     "\"direct_shots_per_sec\":%.1f,"
                     "\"engine_shots_per_sec\":%.1f,"
@@ -137,14 +156,77 @@ main(int argc, char **argv)
                     engine_sps, speedup);
     }
 
+    // Sampled workload: terminal measurements only, so each shard is
+    // one evolution plus O(1) alias-table draws per shot.
+    {
+        const std::size_t sampled_shots = shots * 40;
+        // Same layer mix as the trajectory workload but without the
+        // mid-circuit measure/reset, so sampled execution is legal.
+        Circuit sampled(16, 16, "perf_engine_sampled");
+        {
+            Rng rng(19);
+            for (std::size_t i = 0; i < 64; ++i) {
+                const Qubit q = static_cast<Qubit>(rng.below(16));
+                switch (rng.below(4)) {
+                  case 0:
+                    sampled.h(q);
+                    break;
+                  case 1:
+                    sampled.t(q);
+                    break;
+                  case 2:
+                    sampled.ry(rng.uniform() * M_PI, q);
+                    break;
+                  default:
+                  {
+                    const Qubit r = static_cast<Qubit>(
+                        (q + 1 + rng.below(15)) % 16);
+                    sampled.cx(q, r);
+                  }
+                }
+            }
+            sampled.measureAll();
+        }
+
+        const auto direct_start = std::chrono::steady_clock::now();
+        StatevectorSimulator direct(23);
+        const Result direct_result =
+            direct.run(sampled, sampled_shots);
+        const double direct_s = secondsSince(direct_start);
+
+        const auto engine_start = std::chrono::steady_clock::now();
+        const Result engine_result =
+            engine.run(sampled, sampled_shots, "statevector", 23);
+        const double engine_s = secondsSince(engine_start);
+
+        const double direct_sps =
+            static_cast<double>(direct_result.shots()) / direct_s;
+        const double engine_sps =
+            static_cast<double>(engine_result.shots()) / engine_s;
+        if (!json_only)
+            std::printf("  sampled (16 qubits, %zu shots): direct "
+                        "%.1f sh/s, engine %.1f sh/s (%.2fx)\n",
+                        sampled_shots, direct_sps, engine_sps,
+                        engine_sps / direct_sps);
+        std::printf("{\"bench\":\"perf_engine\","
+                    "\"section\":\"sampled\",\"qubits\":16,"
+                    "\"shots\":%zu,\"threads\":%zu,"
+                    "\"direct_shots_per_sec\":%.1f,"
+                    "\"engine_shots_per_sec\":%.1f,"
+                    "\"speedup\":%.3f}\n",
+                    sampled_shots, threads, direct_sps, engine_sps,
+                    engine_sps / direct_sps);
+    }
+
     // The parallelism claim only applies where parallelism exists.
     bool ok = true;
     if (threads >= 4) {
         ok = speedup_at_16 >= 2.0;
-        bench::verdict(ok, "engine delivers >= 2x shots/sec over "
-                           "direct single-threaded execution at 16 "
-                           "qubits on a >= 4-core host");
-    } else {
+        if (!json_only)
+            bench::verdict(ok, "engine delivers >= 2x shots/sec over "
+                               "direct single-threaded execution at "
+                               "16 qubits on a >= 4-core host");
+    } else if (!json_only) {
         bench::verdict(true,
                        "host has < 4 threads; speedup is "
                        "informational only on this machine");

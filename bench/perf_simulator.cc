@@ -1,19 +1,53 @@
 /**
  * @file
- * P1: simulator performance micro-benchmarks (google-benchmark).
- * Gate application throughput, qubit-count scaling, backend
- * comparison, and the cost of assertion instrumentation.
+ * P1: simulator performance harness for the kernel subsystem.
+ *
+ * Three sections, each with machine-readable JSON lines for the perf
+ * trajectory:
+ *  - gate throughput: amplitudes/sec per kernel class (diagonal,
+ *    permutation, controlled, general 1q/2q, generic k-qubit) at one
+ *    lane and at all pool lanes;
+ *  - fusion: entry count and wall-time effect of the ExecutablePlan
+ *    single-qubit fusion pass on a 1q-dense random circuit;
+ *  - sampling throughput: shots/sec of sampled execution (alias
+ *    table, O(1) per shot) vs the legacy per-shot cumulative scan.
+ *
+ * Usage: perf_simulator [--json] [--qubits N] [--shots N]
+ *   --json emits only the JSON lines (CI artifact mode).
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include <memory>
-
+#include "bench_util.hh"
+#include "math/gates.hh"
 #include "qra.hh"
+#include "sim/kernels/alias_table.hh"
+#include "sim/kernels/parallel.hh"
+#include "sim/kernels/plan.hh"
 
 using namespace qra;
 
 namespace {
+
+bool g_json_only = false;
+
+using bench::secondsSince;
+
+void
+human(const char *fmt, ...)
+{
+    if (g_json_only)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+}
 
 Circuit
 randomCircuit(std::size_t num_qubits, std::size_t num_gates,
@@ -44,179 +78,257 @@ randomCircuit(std::size_t num_qubits, std::size_t num_gates,
     return c;
 }
 
-void
-BM_SingleQubitGate(benchmark::State &state)
+/**
+ * Time `reps` applications of one lowered operation and return
+ * amplitudes/sec (2^n amps touched per application).
+ */
+double
+gateThroughput(const Operation &op, std::size_t num_qubits,
+               std::size_t reps)
 {
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    StateVector sv(n);
-    const Operation h{.kind = OpKind::H, .qubits = {0}};
-    for (auto _ : state) {
-        sv.applyUnitary(h);
-        benchmark::DoNotOptimize(sv.amplitudes().data());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(std::size_t{1} << n));
+    StateVector sv(num_qubits);
+    const kernels::PlanEntry entry = kernels::lowerOperation(op);
+    // Warm the cache once before timing.
+    sv.applyKernel(entry);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r)
+        sv.applyKernel(entry);
+    const double seconds = secondsSince(start);
+    return static_cast<double>(reps) *
+           static_cast<double>(std::size_t{1} << num_qubits) / seconds;
 }
-BENCHMARK(BM_SingleQubitGate)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
 
 void
-BM_CnotGate(benchmark::State &state)
+gateThroughputSection(std::size_t num_qubits, std::size_t lanes,
+                      runtime::ThreadPool *pool)
 {
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    StateVector sv(n);
-    const Operation cx{.kind = OpKind::CX,
-                       .qubits = {0, static_cast<Qubit>(n - 1)}};
-    for (auto _ : state) {
-        sv.applyUnitary(cx);
-        benchmark::DoNotOptimize(sv.amplitudes().data());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(std::size_t{1} << n));
-}
-BENCHMARK(BM_CnotGate)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+    struct GateCase
+    {
+        const char *name;
+        const char *kernel_class;
+        Operation op;
+    };
+    const Qubit a = 0;
+    const Qubit b = static_cast<Qubit>(num_qubits - 1);
+    const Qubit mid = static_cast<Qubit>(num_qubits / 2);
+    const std::vector<GateCase> cases = {
+        {"h", "general_1q", {.kind = OpKind::H, .qubits = {a}}},
+        {"rz", "diagonal_1q",
+         {.kind = OpKind::RZ, .qubits = {a}, .params = {0.37}}},
+        {"x", "permutation", {.kind = OpKind::X, .qubits = {a}}},
+        {"y", "antidiagonal_1q", {.kind = OpKind::Y, .qubits = {a}}},
+        {"cx", "controlled_x", {.kind = OpKind::CX, .qubits = {a, b}}},
+        {"cz", "phase_mask", {.kind = OpKind::CZ, .qubits = {a, b}}},
+        {"cy", "controlled_1q", {.kind = OpKind::CY, .qubits = {a, b}}},
+        {"swap", "permutation_2q",
+         {.kind = OpKind::Swap, .qubits = {a, b}}},
+        {"ccx", "toffoli",
+         {.kind = OpKind::CCX, .qubits = {a, mid, b}}},
+    };
 
-void
-BM_RandomCircuitStatevector(benchmark::State &state)
-{
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    const Circuit c = randomCircuit(n, 100, 7);
-    StatevectorSimulator sim(1);
-    for (auto _ : state) {
-        const StateVector sv = sim.finalState(c);
-        benchmark::DoNotOptimize(sv.amplitudes().data());
-    }
-}
-BENCHMARK(BM_RandomCircuitStatevector)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
-
-void
-BM_DensityVsStatevector_Density(benchmark::State &state)
-{
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    const Circuit c = randomCircuit(n, 40, 11);
-    DensityMatrixSimulator sim(1);
-    for (auto _ : state) {
-        const DensityMatrix dm = sim.finalState(c);
-        benchmark::DoNotOptimize(dm.matrix().data().data());
-    }
-}
-BENCHMARK(BM_DensityVsStatevector_Density)->Arg(2)->Arg(4)->Arg(6);
-
-void
-BM_NoisyDensityIbmqx4(benchmark::State &state)
-{
-    const DeviceModel device = DeviceModel::ibmqx4();
-    Circuit c(5, 2, "bell");
-    c.h(1).cx(1, 0).measure(1, 0).measure(0, 1);
-    DensityMatrixSimulator sim(1);
-    sim.setNoiseModel(&device.noiseModel());
-    for (auto _ : state) {
-        const auto dist = sim.exactDistribution(c);
-        benchmark::DoNotOptimize(&dist);
-    }
-}
-BENCHMARK(BM_NoisyDensityIbmqx4);
-
-void
-BM_TrajectoryShots(benchmark::State &state)
-{
-    const DeviceModel device = DeviceModel::ibmqx4();
-    Circuit c(5, 2, "bell");
-    c.h(1).cx(1, 0).measure(1, 0).measure(0, 1);
-    TrajectorySimulator sim(1);
-    sim.setNoiseModel(&device.noiseModel());
-    const std::size_t shots =
-        static_cast<std::size_t>(state.range(0));
-    for (auto _ : state) {
-        const Result r = sim.run(c, shots);
-        benchmark::DoNotOptimize(&r);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(shots));
-}
-BENCHMARK(BM_TrajectoryShots)->Arg(64)->Arg(512);
-
-void
-BM_EngineShardedTrajectoryShots(benchmark::State &state)
-{
-    // The engine-parallel counterpart of BM_TrajectoryShots: same
-    // noisy Bell job, shot budget sharded across the pool.
-    const DeviceModel device = DeviceModel::ibmqx4();
-    Circuit c(5, 2, "bell");
-    c.h(1).cx(1, 0).measure(1, 0).measure(0, 1);
-    runtime::ExecutionEngine engine(
-        runtime::EngineOptions{.shardShots = 64});
-    const std::size_t shots =
-        static_cast<std::size_t>(state.range(0));
-    for (auto _ : state) {
-        const Result r =
-            engine.run(c, shots, "trajectory", 1,
-                       &device.noiseModel());
-        benchmark::DoNotOptimize(&r);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(shots));
-}
-BENCHMARK(BM_EngineShardedTrajectoryShots)->Arg(64)->Arg(512);
-
-void
-BM_JobQueueBatchSubmission(benchmark::State &state)
-{
-    // Batch cost of the queue itself: many small jobs over one
-    // cached prepared circuit.
-    const Circuit c = randomCircuit(6, 30, 13);
-    runtime::ExecutionEngine engine(
-        runtime::EngineOptions{.shardShots = 256});
-    runtime::JobQueue queue(engine);
-    for (auto _ : state) {
-        std::vector<runtime::JobSpec> batch(8);
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            batch[i].circuit = c;
-            batch[i].shots = 128;
-            batch[i].backend = "statevector";
-            batch[i].seed = i;
+    const std::size_t reps = 40;
+    human("  %-8s %-16s %16s   (%zu qubits, %zu lane%s)\n", "gate",
+          "kernel class", "amps/sec", num_qubits, lanes,
+          lanes == 1 ? "" : "s");
+    for (const GateCase &gc : cases) {
+        double amps_per_sec = 0.0;
+        {
+            kernels::ParallelScope scope(pool, lanes);
+            amps_per_sec = gateThroughput(gc.op, num_qubits, reps);
         }
-        const auto results = queue.runAll(batch);
-        benchmark::DoNotOptimize(&results);
+        human("  %-8s %-16s %16.3e\n", gc.name, gc.kernel_class,
+              amps_per_sec);
+        std::printf("{\"bench\":\"perf_simulator\","
+                    "\"section\":\"gate_throughput\",\"gate\":\"%s\","
+                    "\"kernel_class\":\"%s\",\"qubits\":%zu,"
+                    "\"lanes\":%zu,\"amps_per_sec\":%.3e}\n",
+                    gc.name, gc.kernel_class, num_qubits, lanes,
+                    amps_per_sec);
     }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 8 * 128);
+
+    // Generic k-qubit path: a dense 8x8 unitary (kron of 1q gates).
+    {
+        const Matrix u8 = gates::h().kron(gates::t()).kron(gates::sx());
+        StateVector sv(num_qubits);
+        const std::vector<Qubit> qs = {a, mid, b};
+        kernels::ParallelScope scope(pool, lanes);
+        sv.applyMatrix(u8, qs);
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < reps; ++r)
+            sv.applyMatrix(u8, qs);
+        const double seconds = secondsSince(start);
+        const double amps_per_sec =
+            static_cast<double>(reps) *
+            static_cast<double>(std::size_t{1} << num_qubits) /
+            seconds;
+        human("  %-8s %-16s %16.3e\n", "u8", "generic_k",
+              amps_per_sec);
+        std::printf("{\"bench\":\"perf_simulator\","
+                    "\"section\":\"gate_throughput\",\"gate\":\"u8\","
+                    "\"kernel_class\":\"generic_k\",\"qubits\":%zu,"
+                    "\"lanes\":%zu,\"amps_per_sec\":%.3e}\n",
+                    num_qubits, lanes, amps_per_sec);
+    }
 }
-BENCHMARK(BM_JobQueueBatchSubmission);
 
 void
-BM_AssertionInstrumentation(benchmark::State &state)
+fusionSection(std::size_t num_qubits)
 {
-    const Circuit payload = randomCircuit(8, 60, 3);
-    std::vector<AssertionSpec> specs;
-    for (Qubit q = 0; q < 4; ++q) {
-        AssertionSpec spec;
-        spec.assertion = std::make_shared<ClassicalAssertion>(0);
-        spec.targets = {q};
-        spec.insertAt = 10 * (q + 1);
-        specs.push_back(spec);
+    // 1q-dense workload: long single-qubit runs between sparse CX.
+    Circuit c(num_qubits, num_qubits, "fusion");
+    Rng rng(29);
+    for (std::size_t i = 0; i < 400; ++i) {
+        const Qubit q = static_cast<Qubit>(rng.below(num_qubits));
+        switch (rng.below(5)) {
+          case 0:
+            c.h(q);
+            break;
+          case 1:
+            c.t(q);
+            break;
+          case 2:
+            c.rz(rng.uniform() * M_PI, q);
+            break;
+          case 3:
+            c.ry(rng.uniform() * M_PI, q);
+            break;
+          default:
+            c.cx(q, static_cast<Qubit>((q + 1) % num_qubits));
+        }
     }
-    for (auto _ : state) {
-        const InstrumentedCircuit inst = instrument(payload, specs);
-        benchmark::DoNotOptimize(&inst);
-    }
-}
-BENCHMARK(BM_AssertionInstrumentation);
 
-void
-BM_TranspileToIbmqx4(benchmark::State &state)
-{
-    const DeviceModel device = DeviceModel::ibmqx4();
-    const Circuit c = randomCircuit(5, 60, 5);
-    for (auto _ : state) {
-        const TranspileResult r =
-            transpile(c, device.couplingMap());
-        benchmark::DoNotOptimize(&r);
-    }
+    const kernels::ExecutablePlan fused =
+        kernels::ExecutablePlan::compile(c, true);
+    const kernels::ExecutablePlan unfused =
+        kernels::ExecutablePlan::compile(c, false);
+
+    auto evolve = [&](const kernels::ExecutablePlan &plan) {
+        StateVector sv(num_qubits);
+        const auto start = std::chrono::steady_clock::now();
+        for (const kernels::PlanEntry &entry : plan.entries())
+            sv.applyKernel(entry);
+        return secondsSince(start);
+    };
+    evolve(fused); // warm-up
+    const double fused_s = evolve(fused);
+    const double unfused_s = evolve(unfused);
+
+    human("  source ops: %zu, entries unfused: %zu, fused: %zu "
+          "(%zu gates absorbed)\n",
+          fused.stats().sourceOps, unfused.stats().entries,
+          fused.stats().entries, fused.stats().fusedGates);
+    human("  evolve unfused: %.4fs, fused: %.4fs (%.2fx)\n",
+          unfused_s, fused_s, unfused_s / fused_s);
+    std::printf("{\"bench\":\"perf_simulator\","
+                "\"section\":\"fusion\",\"qubits\":%zu,"
+                "\"source_ops\":%zu,\"entries_unfused\":%zu,"
+                "\"entries_fused\":%zu,\"fused_gates\":%zu,"
+                "\"unfused_seconds\":%.5f,\"fused_seconds\":%.5f,"
+                "\"speedup\":%.3f}\n",
+                num_qubits, fused.stats().sourceOps,
+                unfused.stats().entries, fused.stats().entries,
+                fused.stats().fusedGates, unfused_s, fused_s,
+                unfused_s / fused_s);
 }
-BENCHMARK(BM_TranspileToIbmqx4);
+
+/** @return alias-table shots/sec; also reports the legacy scan. */
+double
+samplingSection(std::size_t num_qubits, std::size_t shots)
+{
+    Circuit c = randomCircuit(num_qubits, 100, 7);
+    c.measureAll();
+
+    // Sampled execution end-to-end (plan + alias table).
+    StatevectorSimulator sim(23);
+    const auto run_start = std::chrono::steady_clock::now();
+    const Result r = sim.run(c, shots);
+    const double run_s = secondsSince(run_start);
+    const double shots_per_sec =
+        static_cast<double>(r.shots()) / run_s;
+
+    // Legacy per-shot path: one O(2^n) cumulative scan per shot over
+    // the same final state.
+    StatevectorSimulator prep(23);
+    const StateVector state = prep.finalState(c);
+    Rng rng(23);
+    const auto scan_start = std::chrono::steady_clock::now();
+    std::uint64_t sink = 0;
+    for (std::size_t s = 0; s < shots; ++s)
+        sink ^= state.sample(rng);
+    const double scan_s = secondsSince(scan_start);
+    const double scan_shots_per_sec =
+        static_cast<double>(shots) / scan_s;
+
+    human("  sampled run (alias): %12.1f shots/sec  (%zu qubits, %zu "
+          "shots)\n",
+          shots_per_sec, num_qubits, shots);
+    human("  per-shot scan:       %12.1f shots/sec  (sink %llu)\n",
+          scan_shots_per_sec,
+          static_cast<unsigned long long>(sink & 1));
+    human("  alias vs scan: %.2fx\n", shots_per_sec /
+                                          scan_shots_per_sec);
+    std::printf("{\"bench\":\"perf_simulator\","
+                "\"section\":\"sampling_throughput\",\"qubits\":%zu,"
+                "\"shots\":%zu,\"alias_shots_per_sec\":%.1f,"
+                "\"scan_shots_per_sec\":%.1f,\"speedup\":%.3f}\n",
+                num_qubits, shots, shots_per_sec, scan_shots_per_sec,
+                shots_per_sec / scan_shots_per_sec);
+    return shots_per_sec / scan_shots_per_sec;
+}
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t num_qubits = 16;
+    std::size_t shots = 2000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            g_json_only = true;
+        } else if (std::strcmp(argv[i], "--qubits") == 0 &&
+                   i + 1 < argc) {
+            num_qubits = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--shots") == 0 &&
+                   i + 1 < argc) {
+            shots = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_simulator [--json] "
+                         "[--qubits N] [--shots N]\n");
+            return 2;
+        }
+    }
+    // The gate cases need three distinct operands; StateVector caps
+    // at 24 qubits.
+    if (num_qubits < 3 || num_qubits > 24 || shots == 0) {
+        std::fprintf(stderr, "perf_simulator: --qubits must be in "
+                             "[3, 24] and --shots positive\n");
+        return 2;
+    }
+
+    const std::size_t threads = runtime::ThreadPool::defaultThreads();
+    runtime::ThreadPool pool(threads);
+
+    if (!g_json_only)
+        bench::banner("P1", "gate-kernel and sampling throughput");
+
+    human("\n-- gate throughput --\n");
+    gateThroughputSection(num_qubits, 1, &pool);
+    if (threads > 1) {
+        human("\n");
+        gateThroughputSection(num_qubits, threads, &pool);
+    }
+
+    human("\n-- single-qubit fusion --\n");
+    fusionSection(num_qubits);
+
+    human("\n-- sampling throughput --\n");
+    const double speedup = samplingSection(num_qubits, shots);
+
+    const bool ok = speedup >= 2.0;
+    if (!g_json_only)
+        bench::verdict(ok, "alias-table sampling delivers >= 2x "
+                           "shots/sec over the per-shot scan");
+    return ok ? 0 : 1;
+}

@@ -230,6 +230,18 @@ Matrix::isHermitian(double tol) const
 }
 
 bool
+Matrix::isDiagonal(double tol) const
+{
+    if (!isSquare())
+        return false;
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            if (r != c && std::abs((*this)(r, c)) > tol)
+                return false;
+    return true;
+}
+
+bool
 Matrix::isIdentity(double tol) const
 {
     if (!isSquare())

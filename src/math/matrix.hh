@@ -95,6 +95,13 @@ class Matrix
     /** True iff A == A^dagger within @p tol. */
     bool isHermitian(double tol = kTol) const;
 
+    /**
+     * True iff every off-diagonal element has magnitude <= @p tol.
+     * With tol = 0.0 this is an exact structural test, which the gate
+     * kernels use to route diagonal matrices to the cheap path.
+     */
+    bool isDiagonal(double tol = kTol) const;
+
     /** True iff this == I within @p tol. */
     bool isIdentity(double tol = kTol) const;
 

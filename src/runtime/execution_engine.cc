@@ -4,6 +4,7 @@
 
 #include "common/error.hh"
 #include "common/rng.hh"
+#include "sim/kernels/parallel.hh"
 
 namespace qra {
 namespace runtime {
@@ -55,12 +56,26 @@ ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
     if (!reason.empty())
         throw SimulationError(reason);
 
+    const std::vector<Shard> plan =
+        shardPlan(job.shots, job.seed, *backend);
+
+    // Intra-shot lanes: leftover pool capacity divided across the
+    // job's shards (or the explicit intraThreads knob), clamped to
+    // the pool size. Lanes and shards share pool_, and a lane-waiting
+    // shard helps drain the queue, so total concurrency never
+    // exceeds the pool's worker count.
+    std::size_t lanes = options_.intraThreads;
+    if (lanes == 0)
+        lanes = std::max<std::size_t>(
+            1, pool_.size() / std::max<std::size_t>(1, plan.size()));
+    lanes = std::min(lanes, pool_.size());
+
     std::vector<std::future<Result>> futures;
-    for (const Shard &shard :
-         shardPlan(job.shots, job.seed, *backend)) {
+    for (const Shard &shard : plan) {
         futures.push_back(pool_.submit(
-            [backend, circuit = job.circuit, noise = job.noise,
-             shard]() {
+            [backend, circuit = job.circuit, noise = job.noise, shard,
+             lanes, pool = &pool_]() {
+                kernels::ParallelScope scope(pool, lanes);
                 return backend->run(*circuit, shard.shots, shard.seed,
                                     noise);
             }));

@@ -72,6 +72,17 @@ struct EngineOptions
 
     /** Upper bound on shards per job. */
     std::size_t maxShards = 64;
+
+    /**
+     * Amplitude-loop lanes per shard (intra-shot parallelism). 0 =
+     * auto: leftover pool capacity is split across the job's shards
+     * (threads / shard count), so one big-circuit job uses the whole
+     * pool while a many-shard job stays at one lane per shard —
+     * shards and lanes share the single engine pool either way, so
+     * the machine is never oversubscribed. Lane count never affects
+     * results: amplitude splits are bit-deterministic.
+     */
+    std::size_t intraThreads = 0;
 };
 
 /** One entry of a job's deterministic shard plan. */

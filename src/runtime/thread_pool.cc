@@ -32,6 +32,21 @@ ThreadPool::defaultThreads()
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+bool
+ThreadPool::runOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
 void
 ThreadPool::post(std::function<void()> task)
 {

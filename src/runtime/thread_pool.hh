@@ -44,6 +44,17 @@ class ThreadPool
     /** Hardware concurrency, floored at 1. */
     static std::size_t defaultThreads();
 
+    /**
+     * Pop and run one queued task on the calling thread, if any.
+     *
+     * @return true if a task was executed. Lets a thread that is
+     *         waiting on tasks it submitted help drain the queue
+     *         instead of blocking, so nested submission (a pool task
+     *         that itself fans work out to the same pool) can never
+     *         deadlock the pool.
+     */
+    bool runOne();
+
     /** Queue @p task; the future resolves when a worker finishes it. */
     template <typename F>
     auto

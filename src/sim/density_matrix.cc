@@ -5,7 +5,8 @@
 #include "common/error.hh"
 #include "math/linalg.hh"
 #include "noise/kraus.hh"
-#include "sim/kernel.hh"
+#include "sim/kernels/kernels.hh"
+#include "sim/kernels/parallel.hh"
 
 namespace qra {
 
@@ -45,15 +46,20 @@ void
 DensityMatrix::leftMultiply(const Matrix &a,
                             const std::vector<Qubit> &qubits)
 {
+    // Columns transform independently; split them across the scoped
+    // pool (each lane owns a disjoint column range of rho_).
     const std::size_t d = dim();
-    std::vector<Complex> column(d);
-    for (std::size_t c = 0; c < d; ++c) {
-        for (std::size_t r = 0; r < d; ++r)
-            column[r] = rho_(r, c);
-        kernel::applyMatrix(column, a, qubits);
-        for (std::size_t r = 0; r < d; ++r)
-            rho_(r, c) = column[r];
-    }
+    kernels::parallelFor(
+        d, /*grain=*/8, [&](std::uint64_t c0, std::uint64_t c1) {
+            std::vector<Complex> column(d);
+            for (std::size_t c = c0; c < c1; ++c) {
+                for (std::size_t r = 0; r < d; ++r)
+                    column[r] = rho_(r, c);
+                kernels::applyMatrix(column, a, qubits);
+                for (std::size_t r = 0; r < d; ++r)
+                    rho_(r, c) = column[r];
+            }
+        });
 }
 
 void
@@ -64,14 +70,17 @@ DensityMatrix::rightMultiplyAdjoint(const Matrix &a,
     // rho transforms by conj(A) acting on the column-index space.
     const Matrix conj_a = a.conjugate();
     const std::size_t d = dim();
-    std::vector<Complex> row(d);
-    for (std::size_t r = 0; r < d; ++r) {
-        for (std::size_t c = 0; c < d; ++c)
-            row[c] = rho_(r, c);
-        kernel::applyMatrix(row, conj_a, qubits);
-        for (std::size_t c = 0; c < d; ++c)
-            rho_(r, c) = row[c];
-    }
+    kernels::parallelFor(
+        d, /*grain=*/8, [&](std::uint64_t r0, std::uint64_t r1) {
+            std::vector<Complex> row(d);
+            for (std::size_t r = r0; r < r1; ++r) {
+                for (std::size_t c = 0; c < d; ++c)
+                    row[c] = rho_(r, c);
+                kernels::applyMatrix(row, conj_a, qubits);
+                for (std::size_t c = 0; c < d; ++c)
+                    rho_(r, c) = row[c];
+            }
+        });
 }
 
 void

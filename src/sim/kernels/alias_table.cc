@@ -1,0 +1,68 @@
+#include "sim/kernels/alias_table.hh"
+
+#include <limits>
+
+#include "common/error.hh"
+
+namespace qra {
+namespace kernels {
+
+AliasTable::AliasTable(const std::vector<double> &weights)
+{
+    const std::size_t n = weights.size();
+    if (n == 0)
+        throw ValueError("alias table needs at least one weight");
+    if (n > std::numeric_limits<std::uint32_t>::max())
+        throw ValueError("alias table too large");
+
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            throw ValueError("alias table weights must be >= 0");
+        total += w;
+    }
+    if (total <= 0.0)
+        throw ValueError("alias table weights sum to zero");
+
+    // Vose's method: partition columns into under/over-full stacks and
+    // pair each under-full column with an over-full donor.
+    threshold_.assign(n, 1.0);
+    alias_.resize(n);
+    std::vector<double> scaled(n);
+    const double scale = static_cast<double>(n) / total;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * scale;
+        alias_[i] = static_cast<std::uint32_t>(i);
+    }
+
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<std::uint32_t>(i));
+        else
+            large.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t under = small.back();
+        small.pop_back();
+        const std::uint32_t over = large.back();
+        threshold_[under] = scaled[under];
+        alias_[under] = over;
+        scaled[over] -= 1.0 - scaled[under];
+        if (scaled[over] < 1.0) {
+            large.pop_back();
+            small.push_back(over);
+        }
+    }
+    // Numerical leftovers on either stack round to probability 1.
+    for (const std::uint32_t i : small)
+        threshold_[i] = 1.0;
+    for (const std::uint32_t i : large)
+        threshold_[i] = 1.0;
+}
+
+} // namespace kernels
+} // namespace qra

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Walker alias table: O(n) construction from a discrete weight
+ * vector, O(1) sampling per draw.
+ *
+ * Replaces the O(2^n)-per-shot cumulative scan in sampled execution:
+ * runSampled builds the outcome distribution once, constructs the
+ * table, and then every shot costs one uniform variate and two array
+ * reads. Construction is deterministic (two-stack Vose partition), so
+ * for a fixed weight vector the draw sequence depends only on the RNG
+ * stream — never on thread count.
+ */
+
+#ifndef QRA_SIM_KERNELS_ALIAS_TABLE_HH
+#define QRA_SIM_KERNELS_ALIAS_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace qra {
+namespace kernels {
+
+/** O(1) sampler over a fixed discrete distribution. */
+class AliasTable
+{
+  public:
+    /**
+     * Build from non-negative weights (need not be normalised).
+     * @throws ValueError if @p weights is empty or sums to zero.
+     */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    std::size_t size() const { return threshold_.size(); }
+
+    /** Draw one index in [0, size()) using a single uniform variate. */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const double u =
+            rng.uniform() * static_cast<double>(threshold_.size());
+        std::size_t column = static_cast<std::size_t>(u);
+        if (column >= threshold_.size()) // u == 1.0 edge
+            column = threshold_.size() - 1;
+        const double coin = u - static_cast<double>(column);
+        return coin < threshold_[column] ? column : alias_[column];
+    }
+
+  private:
+    /** Probability of keeping the column index (vs its alias). */
+    std::vector<double> threshold_;
+    std::vector<std::uint32_t> alias_;
+};
+
+} // namespace kernels
+} // namespace qra
+
+#endif // QRA_SIM_KERNELS_ALIAS_TABLE_HH

@@ -1,0 +1,306 @@
+#include "sim/kernels/kernels.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hh"
+#include "sim/kernels/parallel.hh"
+
+namespace qra {
+namespace kernels {
+
+namespace {
+
+/** Sort single-bit masks ascending (k is tiny, insertion sort). */
+template <std::size_t K>
+std::array<std::uint64_t, K>
+sortedBits(const std::array<std::uint64_t, K> &bits)
+{
+    std::array<std::uint64_t, K> sorted = bits;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+}
+
+} // namespace
+
+void
+applyGeneral1q(Complex *amps, std::uint64_t n, Qubit q, Complex m00,
+               Complex m01, Complex m10, Complex m11)
+{
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const std::uint64_t low = bit - 1;
+    parallelFor(n >> 1, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h) {
+            const std::uint64_t i0 = ((h & ~low) << 1) | (h & low);
+            const std::uint64_t i1 = i0 | bit;
+            const Complex a0 = amps[i0];
+            const Complex a1 = amps[i1];
+            amps[i0] = m00 * a0 + m01 * a1;
+            amps[i1] = m10 * a0 + m11 * a1;
+        }
+    });
+}
+
+void
+applyDiagonal1q(Complex *amps, std::uint64_t n, Qubit q, Complex d0,
+                Complex d1)
+{
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    parallelFor(n, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i)
+            amps[i] *= (i & bit) ? d1 : d0;
+    });
+}
+
+void
+applyAntiDiagonal1q(Complex *amps, std::uint64_t n, Qubit q, Complex a01,
+                    Complex a10)
+{
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const std::uint64_t low = bit - 1;
+    parallelFor(n >> 1, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h) {
+            const std::uint64_t i0 = ((h & ~low) << 1) | (h & low);
+            const std::uint64_t i1 = i0 | bit;
+            const Complex a0 = amps[i0];
+            amps[i0] = a01 * amps[i1];
+            amps[i1] = a10 * a0;
+        }
+    });
+}
+
+void
+applyX(Complex *amps, std::uint64_t n, Qubit q)
+{
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const std::uint64_t low = bit - 1;
+    parallelFor(n >> 1, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h) {
+            const std::uint64_t i0 = ((h & ~low) << 1) | (h & low);
+            std::swap(amps[i0], amps[i0 | bit]);
+        }
+    });
+}
+
+void
+applyCX(Complex *amps, std::uint64_t n, Qubit control, Qubit target)
+{
+    const std::uint64_t cbit = std::uint64_t{1} << control;
+    const std::uint64_t tbit = std::uint64_t{1} << target;
+    const auto bits = sortedBits<2>({cbit, tbit});
+    parallelFor(n >> 2, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h) {
+            const std::uint64_t i0 =
+                expandIndex(h, bits.data(), 2) | cbit;
+            std::swap(amps[i0], amps[i0 | tbit]);
+        }
+    });
+}
+
+void
+applyCCX(Complex *amps, std::uint64_t n, Qubit control0, Qubit control1,
+         Qubit target)
+{
+    const std::uint64_t c0 = std::uint64_t{1} << control0;
+    const std::uint64_t c1 = std::uint64_t{1} << control1;
+    const std::uint64_t tbit = std::uint64_t{1} << target;
+    const auto bits = sortedBits<3>({c0, c1, tbit});
+    parallelFor(n >> 3, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h) {
+            const std::uint64_t i0 =
+                expandIndex(h, bits.data(), 3) | c0 | c1;
+            std::swap(amps[i0], amps[i0 | tbit]);
+        }
+    });
+}
+
+void
+applySwap(Complex *amps, std::uint64_t n, Qubit q0, Qubit q1)
+{
+    const std::uint64_t b0 = std::uint64_t{1} << q0;
+    const std::uint64_t b1 = std::uint64_t{1} << q1;
+    const auto bits = sortedBits<2>({b0, b1});
+    parallelFor(n >> 2, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h) {
+            const std::uint64_t base = expandIndex(h, bits.data(), 2);
+            std::swap(amps[base | b0], amps[base | b1]);
+        }
+    });
+}
+
+void
+applyPhaseOnMask(Complex *amps, std::uint64_t n, std::uint64_t mask,
+                 Complex phase)
+{
+    // Iterate only the subspace where every mask bit is set.
+    std::array<std::uint64_t, 64> bits{};
+    std::size_t k = 0;
+    for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1)
+        bits[k++] = rest & ~(rest - 1);
+    const std::uint64_t *bits_data = bits.data();
+    parallelFor(n >> k, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h)
+            amps[expandIndex(h, bits_data, k) | mask] *= phase;
+    });
+}
+
+void
+applyControlled1q(Complex *amps, std::uint64_t n, Qubit control,
+                  Qubit target, Complex m00, Complex m01, Complex m10,
+                  Complex m11)
+{
+    const std::uint64_t cbit = std::uint64_t{1} << control;
+    const std::uint64_t tbit = std::uint64_t{1} << target;
+    const auto bits = sortedBits<2>({cbit, tbit});
+    parallelFor(n >> 2, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h) {
+            const std::uint64_t i0 =
+                expandIndex(h, bits.data(), 2) | cbit;
+            const std::uint64_t i1 = i0 | tbit;
+            const Complex a0 = amps[i0];
+            const Complex a1 = amps[i1];
+            amps[i0] = m00 * a0 + m01 * a1;
+            amps[i1] = m10 * a0 + m11 * a1;
+        }
+    });
+}
+
+void
+applyGeneral2q(Complex *amps, std::uint64_t n, Qubit q0, Qubit q1,
+               const Matrix &u)
+{
+    QRA_ASSERT(u.rows() == 4 && u.cols() == 4,
+               "two-qubit kernel requires a 4x4 matrix");
+    const std::uint64_t b0 = std::uint64_t{1} << q0;
+    const std::uint64_t b1 = std::uint64_t{1} << q1;
+    const auto bits = sortedBits<2>({b0, b1});
+    std::array<Complex, 16> m;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            m[4 * r + c] = u(r, c);
+    parallelFor(n >> 2, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t h = begin; h < end; ++h) {
+            const std::uint64_t base = expandIndex(h, bits.data(), 2);
+            const std::uint64_t i1 = base | b0;
+            const std::uint64_t i2 = base | b1;
+            const std::uint64_t i3 = base | b0 | b1;
+            const Complex a0 = amps[base];
+            const Complex a1 = amps[i1];
+            const Complex a2 = amps[i2];
+            const Complex a3 = amps[i3];
+            amps[base] =
+                m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+            amps[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+            amps[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+            amps[i3] =
+                m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+        }
+    });
+}
+
+void
+applyGenericK(Complex *amps, std::uint64_t n, const Matrix &u,
+              const std::vector<Qubit> &qubits)
+{
+    const std::size_t k = qubits.size();
+    const std::size_t block = std::size_t{1} << k;
+    QRA_ASSERT(u.rows() == block && u.cols() == block,
+               "matrix size does not match operand count");
+
+    std::vector<std::uint64_t> bits(k);
+    for (std::size_t j = 0; j < k; ++j)
+        bits[j] = std::uint64_t{1} << qubits[j];
+    std::vector<std::uint64_t> insert_order = bits;
+    std::sort(insert_order.begin(), insert_order.end());
+
+    std::vector<std::uint64_t> offsets(block, 0);
+    for (std::size_t local = 0; local < block; ++local)
+        for (std::size_t j = 0; j < k; ++j)
+            if ((local >> j) & 1)
+                offsets[local] |= bits[j];
+
+    const std::uint64_t bases = n >> k;
+    parallelFor(
+        bases, std::max<std::uint64_t>(1, kParallelGrain >> k),
+        [&](std::uint64_t begin, std::uint64_t end) {
+            std::vector<Complex> in(block), out(block);
+            for (std::uint64_t b = begin; b < end; ++b) {
+                const std::uint64_t base =
+                    expandIndex(b, insert_order.data(), k);
+                for (std::size_t local = 0; local < block; ++local)
+                    in[local] = amps[base | offsets[local]];
+                for (std::size_t r = 0; r < block; ++r) {
+                    Complex acc{0.0, 0.0};
+                    for (std::size_t c = 0; c < block; ++c)
+                        acc += u(r, c) * in[c];
+                    out[r] = acc;
+                }
+                for (std::size_t local = 0; local < block; ++local)
+                    amps[base | offsets[local]] = out[local];
+            }
+        });
+}
+
+void
+applyMatrix(std::vector<Complex> &amps, const Matrix &u,
+            const std::vector<Qubit> &qubits)
+{
+    const std::size_t k = qubits.size();
+    const std::size_t block = std::size_t{1} << k;
+    QRA_ASSERT(u.rows() == block && u.cols() == block,
+               "matrix size does not match operand count");
+    if (k == 1) {
+        if (u.isDiagonal(0.0))
+            applyDiagonal1q(amps.data(), amps.size(), qubits[0],
+                            u(0, 0), u(1, 1));
+        else
+            applyGeneral1q(amps.data(), amps.size(), qubits[0],
+                           u(0, 0), u(0, 1), u(1, 0), u(1, 1));
+        return;
+    }
+    if (k == 2) {
+        applyGeneral2q(amps.data(), amps.size(), qubits[0], qubits[1],
+                       u);
+        return;
+    }
+    applyGenericK(amps.data(), amps.size(), u, qubits);
+}
+
+double
+normSquaredOnMask(const Complex *amps, std::uint64_t n,
+                  std::uint64_t mask, std::uint64_t match)
+{
+    return deterministicSum(
+        n, [=](std::uint64_t begin, std::uint64_t end) {
+            double partial = 0.0;
+            for (std::uint64_t i = begin; i < end; ++i)
+                if ((i & mask) == match)
+                    partial += std::norm(amps[i]);
+            return partial;
+        });
+}
+
+void
+collapseQubit(Complex *amps, std::uint64_t n, Qubit q, int outcome,
+              double scale)
+{
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const std::uint64_t keep = outcome ? bit : 0;
+    parallelFor(n, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i)
+            amps[i] = (i & bit) == keep ? amps[i] * scale
+                                        : Complex{0.0, 0.0};
+    });
+}
+
+void
+computeProbabilities(const Complex *amps, std::uint64_t n, double *probs)
+{
+    parallelFor(n, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i)
+            probs[i] = std::norm(amps[i]);
+    });
+}
+
+} // namespace kernels
+} // namespace qra

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cache-blocked, branch-free gate kernels over a 2^n amplitude array.
+ *
+ * Replaces the old single-function sim/kernel.hh. Each specialization
+ * iterates the *compact* index space of its gate class (half-space for
+ * one-qubit gates, quarter-space for controlled gates, ...) with the
+ * target/control bits re-inserted arithmetically, so the inner loops
+ * have no data-dependent branches and auto-vectorize. Every kernel
+ * splits its index range across the scoped thread pool (see
+ * parallel.hh) above the grain size; splits touch disjoint elements,
+ * so results are bit-identical at any lane count.
+ *
+ * Qubit i is bit i of the basis index (little-endian), matching
+ * StateVector. Kernels do no bounds checking — callers validate
+ * operands (StateVector::applyKernel throws IndexError).
+ */
+
+#ifndef QRA_SIM_KERNELS_KERNELS_HH
+#define QRA_SIM_KERNELS_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.hh"
+#include "math/types.hh"
+
+namespace qra {
+namespace kernels {
+
+/**
+ * Re-insert zero bits at the positions in @p sorted_bits (ascending
+ * single-bit masks) into compact index @p h.
+ */
+inline std::uint64_t
+expandIndex(std::uint64_t h, const std::uint64_t *sorted_bits,
+            std::size_t k)
+{
+    for (std::size_t j = 0; j < k; ++j) {
+        const std::uint64_t low = sorted_bits[j] - 1;
+        h = ((h & ~low) << 1) | (h & low);
+    }
+    return h;
+}
+
+/** General one-qubit unitary [[m00 m01] [m10 m11]] on qubit q. */
+void applyGeneral1q(Complex *amps, std::uint64_t n, Qubit q, Complex m00,
+                    Complex m01, Complex m10, Complex m11);
+
+/** Diagonal one-qubit gate diag(d0, d1) on qubit q (Z, S, T, RZ, P). */
+void applyDiagonal1q(Complex *amps, std::uint64_t n, Qubit q, Complex d0,
+                     Complex d1);
+
+/**
+ * Anti-diagonal one-qubit gate [[0 a01] [a10 0]] on qubit q
+ * (X, Y, phased bit flips).
+ */
+void applyAntiDiagonal1q(Complex *amps, std::uint64_t n, Qubit q,
+                         Complex a01, Complex a10);
+
+/** Pauli-X on qubit q (pure amplitude permutation, no arithmetic). */
+void applyX(Complex *amps, std::uint64_t n, Qubit q);
+
+/** Controlled-X: flip @p target where @p control is 1. */
+void applyCX(Complex *amps, std::uint64_t n, Qubit control,
+             Qubit target);
+
+/** Doubly-controlled X (Toffoli). */
+void applyCCX(Complex *amps, std::uint64_t n, Qubit control0,
+              Qubit control1, Qubit target);
+
+/** Swap qubits q0 and q1. */
+void applySwap(Complex *amps, std::uint64_t n, Qubit q0, Qubit q1);
+
+/**
+ * Multiply amplitudes whose index has *all* bits of @p mask set by
+ * @p phase (Z for a 1-bit mask, CZ for 2 bits, CC...Z generally).
+ */
+void applyPhaseOnMask(Complex *amps, std::uint64_t n, std::uint64_t mask,
+                      Complex phase);
+
+/**
+ * Controlled one-qubit unitary: apply [[m00 m01] [m10 m11]] to
+ * @p target on the subspace where @p control is 1 (CY, CRZ, ...).
+ */
+void applyControlled1q(Complex *amps, std::uint64_t n, Qubit control,
+                       Qubit target, Complex m00, Complex m01,
+                       Complex m10, Complex m11);
+
+/**
+ * General two-qubit unitary; @p u is 4x4 with matrix bit 0 = q0,
+ * bit 1 = q1.
+ */
+void applyGeneral2q(Complex *amps, std::uint64_t n, Qubit q0, Qubit q1,
+                    const Matrix &u);
+
+/**
+ * Generic k-qubit dense unitary; matrix bit j corresponds to
+ * qubits[j]. The reference path every specialization must match.
+ */
+void applyGenericK(Complex *amps, std::uint64_t n, const Matrix &u,
+                   const std::vector<Qubit> &qubits);
+
+/**
+ * Dispatching dense-matrix application (drop-in for the old
+ * kernel::applyMatrix): picks the 1q/2q/k-qubit kernel by operand
+ * count. Used by the density-matrix backend on its rows/columns and
+ * by trajectory Kraus sampling on raw amplitude copies.
+ */
+void applyMatrix(std::vector<Complex> &amps, const Matrix &u,
+                 const std::vector<Qubit> &qubits);
+
+// ---- parallel measurement/sampling reductions -----------------------
+
+/**
+ * Sum of |amps[i]|^2 over indices with (i & mask) == match, reduced
+ * in fixed blocks (bit-identical at any lane count). probabilityOfOne
+ * is mask = match = 1 << q; the total norm is mask = match = 0.
+ */
+double normSquaredOnMask(const Complex *amps, std::uint64_t n,
+                         std::uint64_t mask, std::uint64_t match);
+
+/**
+ * Collapse after measuring @p q = @p outcome: scale surviving
+ * amplitudes by @p scale and zero the rest.
+ */
+void collapseQubit(Complex *amps, std::uint64_t n, Qubit q, int outcome,
+                   double scale);
+
+/** probs[i] = |amps[i]|^2 (parallel elementwise). */
+void computeProbabilities(const Complex *amps, std::uint64_t n,
+                          double *probs);
+
+} // namespace kernels
+} // namespace qra
+
+#endif // QRA_SIM_KERNELS_KERNELS_HH

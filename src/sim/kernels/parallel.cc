@@ -1,0 +1,109 @@
+#include "sim/kernels/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qra {
+namespace kernels {
+
+namespace {
+
+thread_local ParallelConfig tls_config;
+
+} // namespace
+
+const ParallelConfig &
+currentParallelConfig()
+{
+    return tls_config;
+}
+
+ParallelScope::ParallelScope(runtime::ThreadPool *pool, std::size_t lanes)
+    : saved_(tls_config)
+{
+    tls_config.pool = pool;
+    tls_config.lanes = std::max<std::size_t>(1, lanes);
+}
+
+ParallelScope::~ParallelScope()
+{
+    tls_config = saved_;
+}
+
+void
+parallelForSplit(
+    std::uint64_t n, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)> &fn)
+{
+    const ParallelConfig &cfg = tls_config;
+    const std::uint64_t chunks =
+        std::min<std::uint64_t>(cfg.lanes, (n + grain - 1) / grain);
+    const std::uint64_t base = n / chunks;
+    const std::uint64_t remainder = n % chunks;
+
+    std::atomic<std::uint64_t> pending{chunks - 1};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    auto run_chunk = [&](std::uint64_t begin, std::uint64_t end) {
+        try {
+            fn(begin, end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error)
+                error = std::current_exception();
+        }
+    };
+
+    // Chunk 0 runs inline; the rest go to the pool. Chunk boundaries
+    // depend only on (n, grain, lanes), never on scheduling.
+    std::uint64_t begin = base + (remainder > 0 ? 1 : 0);
+    for (std::uint64_t c = 1; c < chunks; ++c) {
+        const std::uint64_t size = base + (c < remainder ? 1 : 0);
+        const std::uint64_t end = begin + size;
+        cfg.pool->submit([&run_chunk, &pending, begin, end]() {
+            run_chunk(begin, end);
+            pending.fetch_sub(1, std::memory_order_acq_rel);
+        });
+        begin = end;
+    }
+    run_chunk(0, base + (remainder > 0 ? 1 : 0));
+
+    // Help drain the pool instead of blocking, so a pool worker that
+    // split its own loop can never deadlock the pool.
+    while (pending.load(std::memory_order_acquire) > 0) {
+        if (!cfg.pool->runOne())
+            std::this_thread::yield();
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+double
+deterministicSumSplit(
+    std::uint64_t n,
+    const std::function<double(std::uint64_t, std::uint64_t)> &fn)
+{
+    const std::uint64_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+    std::vector<double> partials(blocks, 0.0);
+    parallelFor(blocks, /*grain=*/1,
+                [&](std::uint64_t b0, std::uint64_t b1) {
+                    for (std::uint64_t b = b0; b < b1; ++b) {
+                        const std::uint64_t begin = b * kReduceBlock;
+                        const std::uint64_t end =
+                            std::min(n, begin + kReduceBlock);
+                        partials[b] = fn(begin, end);
+                    }
+                });
+
+    double total = 0.0;
+    for (double partial : partials)
+        total += partial;
+    return total;
+}
+
+} // namespace kernels
+} // namespace qra

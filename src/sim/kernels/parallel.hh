@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Intra-shot parallelism for amplitude-level loops.
+ *
+ * A ParallelScope attaches a runtime::ThreadPool plus a lane count to
+ * the *current thread*; parallelFor / deterministicSum consult that
+ * thread-local configuration and split index ranges across the pool
+ * when the range is large enough. Without an active scope every loop
+ * runs serially, so library code is safe to call from any context.
+ *
+ * Two invariants make the split bit-deterministic:
+ *  - parallelFor splits are only used for loops whose iterations touch
+ *    disjoint elements, so any chunking produces identical results.
+ *  - deterministicSum always reduces over *fixed-size* blocks and adds
+ *    the block partials in block order, so the floating-point rounding
+ *    is identical at every lane count (including 1).
+ *
+ * Deadlock safety: the splitting thread never blocks on the pool; it
+ * executes its own chunk inline and then *helps* drain the pool's
+ * queue (ThreadPool::runOne) until its chunks are done. This lets the
+ * execution engine share one pool between shot-level shards and
+ * amplitude-level lanes without oversubscription or deadlock.
+ */
+
+#ifndef QRA_SIM_KERNELS_PARALLEL_HH
+#define QRA_SIM_KERNELS_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/thread_pool.hh"
+
+namespace qra {
+namespace kernels {
+
+/** Thread-local parallel execution configuration. */
+struct ParallelConfig
+{
+    /** Pool amplitude chunks are submitted to (nullptr = serial). */
+    runtime::ThreadPool *pool = nullptr;
+
+    /** Maximum concurrent chunks per loop (1 = serial). */
+    std::size_t lanes = 1;
+
+    bool active() const { return pool != nullptr && lanes > 1; }
+};
+
+/** The calling thread's current configuration (default: serial). */
+const ParallelConfig &currentParallelConfig();
+
+/**
+ * RAII guard: installs a pool/lane configuration on the current
+ * thread for its lifetime, restoring the previous one on exit.
+ */
+class ParallelScope
+{
+  public:
+    ParallelScope(runtime::ThreadPool *pool, std::size_t lanes);
+    ~ParallelScope();
+
+    ParallelScope(const ParallelScope &) = delete;
+    ParallelScope &operator=(const ParallelScope &) = delete;
+
+  private:
+    ParallelConfig saved_;
+};
+
+/** Minimum iterations per chunk before a loop is worth splitting. */
+constexpr std::uint64_t kParallelGrain = std::uint64_t{1} << 14;
+
+/** Fixed reduction block size (independent of lane count). */
+constexpr std::uint64_t kReduceBlock = std::uint64_t{1} << 16;
+
+/** Splitting machinery (type-erased; only reached for large loops). */
+void parallelForSplit(
+    std::uint64_t n, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)> &fn);
+
+double deterministicSumSplit(
+    std::uint64_t n,
+    const std::function<double(std::uint64_t, std::uint64_t)> &fn);
+
+/**
+ * Run @p fn(begin, end) over [0, n) in contiguous chunks, splitting
+ * across the scoped pool when n >= 2 * grain and lanes > 1.
+ * Iterations must touch disjoint data. Exceptions from any chunk are
+ * rethrown on the calling thread (first one wins).
+ *
+ * The serial fast path (no scope, or a small range — every gate on a
+ * small state) invokes the callable directly, with no type erasure
+ * or allocation; only an actually-splitting loop pays for one.
+ */
+template <typename Fn>
+void
+parallelFor(std::uint64_t n, std::uint64_t grain, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+    const ParallelConfig &cfg = currentParallelConfig();
+    if (!cfg.active() || n < 2 * grain) {
+        fn(0, n);
+        return;
+    }
+    parallelForSplit(n, grain, std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+void
+parallelFor(std::uint64_t n, Fn &&fn)
+{
+    parallelFor(n, kParallelGrain, std::forward<Fn>(fn));
+}
+
+/**
+ * Sum @p fn(begin, end) over [0, n) with fixed kReduceBlock blocks.
+ * @p fn returns the partial sum of its sub-range; partials are added
+ * in block order, so the result is bit-identical at any lane count.
+ * Single-block ranges call the callable directly (no erasure).
+ */
+template <typename Fn>
+double
+deterministicSum(std::uint64_t n, Fn &&fn)
+{
+    if (n == 0)
+        return 0.0;
+    if (n <= kReduceBlock)
+        return fn(0, n);
+    return deterministicSumSplit(n, std::forward<Fn>(fn));
+}
+
+} // namespace kernels
+} // namespace qra
+
+#endif // QRA_SIM_KERNELS_PARALLEL_HH

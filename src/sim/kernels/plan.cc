@@ -1,0 +1,265 @@
+#include "sim/kernels/plan.hh"
+
+#include <cmath>
+#include <optional>
+
+#include "common/error.hh"
+
+namespace qra {
+namespace kernels {
+
+namespace {
+
+constexpr Complex kZero{0.0, 0.0};
+constexpr Complex kOne{1.0, 0.0};
+
+/**
+ * Structure-detection tolerance: double rounding in fused products
+ * (e.g. H*H) leaves residuals of a few ULP, far below any physical
+ * amplitude. Entries this close to 0/1 are treated as structural.
+ */
+constexpr double kSnapTol = 1e-15;
+
+bool
+nearZero(Complex v)
+{
+    return std::abs(v.real()) <= kSnapTol &&
+           std::abs(v.imag()) <= kSnapTol;
+}
+
+bool
+nearOne(Complex v)
+{
+    return std::abs(v.real() - 1.0) <= kSnapTol &&
+           std::abs(v.imag()) <= kSnapTol;
+}
+
+/** 2x2 matrix product a * b, row-major arrays. */
+void
+multiply2x2(const Complex a[4], const Complex b[4], Complex out[4])
+{
+    out[0] = a[0] * b[0] + a[1] * b[2];
+    out[1] = a[0] * b[1] + a[1] * b[3];
+    out[2] = a[2] * b[0] + a[3] * b[2];
+    out[3] = a[2] * b[1] + a[3] * b[3];
+}
+
+/** Pending fused 1q matrix on one qubit. */
+struct Pending
+{
+    Qubit q = 0;
+    Complex m[4] = {kOne, kZero, kZero, kOne};
+    std::size_t gates = 0; // source gates absorbed
+};
+
+} // namespace
+
+PlanEntry
+classify1q(Qubit q, Complex m00, Complex m01, Complex m10, Complex m11)
+{
+    PlanEntry entry;
+    entry.q0 = q;
+    entry.m[0] = m00;
+    entry.m[1] = m01;
+    entry.m[2] = m10;
+    entry.m[3] = m11;
+    if (nearZero(m01) && nearZero(m10)) {
+        entry.kind = (nearOne(m00) && nearOne(m11))
+                         ? KernelKind::Identity
+                         : KernelKind::Diagonal1q;
+        entry.m[3] = m11; // diag(m[0], m[3])
+        return entry;
+    }
+    if (nearZero(m00) && nearZero(m11)) {
+        entry.kind = (nearOne(m01) && nearOne(m10))
+                         ? KernelKind::PauliX
+                         : KernelKind::AntiDiagonal1q;
+        return entry;
+    }
+    entry.kind = KernelKind::General1q;
+    return entry;
+}
+
+namespace {
+
+/**
+ * Single-bit mask for a mask-kernel operand. Guarded here because the
+ * shift happens before StateVector's numQubits check can run; a
+ * wrapped shift would silently target the wrong qubit.
+ */
+std::uint64_t
+qubitMask(Qubit q)
+{
+    if (q >= 64)
+        throw IndexError("qubit index " + std::to_string(q) +
+                         " out of range");
+    return std::uint64_t{1} << q;
+}
+
+} // namespace
+
+PlanEntry
+lowerOperation(const Operation &op)
+{
+    PlanEntry entry;
+    switch (op.kind) {
+      case OpKind::Barrier:
+        throw SimulationError("barrier has no kernel lowering");
+      case OpKind::Measure:
+        entry.kind = KernelKind::Measure;
+        entry.q0 = op.qubits[0];
+        if (op.clbit)
+            entry.clbit = *op.clbit;
+        return entry;
+      case OpKind::Reset:
+        entry.kind = KernelKind::ResetQ;
+        entry.q0 = op.qubits[0];
+        return entry;
+      case OpKind::PostSelect:
+        entry.kind = KernelKind::PostSelectQ;
+        entry.q0 = op.qubits[0];
+        entry.postselectValue = op.postselectValue;
+        return entry;
+      case OpKind::I:
+        entry.kind = KernelKind::Identity;
+        entry.q0 = op.qubits[0];
+        return entry;
+      case OpKind::X:
+        entry.kind = KernelKind::PauliX;
+        entry.q0 = op.qubits[0];
+        return entry;
+      case OpKind::Z:
+        entry.kind = KernelKind::PhaseOnMask;
+        entry.mask = qubitMask(op.qubits[0]);
+        entry.phase = Complex{-1.0, 0.0};
+        return entry;
+      case OpKind::CX:
+        entry.kind = KernelKind::ControlledX;
+        entry.q0 = op.qubits[0];
+        entry.q1 = op.qubits[1];
+        return entry;
+      case OpKind::CZ:
+        entry.kind = KernelKind::PhaseOnMask;
+        entry.mask = qubitMask(op.qubits[0]) | qubitMask(op.qubits[1]);
+        entry.phase = Complex{-1.0, 0.0};
+        return entry;
+      case OpKind::Swap:
+        entry.kind = KernelKind::SwapQubits;
+        entry.q0 = op.qubits[0];
+        entry.q1 = op.qubits[1];
+        return entry;
+      case OpKind::CCX:
+        entry.kind = KernelKind::Toffoli;
+        entry.q0 = op.qubits[0];
+        entry.q1 = op.qubits[1];
+        entry.q2 = op.qubits[2];
+        return entry;
+      case OpKind::CY:
+      {
+        entry.kind = KernelKind::Controlled1q;
+        entry.q0 = op.qubits[0];
+        entry.q1 = op.qubits[1];
+        entry.m[0] = kZero;
+        entry.m[1] = Complex{0.0, -1.0};
+        entry.m[2] = Complex{0.0, 1.0};
+        entry.m[3] = kZero;
+        return entry;
+      }
+      default:
+        break;
+    }
+
+    if (!opIsUnitary(op.kind))
+        throw SimulationError(std::string("cannot lower '") +
+                              opName(op.kind) + "' to a kernel");
+    const Matrix u = op.matrix();
+    if (op.qubits.size() == 1)
+        return classify1q(op.qubits[0], u(0, 0), u(0, 1), u(1, 0),
+                          u(1, 1));
+    if (op.qubits.size() == 2) {
+        entry.kind = KernelKind::General2q;
+        entry.q0 = op.qubits[0];
+        entry.q1 = op.qubits[1];
+        entry.dense = u;
+        return entry;
+    }
+    entry.kind = KernelKind::GenericK;
+    entry.qubits = op.qubits;
+    entry.dense = u;
+    return entry;
+}
+
+ExecutablePlan
+ExecutablePlan::compile(const Circuit &circuit, bool fuse)
+{
+    ExecutablePlan plan;
+    plan.numQubits_ = circuit.numQubits();
+    // One pending fused matrix per qubit; index = qubit.
+    std::vector<std::optional<Pending>> pending(circuit.numQubits());
+
+    auto flush = [&](Qubit q) {
+        if (q >= pending.size() || !pending[q])
+            return;
+        const Pending &p = *pending[q];
+        PlanEntry entry =
+            classify1q(p.q, p.m[0], p.m[1], p.m[2], p.m[3]);
+        if (entry.kind == KernelKind::Identity) {
+            // The whole run cancelled (e.g. H H); emit nothing.
+            plan.stats_.fusedGates += p.gates;
+        } else {
+            plan.stats_.fusedGates += p.gates - 1;
+            plan.entries_.push_back(std::move(entry));
+        }
+        pending[q].reset();
+    };
+    auto flush_all = [&]() {
+        for (Qubit q = 0; q < pending.size(); ++q)
+            flush(q);
+    };
+
+    for (const Operation &op : circuit.ops()) {
+        ++plan.stats_.sourceOps;
+        if (op.kind == OpKind::Barrier) {
+            // Fusion fence: respect the author's scheduling intent.
+            flush_all();
+            continue;
+        }
+        if (op.kind == OpKind::I)
+            continue;
+
+        const bool fusable_1q =
+            fuse && opIsUnitary(op.kind) && op.qubits.size() == 1;
+        if (fusable_1q) {
+            const Qubit q = op.qubits[0];
+            if (q < pending.size()) {
+                if (!pending[q]) {
+                    pending[q] = Pending{.q = q};
+                    pending[q]->gates = 0;
+                }
+                const Matrix u = op.matrix();
+                const Complex g[4] = {u(0, 0), u(0, 1), u(1, 0),
+                                      u(1, 1)};
+                Complex fusedm[4];
+                multiply2x2(g, pending[q]->m, fusedm);
+                for (int i = 0; i < 4; ++i)
+                    pending[q]->m[i] = fusedm[i];
+                ++pending[q]->gates;
+                continue;
+            }
+        }
+
+        // Any other instruction: flush pending work on its operands,
+        // then emit the lowered entry.
+        for (Qubit q : op.qubits)
+            flush(q);
+        PlanEntry entry = lowerOperation(op);
+        if (entry.kind != KernelKind::Identity)
+            plan.entries_.push_back(std::move(entry));
+    }
+    flush_all();
+    plan.stats_.entries = plan.entries_.size();
+    return plan;
+}
+
+} // namespace kernels
+} // namespace qra

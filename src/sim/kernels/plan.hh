@@ -1,0 +1,124 @@
+/**
+ * @file
+ * ExecutablePlan: a circuit pre-lowered to kernel dispatch entries.
+ *
+ * Compiling once per job (instead of re-interpreting Operation
+ * structs and re-building gate matrices per shot) buys two things:
+ *  - adjacent single-qubit gates on the same target fuse into one
+ *    2x2 matrix, then classify into the cheapest kernel (identity
+ *    fusions vanish entirely, diagonal fusions skip the pair loop);
+ *  - each entry carries its kernel class, so per-gate dispatch in the
+ *    shot loop is a switch on an enum, not matrix construction.
+ *
+ * Non-unitary instructions (Measure / Reset / PostSelect) lower to
+ * marker entries that the simulators interpret; Barrier acts as a
+ * fusion fence and emits nothing.
+ */
+
+#ifndef QRA_SIM_KERNELS_PLAN_HH
+#define QRA_SIM_KERNELS_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "math/matrix.hh"
+#include "math/types.hh"
+
+namespace qra {
+namespace kernels {
+
+/** Kernel class an entry dispatches to (see kernels.hh). */
+enum class KernelKind : std::uint8_t
+{
+    Identity,      // no-op (fused away); never emitted by compile()
+    Diagonal1q,    // q0; diag(m[0], m[3])
+    AntiDiagonal1q,// q0; [[0 m[1]] [m[2] 0]]
+    General1q,     // q0; m[0..3] row-major
+    PauliX,        // q0
+    ControlledX,   // control q0, target q1
+    Controlled1q,  // control q0, target q1; m[0..3]
+    PhaseOnMask,   // mask; phase
+    SwapQubits,    // q0, q1
+    Toffoli,       // controls q0 q1, target q2
+    General2q,     // q0 (matrix bit 0), q1; dense 4x4
+    GenericK,      // qubits; dense 2^k x 2^k
+    Measure,       // q0 -> clbit
+    ResetQ,        // q0
+    PostSelectQ,   // q0 == postselectValue
+};
+
+/** One lowered instruction. */
+struct PlanEntry
+{
+    KernelKind kind = KernelKind::Identity;
+    Qubit q0 = 0, q1 = 0, q2 = 0;
+    Clbit clbit = 0;
+    int postselectValue = 0;
+    /** Row-major 2x2 for the 1q kernel classes. */
+    Complex m[4] = {};
+    std::uint64_t mask = 0;
+    Complex phase{1.0, 0.0};
+    Matrix dense;
+    std::vector<Qubit> qubits;
+
+    /** True for entries the unitary kernels execute directly. */
+    bool
+    isUnitary() const
+    {
+        return kind != KernelKind::Measure &&
+               kind != KernelKind::ResetQ &&
+               kind != KernelKind::PostSelectQ;
+    }
+};
+
+/**
+ * Classify a 2x2 unitary on @p q into the cheapest kernel class
+ * (Identity / Diagonal1q / AntiDiagonal1q / General1q). Structure is
+ * detected within a few ULP (1e-15), so a fused product like H*H
+ * collapses to Identity despite double rounding, while anything
+ * meaningfully off-structure stays General1q.
+ */
+PlanEntry classify1q(Qubit q, Complex m00, Complex m01, Complex m10,
+                     Complex m11);
+
+/**
+ * Lower a single operation to its kernel entry (no fusion). Used by
+ * StateVector::applyUnitary for ad-hoc gate application.
+ * @throws SimulationError for Barrier (nothing to execute).
+ */
+PlanEntry lowerOperation(const Operation &op);
+
+/** Compile statistics, reported by the perf harness. */
+struct PlanStats
+{
+    std::size_t sourceOps = 0;   // circuit instructions consumed
+    std::size_t entries = 0;     // plan entries emitted
+    std::size_t fusedGates = 0;  // 1q gates absorbed into a neighbour
+};
+
+/** A circuit lowered to kernel dispatch entries. */
+class ExecutablePlan
+{
+  public:
+    /**
+     * Lower @p circuit; with @p fuse, runs of single-qubit gates on
+     * one target collapse into a single classified 2x2 entry.
+     */
+    static ExecutablePlan compile(const Circuit &circuit,
+                                  bool fuse = true);
+
+    const std::vector<PlanEntry> &entries() const { return entries_; }
+    const PlanStats &stats() const { return stats_; }
+    std::size_t numQubits() const { return numQubits_; }
+
+  private:
+    std::vector<PlanEntry> entries_;
+    PlanStats stats_;
+    std::size_t numQubits_ = 0;
+};
+
+} // namespace kernels
+} // namespace qra
+
+#endif // QRA_SIM_KERNELS_PLAN_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small shared helpers for shot-loop execution strategies.
+ */
+
+#ifndef QRA_SIM_SHOT_UTIL_HH
+#define QRA_SIM_SHOT_UTIL_HH
+
+#include <cstddef>
+#include <limits>
+
+namespace qra {
+
+/**
+ * Retry budget for post-selection shot loops: 100 attempts per
+ * requested shot plus slack, saturating instead of overflowing for
+ * very large shot counts.
+ */
+inline std::size_t
+postSelectAttemptBudget(std::size_t shots)
+{
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    if (shots > (kMax - 1000) / 100)
+        return kMax;
+    return shots * 100 + 1000;
+}
+
+} // namespace qra
+
+#endif // QRA_SIM_SHOT_UTIL_HH

@@ -5,7 +5,8 @@
 
 #include "common/error.hh"
 #include "math/linalg.hh"
-#include "sim/kernel.hh"
+#include "sim/kernels/kernels.hh"
+#include "sim/kernels/plan.hh"
 
 namespace qra {
 
@@ -61,7 +62,7 @@ StateVector::applyMatrix(const Matrix &u, const std::vector<Qubit> &qubits)
     for (Qubit q : qubits)
         checkQubit(q);
 
-    kernel::applyMatrix(amps_, u, qubits);
+    kernels::applyMatrix(amps_, u, qubits);
 }
 
 void
@@ -70,52 +71,84 @@ StateVector::applyUnitary(const Operation &op)
     if (!opIsUnitary(op.kind))
         throw SimulationError(std::string("applyUnitary on '") +
                               opName(op.kind) + "'");
+    applyKernel(kernels::lowerOperation(op));
+}
 
-    // Special-case the common controlled gates: permutations/phases
-    // touch half the amplitudes the generic path does.
-    switch (op.kind) {
-      case OpKind::I:
+void
+StateVector::applyKernel(const kernels::PlanEntry &entry)
+{
+    using kernels::KernelKind;
+    Complex *amps = amps_.data();
+    const std::uint64_t n = amps_.size();
+    switch (entry.kind) {
+      case KernelKind::Identity:
+        checkQubit(entry.q0);
         return;
-      case OpKind::X:
-      {
-        const std::uint64_t bit = std::uint64_t{1} << op.qubits[0];
-        for (std::uint64_t i = 0; i < amps_.size(); ++i)
-            if (!(i & bit))
-                std::swap(amps_[i], amps_[i | bit]);
+      case KernelKind::Diagonal1q:
+        checkQubit(entry.q0);
+        kernels::applyDiagonal1q(amps, n, entry.q0, entry.m[0],
+                                 entry.m[3]);
         return;
-      }
-      case OpKind::Z:
-      {
-        const std::uint64_t bit = std::uint64_t{1} << op.qubits[0];
-        for (std::uint64_t i = 0; i < amps_.size(); ++i)
-            if (i & bit)
-                amps_[i] = -amps_[i];
+      case KernelKind::AntiDiagonal1q:
+        checkQubit(entry.q0);
+        kernels::applyAntiDiagonal1q(amps, n, entry.q0, entry.m[1],
+                                     entry.m[2]);
         return;
-      }
-      case OpKind::CX:
-      {
-        checkQubit(op.qubits[0]);
-        checkQubit(op.qubits[1]);
-        const std::uint64_t cbit = std::uint64_t{1} << op.qubits[0];
-        const std::uint64_t tbit = std::uint64_t{1} << op.qubits[1];
-        for (std::uint64_t i = 0; i < amps_.size(); ++i)
-            if ((i & cbit) && !(i & tbit))
-                std::swap(amps_[i], amps_[i | tbit]);
+      case KernelKind::General1q:
+        checkQubit(entry.q0);
+        kernels::applyGeneral1q(amps, n, entry.q0, entry.m[0],
+                                entry.m[1], entry.m[2], entry.m[3]);
         return;
-      }
-      case OpKind::CZ:
-      {
-        const std::uint64_t mask =
-            (std::uint64_t{1} << op.qubits[0]) |
-            (std::uint64_t{1} << op.qubits[1]);
-        for (std::uint64_t i = 0; i < amps_.size(); ++i)
-            if ((i & mask) == mask)
-                amps_[i] = -amps_[i];
+      case KernelKind::PauliX:
+        checkQubit(entry.q0);
+        kernels::applyX(amps, n, entry.q0);
         return;
-      }
-      default:
-        applyMatrix(op.matrix(), op.qubits);
+      case KernelKind::ControlledX:
+        checkQubit(entry.q0);
+        checkQubit(entry.q1);
+        kernels::applyCX(amps, n, entry.q0, entry.q1);
+        return;
+      case KernelKind::Controlled1q:
+        checkQubit(entry.q0);
+        checkQubit(entry.q1);
+        kernels::applyControlled1q(amps, n, entry.q0, entry.q1,
+                                   entry.m[0], entry.m[1], entry.m[2],
+                                   entry.m[3]);
+        return;
+      case KernelKind::PhaseOnMask:
+        if (entry.mask >> numQubits_)
+            throw IndexError("phase mask addresses a qubit out of "
+                             "range");
+        kernels::applyPhaseOnMask(amps, n, entry.mask, entry.phase);
+        return;
+      case KernelKind::SwapQubits:
+        checkQubit(entry.q0);
+        checkQubit(entry.q1);
+        kernels::applySwap(amps, n, entry.q0, entry.q1);
+        return;
+      case KernelKind::Toffoli:
+        checkQubit(entry.q0);
+        checkQubit(entry.q1);
+        checkQubit(entry.q2);
+        kernels::applyCCX(amps, n, entry.q0, entry.q1, entry.q2);
+        return;
+      case KernelKind::General2q:
+        checkQubit(entry.q0);
+        checkQubit(entry.q1);
+        kernels::applyGeneral2q(amps, n, entry.q0, entry.q1,
+                                entry.dense);
+        return;
+      case KernelKind::GenericK:
+        for (Qubit q : entry.qubits)
+            checkQubit(q);
+        kernels::applyGenericK(amps, n, entry.dense, entry.qubits);
+        return;
+      case KernelKind::Measure:
+      case KernelKind::ResetQ:
+      case KernelKind::PostSelectQ:
+        break;
     }
+    throw SimulationError("applyKernel on a non-unitary plan entry");
 }
 
 int
@@ -128,16 +161,8 @@ StateVector::measure(Qubit q, Rng &rng)
     if (p < 1e-15)
         throw SimulationError("measurement collapsed onto a zero-"
                               "probability branch (numerical issue)");
-
-    const std::uint64_t bit = std::uint64_t{1} << q;
-    const double scale = 1.0 / std::sqrt(p);
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        const bool is_one = (i & bit) != 0;
-        if (is_one == (outcome == 1))
-            amps_[i] *= scale;
-        else
-            amps_[i] = 0.0;
-    }
+    kernels::collapseQubit(amps_.data(), amps_.size(), q, outcome,
+                           1.0 / std::sqrt(p));
     return outcome;
 }
 
@@ -151,16 +176,8 @@ StateVector::postSelect(Qubit q, int outcome)
         throw SimulationError(
             "post-selection onto a zero-probability branch (qubit " +
             std::to_string(q) + " == " + std::to_string(outcome) + ")");
-
-    const std::uint64_t bit = std::uint64_t{1} << q;
-    const double scale = 1.0 / std::sqrt(p);
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        const bool is_one = (i & bit) != 0;
-        if (is_one == (outcome == 1))
-            amps_[i] *= scale;
-        else
-            amps_[i] = 0.0;
-    }
+    kernels::collapseQubit(amps_.data(), amps_.size(), q, outcome,
+                           1.0 / std::sqrt(p));
     return p;
 }
 
@@ -169,19 +186,17 @@ StateVector::probabilityOfOne(Qubit q) const
 {
     checkQubit(q);
     const std::uint64_t bit = std::uint64_t{1} << q;
-    double p1 = 0.0;
-    for (std::uint64_t i = 0; i < amps_.size(); ++i)
-        if (i & bit)
-            p1 += std::norm(amps_[i]);
-    return std::min(1.0, p1);
+    return std::min(
+        1.0, kernels::normSquaredOnMask(amps_.data(), amps_.size(),
+                                        bit, bit));
 }
 
 std::vector<double>
 StateVector::probabilities() const
 {
     std::vector<double> probs(amps_.size());
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        probs[i] = std::norm(amps_[i]);
+    kernels::computeProbabilities(amps_.data(), amps_.size(),
+                                  probs.data());
     return probs;
 }
 
@@ -207,6 +222,9 @@ StateVector::marginalProbabilities(const std::vector<Qubit> &qubits) const
 BasisIndex
 StateVector::sample(Rng &rng) const
 {
+    // One-off draw: a linear cumulative scan. Repeated sampling
+    // should build a kernels::AliasTable from probabilities() instead
+    // (O(1) per draw); runSampled does.
     const double u = rng.uniform();
     double acc = 0.0;
     for (std::uint64_t i = 0; i < amps_.size(); ++i) {
@@ -222,7 +240,7 @@ StateVector::resetQubit(Qubit q, Rng &rng)
 {
     const int outcome = measure(q, rng);
     if (outcome == 1)
-        applyUnitary({.kind = OpKind::X, .qubits = {q}});
+        kernels::applyX(amps_.data(), amps_.size(), q);
 }
 
 double
@@ -265,7 +283,8 @@ StateVector::fidelityWith(const StateVector &other) const
 double
 StateVector::norm() const
 {
-    return linalg::norm(amps_);
+    return std::sqrt(kernels::normSquaredOnMask(amps_.data(),
+                                                amps_.size(), 0, 0));
 }
 
 } // namespace qra

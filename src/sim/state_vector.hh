@@ -20,6 +20,10 @@
 
 namespace qra {
 
+namespace kernels {
+struct PlanEntry;
+} // namespace kernels
+
 /** Pure quantum state over a register of qubits. */
 class StateVector
 {
@@ -52,6 +56,13 @@ class StateVector
 
     /** Apply one unitary circuit operation. */
     void applyUnitary(const Operation &op);
+
+    /**
+     * Apply one pre-lowered unitary plan entry (see
+     * kernels::ExecutablePlan). Operand qubits are bounds-checked.
+     * @throws SimulationError for non-unitary entries.
+     */
+    void applyKernel(const kernels::PlanEntry &entry);
 
     /**
      * Measure one qubit in the computational basis; collapses the

@@ -3,6 +3,9 @@
 #include <set>
 
 #include "common/error.hh"
+#include "sim/kernels/alias_table.hh"
+#include "sim/kernels/plan.hh"
+#include "sim/shot_util.hh"
 
 namespace qra {
 
@@ -48,21 +51,27 @@ StatevectorSimulator::runSampled(const Circuit &circuit,
     StateVector state(circuit.numQubits());
     double retained = 1.0;
 
+    // Lower once; all measurements are terminal, so the plan is
+    // unitaries + post-selections followed by Measure markers.
+    const kernels::ExecutablePlan plan =
+        kernels::ExecutablePlan::compile(circuit);
+
     // Qubit -> clbit wiring of the (terminal) measurements.
     std::vector<std::pair<Qubit, Clbit>> wiring;
-    for (const Operation &op : circuit.ops()) {
-        switch (op.kind) {
-          case OpKind::Measure:
-            wiring.emplace_back(op.qubits[0], *op.clbit);
+    for (const kernels::PlanEntry &entry : plan.entries()) {
+        switch (entry.kind) {
+          case kernels::KernelKind::Measure:
+            wiring.emplace_back(entry.q0, entry.clbit);
             break;
-          case OpKind::Barrier:
+          case kernels::KernelKind::PostSelectQ:
+            retained *=
+                state.postSelect(entry.q0, entry.postselectValue);
             break;
-          case OpKind::PostSelect:
-            retained *= state.postSelect(op.qubits[0],
-                                         op.postselectValue);
-            break;
+          case kernels::KernelKind::ResetQ:
+            // measurementsAreTerminal rejects Reset circuits.
+            throw SimulationError("reset in sampled execution");
           default:
-            state.applyUnitary(op);
+            state.applyKernel(entry);
         }
     }
 
@@ -74,11 +83,38 @@ StatevectorSimulator::runSampled(const Circuit &circuit,
         return result;
     }
 
+    // Measured qubits, deduplicated: the marginal distribution is
+    // over one bit per distinct qubit, and each wiring entry maps its
+    // qubit's bit to a clbit.
+    std::vector<Qubit> measured;
+    std::vector<std::pair<std::size_t, Clbit>> bit_wiring;
+    for (const auto &[q, c] : wiring) {
+        std::size_t j = 0;
+        while (j < measured.size() && measured[j] != q)
+            ++j;
+        if (j == measured.size())
+            measured.push_back(q);
+        bit_wiring.emplace_back(j, c);
+    }
+
+    // Build the outcome distribution once, then draw shots in O(1)
+    // each from the alias table instead of scanning 2^n amplitudes
+    // per shot. measureAll-style circuits (every qubit, in wire
+    // order) skip the scatter and use the parallel elementwise
+    // probability kernel; true marginals fall back to one serial
+    // scan, amortised over all shots.
+    bool identity_marginal = measured.size() == state.numQubits();
+    for (std::size_t j = 0; identity_marginal && j < measured.size();
+         ++j)
+        identity_marginal = measured[j] == j;
+    const kernels::AliasTable table(
+        identity_marginal ? state.probabilities()
+                          : state.marginalProbabilities(measured));
     for (std::size_t s = 0; s < shots; ++s) {
-        const BasisIndex basis = state.sample(rng_);
+        const std::uint64_t key = table.sample(rng_);
         std::uint64_t reg = 0;
-        for (const auto &[q, c] : wiring) {
-            if ((basis >> q) & 1)
+        for (const auto &[j, c] : bit_wiring) {
+            if ((key >> j) & 1)
                 reg |= std::uint64_t{1} << c;
             else
                 reg &= ~(std::uint64_t{1} << c);
@@ -96,49 +132,49 @@ StatevectorSimulator::runPerShot(const Circuit &circuit,
     std::size_t attempted = 0;
     std::size_t kept = 0;
 
+    // Lower (and fuse) once; every shot replays the same plan.
+    const kernels::ExecutablePlan plan =
+        kernels::ExecutablePlan::compile(circuit);
+
     // Post-selection in per-shot mode conditions the ensemble: a shot
     // survives each PostSelect with the branch probability, otherwise
     // it is discarded and re-attempted (same semantics as the
     // trajectory backend).
-    const std::size_t max_attempts = shots * 100 + 1000;
+    const std::size_t max_attempts = postSelectAttemptBudget(shots);
     while (kept < shots && attempted < max_attempts) {
         ++attempted;
         StateVector state(circuit.numQubits());
         std::uint64_t reg = 0;
         bool discarded = false;
 
-        for (const Operation &op : circuit.ops()) {
-            switch (op.kind) {
-              case OpKind::Measure:
+        for (const kernels::PlanEntry &entry : plan.entries()) {
+            switch (entry.kind) {
+              case kernels::KernelKind::Measure:
               {
-                const int outcome = state.measure(op.qubits[0], rng_);
+                const int outcome = state.measure(entry.q0, rng_);
                 if (outcome)
-                    reg |= std::uint64_t{1} << *op.clbit;
+                    reg |= std::uint64_t{1} << entry.clbit;
                 else
-                    reg &= ~(std::uint64_t{1} << *op.clbit);
+                    reg &= ~(std::uint64_t{1} << entry.clbit);
                 break;
               }
-              case OpKind::Reset:
-                state.resetQubit(op.qubits[0], rng_);
+              case kernels::KernelKind::ResetQ:
+                state.resetQubit(entry.q0, rng_);
                 break;
-              case OpKind::Barrier:
-                break;
-              case OpKind::PostSelect:
+              case kernels::KernelKind::PostSelectQ:
               {
-                const double p1 =
-                    state.probabilityOfOne(op.qubits[0]);
+                const double p1 = state.probabilityOfOne(entry.q0);
                 const double p =
-                    op.postselectValue ? p1 : 1.0 - p1;
+                    entry.postselectValue ? p1 : 1.0 - p1;
                 if (p < 1e-12 || rng_.uniform() >= p) {
                     discarded = true;
                 } else {
-                    state.postSelect(op.qubits[0],
-                                     op.postselectValue);
+                    state.postSelect(entry.q0, entry.postselectValue);
                 }
                 break;
               }
               default:
-                state.applyUnitary(op);
+                state.applyKernel(entry);
             }
             if (discarded)
                 break;
@@ -161,19 +197,20 @@ StateVector
 StatevectorSimulator::finalState(const Circuit &circuit)
 {
     StateVector state(circuit.numQubits());
-    for (const Operation &op : circuit.ops()) {
-        switch (op.kind) {
-          case OpKind::Measure:
-          case OpKind::Barrier:
+    const kernels::ExecutablePlan plan =
+        kernels::ExecutablePlan::compile(circuit);
+    for (const kernels::PlanEntry &entry : plan.entries()) {
+        switch (entry.kind) {
+          case kernels::KernelKind::Measure:
             break;
-          case OpKind::Reset:
-            state.resetQubit(op.qubits[0], rng_);
+          case kernels::KernelKind::ResetQ:
+            state.resetQubit(entry.q0, rng_);
             break;
-          case OpKind::PostSelect:
-            state.postSelect(op.qubits[0], op.postselectValue);
+          case kernels::KernelKind::PostSelectQ:
+            state.postSelect(entry.q0, entry.postselectValue);
             break;
           default:
-            state.applyUnitary(op);
+            state.applyKernel(entry);
         }
     }
     return state;
@@ -183,21 +220,21 @@ StateVector
 StatevectorSimulator::evolveWithMeasurements(const Circuit &circuit)
 {
     StateVector state(circuit.numQubits());
-    for (const Operation &op : circuit.ops()) {
-        switch (op.kind) {
-          case OpKind::Measure:
-            state.measure(op.qubits[0], rng_);
+    const kernels::ExecutablePlan plan =
+        kernels::ExecutablePlan::compile(circuit);
+    for (const kernels::PlanEntry &entry : plan.entries()) {
+        switch (entry.kind) {
+          case kernels::KernelKind::Measure:
+            state.measure(entry.q0, rng_);
             break;
-          case OpKind::Barrier:
+          case kernels::KernelKind::ResetQ:
+            state.resetQubit(entry.q0, rng_);
             break;
-          case OpKind::Reset:
-            state.resetQubit(op.qubits[0], rng_);
-            break;
-          case OpKind::PostSelect:
-            state.postSelect(op.qubits[0], op.postselectValue);
+          case kernels::KernelKind::PostSelectQ:
+            state.postSelect(entry.q0, entry.postselectValue);
             break;
           default:
-            state.applyUnitary(op);
+            state.applyKernel(entry);
         }
     }
     return state;

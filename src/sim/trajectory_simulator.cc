@@ -4,7 +4,8 @@
 
 #include "circuit/schedule.hh"
 #include "common/error.hh"
-#include "sim/kernel.hh"
+#include "sim/kernels/kernels.hh"
+#include "sim/shot_util.hh"
 
 namespace qra {
 
@@ -29,7 +30,7 @@ TrajectorySimulator::sampleKraus(StateVector &state,
     std::vector<double> weights(ops.size());
     for (std::size_t k = 0; k < ops.size(); ++k) {
         branches[k] = state.amplitudes();
-        kernel::applyMatrix(branches[k], ops[k], qubits);
+        kernels::applyMatrix(branches[k], ops[k], qubits);
         double norm_sq = 0.0;
         for (const Complex &a : branches[k])
             norm_sq += std::norm(a);
@@ -41,16 +42,23 @@ TrajectorySimulator::sampleKraus(StateVector &state,
     state = StateVector::fromAmplitudes(std::move(branches[chosen]));
 }
 
-bool
-TrajectorySimulator::runShot(const Circuit &circuit, StateVector &state,
-                             std::uint64_t &register_value)
+std::vector<TimedMoment>
+TrajectorySimulator::scheduleFor(const Circuit &circuit) const
 {
     const bool noisy = noise_ != nullptr && noise_->enabled();
     auto duration = [&](const Operation &op) {
         return noisy ? noise_->opDuration(op) : 0.0;
     };
-    const std::vector<TimedMoment> moments =
-        computeTimedMoments(circuit, duration);
+    return computeTimedMoments(circuit, duration);
+}
+
+bool
+TrajectorySimulator::runShot(const Circuit &circuit,
+                             const std::vector<TimedMoment> &moments,
+                             StateVector &state,
+                             std::uint64_t &register_value)
+{
+    const bool noisy = noise_ != nullptr && noise_->enabled();
 
     register_value = 0;
     for (const TimedMoment &moment : moments) {
@@ -122,13 +130,18 @@ TrajectorySimulator::run(const Circuit &circuit, std::size_t shots)
     std::size_t attempted = 0;
     std::size_t kept = 0;
 
-    // Cap retries so pathological post-selections terminate.
-    const std::size_t max_attempts = shots * 100 + 1000;
+    // The schedule depends only on the circuit and noise model;
+    // compute it once, not per trajectory.
+    const std::vector<TimedMoment> moments = scheduleFor(circuit);
+
+    // Cap retries so pathological post-selections terminate
+    // (saturating to avoid overflow at extreme shot counts).
+    const std::size_t max_attempts = postSelectAttemptBudget(shots);
     while (kept < shots && attempted < max_attempts) {
         ++attempted;
         StateVector state(circuit.numQubits());
         std::uint64_t reg = 0;
-        if (!runShot(circuit, state, reg))
+        if (!runShot(circuit, moments, state, reg))
             continue;
         result.record(reg);
         ++kept;
@@ -145,10 +158,11 @@ TrajectorySimulator::run(const Circuit &circuit, std::size_t shots)
 StateVector
 TrajectorySimulator::evolveOne(const Circuit &circuit)
 {
+    const std::vector<TimedMoment> moments = scheduleFor(circuit);
     for (int attempt = 0; attempt < 1000; ++attempt) {
         StateVector state(circuit.numQubits());
         std::uint64_t reg = 0;
-        if (runShot(circuit, state, reg))
+        if (runShot(circuit, moments, state, reg))
             return state;
     }
     throw SimulationError("post-selection discarded every trajectory");

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "circuit/circuit.hh"
+#include "circuit/schedule.hh"
 #include "common/rng.hh"
 #include "noise/noise_model.hh"
 #include "sim/result.hh"
@@ -53,9 +54,13 @@ class TrajectorySimulator
     void sampleKraus(StateVector &state, const KrausChannel &channel,
                      const std::vector<Qubit> &qubits);
 
+    /** Timed schedule of @p circuit (computed once per run). */
+    std::vector<TimedMoment> scheduleFor(const Circuit &circuit) const;
+
     /** @return false if the shot must be discarded (post-selection). */
-    bool runShot(const Circuit &circuit, StateVector &state,
-                 std::uint64_t &register_value);
+    bool runShot(const Circuit &circuit,
+                 const std::vector<TimedMoment> &moments,
+                 StateVector &state, std::uint64_t &register_value);
 
     const NoiseModel *noise_ = nullptr;
     Rng rng_;

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Kernel-subsystem tests: every specialized gate kernel (and the
+ * fusion pass) must match the generic dense-matrix path on random
+ * states, at one lane and at several; intra-shot parallelism must be
+ * bit-deterministic; the alias table must reproduce its distribution.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "runtime/execution_engine.hh"
+#include "runtime/thread_pool.hh"
+#include "sim/kernels/alias_table.hh"
+#include "sim/kernels/kernels.hh"
+#include "sim/kernels/parallel.hh"
+#include "sim/kernels/plan.hh"
+#include "sim/shot_util.hh"
+#include "sim/statevector_simulator.hh"
+#include "testutil.hh"
+
+namespace qra {
+namespace {
+
+/** Random normalized state over n qubits. */
+StateVector
+randomState(std::size_t num_qubits, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> amps(std::size_t{1} << num_qubits);
+    for (Complex &a : amps)
+        a = Complex{rng.uniform() - 0.5, rng.uniform() - 0.5};
+    return StateVector::fromAmplitudes(std::move(amps));
+}
+
+/** Random operation drawn over the whole gate vocabulary. */
+Operation
+randomOperation(std::size_t num_qubits, Rng &rng)
+{
+    static const std::vector<OpKind> kinds = {
+        OpKind::I,  OpKind::X,    OpKind::Y,  OpKind::Z,  OpKind::H,
+        OpKind::S,  OpKind::Sdg,  OpKind::T,  OpKind::Tdg,
+        OpKind::SX, OpKind::RX,   OpKind::RY, OpKind::RZ, OpKind::P,
+        OpKind::U,  OpKind::CX,   OpKind::CY, OpKind::CZ,
+        OpKind::Swap, OpKind::CCX};
+    for (;;) {
+        const OpKind kind = kinds[rng.below(kinds.size())];
+        const std::size_t arity = opNumQubits(kind);
+        if (arity > num_qubits)
+            continue;
+        Operation op{.kind = kind};
+        // Distinct random operands.
+        while (op.qubits.size() < arity) {
+            const Qubit q = static_cast<Qubit>(rng.below(num_qubits));
+            bool dup = false;
+            for (Qubit used : op.qubits)
+                dup = dup || used == q;
+            if (!dup)
+                op.qubits.push_back(q);
+        }
+        for (std::size_t p = 0; p < opNumParams(kind); ++p)
+            op.params.push_back(rng.uniform() * 2.0 * M_PI);
+        return op;
+    }
+}
+
+/** Apply @p op through the generic dense path only (the reference). */
+void
+applyDense(StateVector &sv, const Operation &op)
+{
+    std::vector<Complex> amps = sv.amplitudes();
+    kernels::applyGenericK(amps.data(), amps.size(), op.matrix(),
+                           op.qubits);
+    sv = StateVector::fromAmplitudes(std::move(amps));
+}
+
+TEST(KernelsTest, SpecializedKernelsMatchDensePath)
+{
+    Rng rng(101);
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t n = 2 + rng.below(4); // 2..5 qubits
+        const Operation op = randomOperation(n, rng);
+        StateVector fast = randomState(n, 7000 + round);
+        StateVector reference = fast;
+        fast.applyUnitary(op); // kernel dispatch
+        applyDense(reference, op);
+        test::expectAmplitudesNear(fast.amplitudes(),
+                                   reference.amplitudes(), 1e-12);
+    }
+}
+
+TEST(KernelsTest, KernelsMatchDensePathMultiThreaded)
+{
+    runtime::ThreadPool pool(4);
+    Rng rng(103);
+    for (int round = 0; round < 60; ++round) {
+        const std::size_t n = 2 + rng.below(4);
+        const Operation op = randomOperation(n, rng);
+        StateVector fast = randomState(n, 9000 + round);
+        StateVector reference = fast;
+        {
+            kernels::ParallelScope scope(&pool, 4);
+            fast.applyUnitary(op);
+        }
+        applyDense(reference, op);
+        test::expectAmplitudesNear(fast.amplitudes(),
+                                   reference.amplitudes(), 1e-12);
+    }
+}
+
+TEST(KernelsTest, ParallelGateApplicationIsBitIdentical)
+{
+    // Large enough state that the amplitude loops actually split.
+    runtime::ThreadPool pool(4);
+    const Operation ops[] = {
+        {.kind = OpKind::H, .qubits = {9}},
+        {.kind = OpKind::RZ, .qubits = {3}, .params = {0.7}},
+        {.kind = OpKind::X, .qubits = {14}},
+        {.kind = OpKind::CX, .qubits = {2, 12}},
+        {.kind = OpKind::CZ, .qubits = {0, 15}},
+        {.kind = OpKind::CCX, .qubits = {1, 8, 13}},
+    };
+    StateVector serial = randomState(16, 42);
+    StateVector parallel = serial;
+    for (const Operation &op : ops)
+        serial.applyUnitary(op);
+    {
+        kernels::ParallelScope scope(&pool, 4);
+        for (const Operation &op : ops)
+            parallel.applyUnitary(op);
+    }
+    // Bit-identical, not just close: splits touch disjoint elements.
+    EXPECT_EQ(serial.amplitudes(), parallel.amplitudes());
+}
+
+TEST(KernelsTest, ParallelReductionsAreBitIdentical)
+{
+    runtime::ThreadPool pool(4);
+    const StateVector sv = randomState(17, 57);
+    const double serial_p1 = sv.probabilityOfOne(5);
+    const double serial_norm = sv.norm();
+    double parallel_p1 = 0.0, parallel_norm = 0.0;
+    {
+        kernels::ParallelScope scope(&pool, 4);
+        parallel_p1 = sv.probabilityOfOne(5);
+        parallel_norm = sv.norm();
+    }
+    // Fixed-block reduction: identical rounding at any lane count.
+    EXPECT_EQ(serial_p1, parallel_p1);
+    EXPECT_EQ(serial_norm, parallel_norm);
+}
+
+TEST(KernelsTest, FusionMatchesUnfusedOnRandomCircuits)
+{
+    Rng rng(211);
+    for (int round = 0; round < 40; ++round) {
+        const std::size_t n = 2 + rng.below(3);
+        Circuit c(n, n);
+        for (int g = 0; g < 30; ++g)
+            c.append(randomOperation(n, rng));
+
+        const kernels::ExecutablePlan fused =
+            kernels::ExecutablePlan::compile(c, true);
+        const kernels::ExecutablePlan unfused =
+            kernels::ExecutablePlan::compile(c, false);
+        EXPECT_LE(fused.entries().size(), unfused.entries().size());
+
+        StateVector fast = randomState(n, 5000 + round);
+        StateVector reference = fast;
+        for (const kernels::PlanEntry &entry : fused.entries())
+            fast.applyKernel(entry);
+        for (const Operation &op : c.ops()) {
+            if (op.kind != OpKind::Barrier && op.kind != OpKind::I)
+                applyDense(reference, op);
+        }
+        test::expectAmplitudesNear(fast.amplitudes(),
+                                   reference.amplitudes(), 1e-12);
+    }
+}
+
+TEST(KernelsTest, FusionCollapsesInverseRunsToNothing)
+{
+    Circuit c(1, 1);
+    c.h(0).h(0); // H H = I exactly
+    const kernels::ExecutablePlan plan =
+        kernels::ExecutablePlan::compile(c, true);
+    EXPECT_TRUE(plan.entries().empty());
+    EXPECT_EQ(plan.stats().fusedGates, 2u);
+}
+
+TEST(KernelsTest, FusionStopsAtBarriersAndMeasurements)
+{
+    Circuit c(2, 2);
+    c.h(0).barrier().h(0); // barrier fences fusion
+    const kernels::ExecutablePlan fenced =
+        kernels::ExecutablePlan::compile(c, true);
+    EXPECT_EQ(fenced.entries().size(), 2u);
+
+    Circuit cm(1, 1);
+    cm.h(0).measure(0, 0).h(0);
+    const kernels::ExecutablePlan measured =
+        kernels::ExecutablePlan::compile(cm, true);
+    // H, Measure, H: the measurement pins both hadamards in place.
+    ASSERT_EQ(measured.entries().size(), 3u);
+    EXPECT_EQ(measured.entries()[1].kind,
+              kernels::KernelKind::Measure);
+}
+
+TEST(KernelsTest, SampledCountsBitIdenticalAcrossLaneCounts)
+{
+    // End-to-end determinism: same seed, 1 vs 4 intra-shot lanes,
+    // merged counts must match exactly.
+    Circuit c(12, 12);
+    Rng rng(31);
+    for (int g = 0; g < 60; ++g)
+        c.append(randomOperation(12, rng));
+    c.measureAll();
+
+    runtime::ExecutionEngine one_lane(runtime::EngineOptions{
+        .threads = 1, .shardShots = 256, .intraThreads = 1});
+    runtime::ExecutionEngine four_lanes(runtime::EngineOptions{
+        .threads = 4, .shardShots = 256, .intraThreads = 4});
+    const Result a = one_lane.run(c, 1024, "statevector", 77);
+    const Result b = four_lanes.run(c, 1024, "statevector", 77);
+    EXPECT_EQ(a.rawCounts(), b.rawCounts());
+}
+
+TEST(KernelsTest, PerShotCountsBitIdenticalAcrossLaneCounts)
+{
+    // Mid-circuit measurement forces the per-shot path; measurement
+    // collapse probabilities come from the deterministic reduction.
+    Circuit c(10, 2);
+    Rng rng(33);
+    for (int g = 0; g < 30; ++g)
+        c.append(randomOperation(10, rng));
+    c.measure(0, 0).reset(0);
+    for (int g = 0; g < 10; ++g)
+        c.append(randomOperation(10, rng));
+    c.measure(0, 1);
+
+    runtime::ExecutionEngine one_lane(runtime::EngineOptions{
+        .threads = 1, .shardShots = 64, .intraThreads = 1});
+    runtime::ExecutionEngine four_lanes(runtime::EngineOptions{
+        .threads = 4, .shardShots = 64, .intraThreads = 4});
+    const Result a = one_lane.run(c, 128, "statevector", 99);
+    const Result b = four_lanes.run(c, 128, "statevector", 99);
+    EXPECT_EQ(a.rawCounts(), b.rawCounts());
+}
+
+TEST(KernelsTest, AliasTableReproducesDistribution)
+{
+    const std::vector<double> weights = {0.5, 0.25, 0.125, 0.125};
+    const kernels::AliasTable table(weights);
+    Rng rng(5);
+    std::vector<std::size_t> counts(weights.size(), 0);
+    const std::size_t draws = 200000;
+    for (std::size_t i = 0; i < draws; ++i)
+        ++counts[table.sample(rng)];
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        EXPECT_NEAR(static_cast<double>(counts[i]) / draws,
+                    weights[i], 0.01)
+            << "outcome " << i;
+}
+
+TEST(KernelsTest, AliasTableHandlesEdgeCases)
+{
+    // Deterministic single outcome.
+    const kernels::AliasTable point({0.0, 3.0, 0.0});
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(point.sample(rng), 1u);
+
+    // Unnormalised weights are fine; invalid ones throw.
+    EXPECT_NO_THROW((kernels::AliasTable({2.0, 6.0})));
+    EXPECT_THROW((kernels::AliasTable({})), ValueError);
+    EXPECT_THROW((kernels::AliasTable({0.0, 0.0})), ValueError);
+    EXPECT_THROW((kernels::AliasTable({1.0, -0.5})), ValueError);
+}
+
+TEST(KernelsTest, AliasTableMatchesStateVectorProbabilities)
+{
+    const StateVector sv = randomState(6, 77);
+    const kernels::AliasTable table(sv.probabilities());
+    Rng rng(13);
+    std::vector<std::size_t> counts(sv.dim(), 0);
+    const std::size_t draws = 300000;
+    for (std::size_t i = 0; i < draws; ++i)
+        ++counts[table.sample(rng)];
+    const std::vector<double> probs = sv.probabilities();
+    for (std::size_t i = 0; i < sv.dim(); ++i)
+        EXPECT_NEAR(static_cast<double>(counts[i]) / draws, probs[i],
+                    0.01);
+}
+
+TEST(KernelsTest, BoundsCheckedFastPaths)
+{
+    // X, Z, CZ used to index out of range without a check (only CX
+    // threw); all specializations must reject bad operands now.
+    StateVector sv(2);
+    EXPECT_THROW(
+        sv.applyUnitary({.kind = OpKind::X, .qubits = {2}}),
+        IndexError);
+    EXPECT_THROW(
+        sv.applyUnitary({.kind = OpKind::Z, .qubits = {5}}),
+        IndexError);
+    EXPECT_THROW(
+        sv.applyUnitary({.kind = OpKind::CZ, .qubits = {0, 2}}),
+        IndexError);
+    EXPECT_THROW(
+        sv.applyUnitary({.kind = OpKind::CX, .qubits = {3, 0}}),
+        IndexError);
+    EXPECT_THROW(
+        sv.applyUnitary({.kind = OpKind::Swap, .qubits = {0, 4}}),
+        IndexError);
+    EXPECT_THROW(
+        sv.applyUnitary({.kind = OpKind::H, .qubits = {2}}),
+        IndexError);
+    // Mask-kernel operands >= 64 would wrap the bit shift before the
+    // state-size check can see it; they must throw, not alias.
+    EXPECT_THROW(
+        sv.applyUnitary({.kind = OpKind::Z, .qubits = {64}}),
+        IndexError);
+    EXPECT_THROW(
+        sv.applyUnitary({.kind = OpKind::CZ, .qubits = {0, 130}}),
+        IndexError);
+}
+
+TEST(KernelsTest, AttemptBudgetSaturatesInsteadOfOverflowing)
+{
+    EXPECT_EQ(postSelectAttemptBudget(10), 2000u);
+    const std::size_t huge =
+        std::numeric_limits<std::size_t>::max() / 2;
+    EXPECT_EQ(postSelectAttemptBudget(huge),
+              std::numeric_limits<std::size_t>::max());
+    EXPECT_GT(postSelectAttemptBudget(huge), huge);
+}
+
+TEST(KernelsTest, ParallelForPropagatesExceptions)
+{
+    runtime::ThreadPool pool(2);
+    kernels::ParallelScope scope(&pool, 2);
+    EXPECT_THROW(
+        kernels::parallelFor(std::uint64_t{1} << 16, /*grain=*/1,
+                             [](std::uint64_t begin, std::uint64_t) {
+                                 if (begin == 0)
+                                     throw ValueError("boom");
+                             }),
+        ValueError);
+}
+
+} // namespace
+} // namespace qra

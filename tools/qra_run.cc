@@ -10,7 +10,7 @@
  * Usage:
  *   qra_run FILE.qasm [--shots N] [--device ideal|ibmqx4]
  *           [--backend NAME|auto] [--jobs N] [--threads N]
- *           [--seed S] [--draw]
+ *           [--intra-threads N] [--seed S] [--draw]
  *   qra_run --list-backends
  */
 
@@ -36,7 +36,8 @@ struct Options
     std::string device = "ideal";
     std::string backend = "auto";
     std::size_t jobs = 1;
-    std::size_t threads = 0; // 0 = hardware concurrency
+    std::size_t threads = 0;      // 0 = hardware concurrency
+    std::size_t intraThreads = 0; // 0 = auto (pool / shards)
     std::uint64_t seed = 7;
     bool draw = false;
     bool listBackends = false;
@@ -51,7 +52,7 @@ usage()
         "ideal|ibmqx4]\n"
         "               [--backend NAME|auto] [--jobs N] "
         "[--threads N]\n"
-        "               [--seed S] [--draw]\n"
+        "               [--intra-threads N] [--seed S] [--draw]\n"
         "       qra_run --list-backends\n");
 }
 
@@ -97,6 +98,11 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.threads = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--intra-threads") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.intraThreads = std::strtoull(v, nullptr, 10);
         } else if (arg == "--seed") {
             const char *v = next();
             if (!v)
@@ -182,7 +188,8 @@ main(int argc, char **argv)
         }
 
         ExecutionEngine engine(
-            EngineOptions{.threads = opts.threads});
+            EngineOptions{.threads = opts.threads,
+                          .intraThreads = opts.intraThreads});
         JobQueue queue(engine);
 
         // One spec per job; jobs split the shot budget and get
