@@ -11,6 +11,11 @@
  *    is one evolution + alias-table draws per shard, engine vs
  *    direct.
  *
+ * A third section measures the JobQueue's cross-job sampling cache:
+ * the same sampled job resubmitted through the queue reuses the
+ * lowered plan and alias table, so warm jobs skip the evolution
+ * entirely.
+ *
  * Emits one JSON line per measurement for the bench trajectory, then
  * a human-readable table and a verdict: on hosts with >= 4 cores the
  * engine must deliver >= 2x shots/sec at 16 qubits on the per-shot
@@ -216,6 +221,75 @@ main(int argc, char **argv)
                     "\"speedup\":%.3f}\n",
                     sampled_shots, threads, direct_sps, engine_sps,
                     engine_sps / direct_sps);
+    }
+
+    // Sampling cache: one batch of identical sampled jobs cold (first
+    // job builds plan + alias table), then the same batch warm (every
+    // job hits). The ablation_noise_sweep pattern.
+    {
+        const std::size_t jobs = 8;
+        Circuit sampled(16, 16, "perf_engine_cached");
+        {
+            Rng rng(29);
+            for (std::size_t i = 0; i < 64; ++i) {
+                const Qubit q = static_cast<Qubit>(rng.below(16));
+                switch (rng.below(4)) {
+                  case 0:
+                    sampled.h(q);
+                    break;
+                  case 1:
+                    sampled.t(q);
+                    break;
+                  case 2:
+                    sampled.ry(rng.uniform() * M_PI, q);
+                    break;
+                  default:
+                  {
+                    const Qubit r = static_cast<Qubit>(
+                        (q + 1 + rng.below(15)) % 16);
+                    sampled.cx(q, r);
+                  }
+                }
+            }
+            sampled.measureAll();
+        }
+
+        JobQueue queue(engine);
+        std::vector<JobSpec> batch;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            JobSpec spec;
+            spec.circuit = sampled;
+            spec.shots = shots;
+            spec.backend = "statevector";
+            spec.seed = 100 + j;
+            batch.push_back(spec);
+        }
+
+        const auto cold_start = std::chrono::steady_clock::now();
+        queue.runAll(batch);
+        const double cold_s = secondsSince(cold_start);
+        const std::size_t cold_hits = queue.samplingCacheHits();
+
+        const auto warm_start = std::chrono::steady_clock::now();
+        queue.runAll(batch);
+        const double warm_s = secondsSince(warm_start);
+
+        if (!json_only)
+            std::printf("  sampling cache (%zu jobs x %zu shots): "
+                        "cold %.4fs, warm %.4fs (%.2fx), "
+                        "%zu hits / %zu misses\n",
+                        jobs, shots, cold_s, warm_s, cold_s / warm_s,
+                        queue.samplingCacheHits(),
+                        queue.samplingCacheMisses());
+        std::printf("{\"bench\":\"perf_engine\","
+                    "\"section\":\"sampling_cache\",\"qubits\":16,"
+                    "\"jobs\":%zu,\"shots\":%zu,"
+                    "\"cold_seconds\":%.5f,\"warm_seconds\":%.5f,"
+                    "\"speedup\":%.3f,\"cold_hits\":%zu,"
+                    "\"hits\":%zu,\"misses\":%zu}\n",
+                    jobs, shots, cold_s, warm_s, cold_s / warm_s,
+                    cold_hits, queue.samplingCacheHits(),
+                    queue.samplingCacheMisses());
     }
 
     // The parallelism claim only applies where parallelism exists.

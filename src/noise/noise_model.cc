@@ -1,9 +1,11 @@
 #include "noise/noise_model.hh"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/error.hh"
+#include "common/hash.hh"
 #include "noise/channels.hh"
 
 namespace qra {
@@ -149,6 +151,48 @@ NoiseModel::readoutFor(Qubit q) const
     if (it == readout_.end() || it->second.isPerfect())
         return nullptr;
     return &it->second;
+}
+
+std::uint64_t
+NoiseModel::fingerprint() const
+{
+    std::uint64_t h = kFnv1aOffset;
+    const auto mix_double = [&](double v) {
+        h = fnv1aMix64(h, std::bit_cast<std::uint64_t>(v));
+    };
+    h = fnv1aMix64(h, gateError_.size());
+    for (const auto &[kind, p] : gateError_) {
+        h = fnv1aMix64(h, static_cast<std::uint64_t>(kind));
+        mix_double(p);
+    }
+    h = fnv1aMix64(h, operandGateError_.size());
+    for (const auto &[key, p] : operandGateError_) {
+        h = fnv1aMix64(h, static_cast<std::uint64_t>(key.first));
+        // Length prefix keeps the qubit list unambiguous against the
+        // probability bits that follow (as Circuit::hash does).
+        h = fnv1aMix64(h, key.second.size());
+        for (const Qubit q : key.second)
+            h = fnv1aMix64(h, static_cast<std::uint64_t>(q));
+        mix_double(p);
+    }
+    h = fnv1aMix64(h, gateDurationNs_.size());
+    for (const auto &[kind, ns] : gateDurationNs_) {
+        h = fnv1aMix64(h, static_cast<std::uint64_t>(kind));
+        mix_double(ns);
+    }
+    h = fnv1aMix64(h, relaxation_.size());
+    for (const auto &[q, relax] : relaxation_) {
+        h = fnv1aMix64(h, static_cast<std::uint64_t>(q));
+        mix_double(relax.t1Ns);
+        mix_double(relax.t2Ns);
+    }
+    h = fnv1aMix64(h, readout_.size());
+    for (const auto &[q, ro] : readout_) {
+        h = fnv1aMix64(h, static_cast<std::uint64_t>(q));
+        mix_double(ro.pRead1Given0());
+        mix_double(ro.pRead0Given1());
+    }
+    return h;
 }
 
 std::string

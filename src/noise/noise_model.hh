@@ -16,6 +16,7 @@
 #ifndef QRA_NOISE_NOISE_MODEL_HH
 #define QRA_NOISE_NOISE_MODEL_HH
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -96,6 +97,16 @@ class NoiseModel
 
     /** Summary for logs/benches. */
     std::string str() const;
+
+    /**
+     * Semantic 64-bit hash over every configured error source. Two
+     * models that produce identical channels hash identically, so
+     * cached per-(circuit, noise) artifacts (trajectory plans in the
+     * runtime's sampling cache) are keyed by content, not by object
+     * identity — a freed-and-reallocated model can never alias a
+     * stale cache entry.
+     */
+    std::uint64_t fingerprint() const;
 
   private:
     struct Relaxation

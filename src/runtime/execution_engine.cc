@@ -20,6 +20,9 @@ ExecutionEngine::ExecutionEngine(EngineOptions options,
         throw ValueError("EngineOptions.shardShots must be positive");
     if (options_.maxShards == 0)
         throw ValueError("EngineOptions.maxShards must be positive");
+    if (options_.fusionLevel < kernels::kFusionNone ||
+        options_.fusionLevel > kernels::kFusion2q)
+        throw ValueError("EngineOptions.fusionLevel must be 0, 1 or 2");
 }
 
 ExecutionEngine::ExecutionEngine(std::size_t threads)
@@ -74,8 +77,11 @@ ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
     for (const Shard &shard : plan) {
         futures.push_back(pool_.submit(
             [backend, circuit = job.circuit, noise = job.noise, shard,
-             lanes, pool = &pool_]() {
+             lanes, pool = &pool_, fusion = options_.fusionLevel,
+             artifacts = job.artifacts]() {
                 kernels::ParallelScope scope(pool, lanes);
+                kernels::FusionScope fusion_scope(fusion);
+                kernels::PlanCacheScope cache_scope(artifacts.get());
                 return backend->run(*circuit, shard.shots, shard.seed,
                                     noise);
             }));

@@ -27,6 +27,8 @@
 #include "noise/noise_model.hh"
 #include "runtime/backend_registry.hh"
 #include "runtime/thread_pool.hh"
+#include "sim/kernels/plan.hh"
+#include "sim/kernels/plan_cache.hh"
 #include "sim/result.hh"
 
 namespace qra {
@@ -42,6 +44,14 @@ struct Job
     std::uint64_t seed = 7;
     /** Not owned; must outlive the job's execution. */
     const NoiseModel *noise = nullptr;
+
+    /**
+     * Shared artifact cache (lowered plans, trajectory plans, sampled
+     * distributions) installed around every shard of this job; null =
+     * each shard compiles locally. The JobQueue sets its own cache
+     * here so repeated jobs skip lowering and distribution builds.
+     */
+    std::shared_ptr<kernels::PlanCache> artifacts;
 
     Job() = default;
 
@@ -83,6 +93,14 @@ struct EngineOptions
      * results: amplitude splits are bit-deterministic.
      */
     std::size_t intraThreads = 0;
+
+    /**
+     * Plan fusion level installed around backend runs (see
+     * kernels::kFusionNone/1q/2q). Changing it changes which kernels
+     * execute — results stay equivalent but, like changing the seed,
+     * sampled counts are not bit-identical across levels.
+     */
+    int fusionLevel = kernels::kFusionDefault;
 };
 
 /** One entry of a job's deterministic shard plan. */

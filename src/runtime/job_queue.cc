@@ -6,7 +6,9 @@
 namespace qra {
 namespace runtime {
 
-JobQueue::JobQueue(ExecutionEngine &engine) : engine_(engine)
+JobQueue::JobQueue(ExecutionEngine &engine)
+    : engine_(engine),
+      artifacts_(std::make_shared<kernels::PlanCache>())
 {
 }
 
@@ -33,6 +35,13 @@ JobQueue::prepareKey(const JobSpec &spec)
             h = fnv1aMix64(h, static_cast<std::uint64_t>(control));
             h = fnv1aMix64(h, static_cast<std::uint64_t>(target));
         }
+        // Transpile knobs change the prepared circuit, so they are
+        // part of the key — but only when transpilation actually
+        // runs, so option-only differences on untranspiled specs
+        // still share one preparation.
+        h = fnv1aMix64(
+            h, (spec.transpileOptions.useGreedyLayout ? 1u : 0u) |
+                   (spec.transpileOptions.optimize ? 2u : 0u));
     }
     return h;
 }
@@ -59,7 +68,9 @@ JobQueue::prepare(const JobSpec &spec, bool count_stats)
         prepared->instrumented = std::move(inst);
     }
     if (spec.coupling != nullptr)
-        working = transpile(working, *spec.coupling).circuit;
+        working = transpile(working, *spec.coupling,
+                            spec.transpileOptions)
+                      .circuit;
     prepared->circuit =
         std::make_shared<const Circuit>(std::move(working));
 
@@ -88,6 +99,7 @@ JobQueue::submit(const JobSpec &spec)
     job.backend = spec.backend;
     job.seed = spec.seed;
     job.noise = spec.noise;
+    job.artifacts = artifactCache();
     return engine_.submit(std::move(job));
 }
 
@@ -125,11 +137,33 @@ JobQueue::cacheMisses() const
     return misses_;
 }
 
+std::shared_ptr<kernels::PlanCache>
+JobQueue::artifactCache() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return artifacts_;
+}
+
+std::size_t
+JobQueue::samplingCacheHits() const
+{
+    return artifactCache()->stats().hits;
+}
+
+std::size_t
+JobQueue::samplingCacheMisses() const
+{
+    return artifactCache()->stats().misses;
+}
+
 void
 JobQueue::clearCache()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     cache_.clear();
+    // In-flight jobs hold their own reference; swapping the artifact
+    // cache leaves them untouched and starts future jobs cold.
+    artifacts_ = std::make_shared<kernels::PlanCache>();
     hits_ = 0;
     misses_ = 0;
 }

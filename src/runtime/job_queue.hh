@@ -24,7 +24,9 @@
 
 #include "assertions/injector.hh"
 #include "runtime/execution_engine.hh"
+#include "sim/kernels/plan_cache.hh"
 #include "transpile/coupling_map.hh"
+#include "transpile/transpiler.hh"
 
 namespace qra {
 namespace runtime {
@@ -50,6 +52,15 @@ struct JobSpec
      * injection step). Not owned; null = no transpilation.
      */
     const CouplingMap *coupling = nullptr;
+
+    /**
+     * Transpilation knobs (layout strategy, peephole optimisation).
+     * Part of the preparation-cache key whenever a coupling map is
+     * set, so jobs that transpile differently can never share a
+     * prepared circuit — and therefore never share stale sampling
+     * artifacts either.
+     */
+    TranspileOptions transpileOptions;
 };
 
 /** Batch submission with a prepare (transpile/inject) cache. */
@@ -87,6 +98,21 @@ class JobQueue
     /** Prepared-circuit cache misses since construction. */
     std::size_t cacheMisses() const;
 
+    /**
+     * The cross-job sampling/artifact cache this queue installs
+     * around every job it submits: lowered plans, noisy trajectory
+     * plans, and sampled-execution alias tables, keyed by (circuit
+     * hash, noise fingerprint, fusion level). Hit/miss counters live
+     * on its stats().
+     */
+    std::shared_ptr<kernels::PlanCache> artifactCache() const;
+
+    /** Artifact-cache hits (shards or jobs that skipped a build). */
+    std::size_t samplingCacheHits() const;
+
+    /** Artifact-cache misses (builds actually performed). */
+    std::size_t samplingCacheMisses() const;
+
     void clearCache();
 
   private:
@@ -109,6 +135,7 @@ class JobQueue
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, std::shared_ptr<const Prepared>>
         cache_;
+    std::shared_ptr<kernels::PlanCache> artifacts_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
 };

@@ -302,5 +302,97 @@ computeProbabilities(const Complex *amps, std::uint64_t n, double *probs)
     });
 }
 
+void
+scaleAll(Complex *amps, std::uint64_t n, double scale)
+{
+    parallelFor(n, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i)
+            amps[i] *= scale;
+    });
+}
+
+namespace {
+
+/** Serial marginal scatter (reference path and small-state path). */
+void
+marginalScatter(const Complex *amps, std::uint64_t begin,
+                std::uint64_t end, const std::uint64_t *bits,
+                std::size_t k, double *histogram)
+{
+    for (std::uint64_t i = begin; i < end; ++i) {
+        std::uint64_t key = 0;
+        for (std::size_t j = 0; j < k; ++j)
+            key |= ((i & bits[j]) != 0 ? std::uint64_t{1} : 0) << j;
+        histogram[key] += std::norm(amps[i]);
+    }
+}
+
+} // namespace
+
+std::vector<double>
+marginalProbabilities(const Complex *amps, std::uint64_t n,
+                      const std::vector<Qubit> &qubits)
+{
+    const std::size_t k = qubits.size();
+    const std::uint64_t dim = std::uint64_t{1} << k;
+    std::vector<std::uint64_t> bits(k);
+    for (std::size_t j = 0; j < k; ++j)
+        bits[j] = std::uint64_t{1} << qubits[j];
+
+    std::vector<double> marginal(dim, 0.0);
+    const std::uint64_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+    // Scratch budget: 32 MiB of partial histograms. Wider marginals
+    // (close to the full register) fall back to the serial scatter;
+    // assertion-ancilla marginals are far below the cap.
+    constexpr std::uint64_t kScratchDoubles = std::uint64_t{1} << 22;
+    if (blocks <= 1 || blocks * dim > kScratchDoubles) {
+        marginalScatter(amps, 0, n, bits.data(), k, marginal.data());
+        return marginal;
+    }
+
+    std::vector<double> partials(blocks * dim, 0.0);
+    double *partials_data = partials.data();
+    const std::uint64_t *bits_data = bits.data();
+    parallelFor(blocks, /*grain=*/1,
+                [=](std::uint64_t b0, std::uint64_t b1) {
+                    for (std::uint64_t b = b0; b < b1; ++b) {
+                        const std::uint64_t begin = b * kReduceBlock;
+                        const std::uint64_t end =
+                            std::min(n, begin + kReduceBlock);
+                        marginalScatter(amps, begin, end, bits_data, k,
+                                        partials_data + b * dim);
+                    }
+                });
+
+    // Merge in block order: fixed blocks, fixed order, so rounding is
+    // identical at every lane count.
+    for (std::uint64_t b = 0; b < blocks; ++b)
+        for (std::uint64_t j = 0; j < dim; ++j)
+            marginal[j] += partials[b * dim + j];
+    return marginal;
+}
+
+double
+branchWeight1q(const Complex *amps, std::uint64_t n, Qubit q,
+               const Complex m[4])
+{
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const std::uint64_t low = bit - 1;
+    const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+    return deterministicSum(
+        n >> 1, [=](std::uint64_t begin, std::uint64_t end) {
+            double partial = 0.0;
+            for (std::uint64_t h = begin; h < end; ++h) {
+                const std::uint64_t i0 = ((h & ~low) << 1) | (h & low);
+                const std::uint64_t i1 = i0 | bit;
+                const Complex a0 = amps[i0];
+                const Complex a1 = amps[i1];
+                partial += std::norm(m00 * a0 + m01 * a1) +
+                           std::norm(m10 * a0 + m11 * a1);
+            }
+            return partial;
+        });
+}
+
 } // namespace kernels
 } // namespace qra

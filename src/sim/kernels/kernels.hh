@@ -131,6 +131,34 @@ void collapseQubit(Complex *amps, std::uint64_t n, Qubit q, int outcome,
 void computeProbabilities(const Complex *amps, std::uint64_t n,
                           double *probs);
 
+/** amps[i] *= scale (parallel elementwise; Kraus renormalisation). */
+void scaleAll(Complex *amps, std::uint64_t n, double scale);
+
+/**
+ * Marginal distribution over @p qubits: entry b is the probability
+ * that reading qubits[j] gives bit j of b.
+ *
+ * Replaces the serial O(2^n) scatter with a blocked one: each fixed
+ * kReduceBlock-sized block of the amplitude array scatters into its
+ * own partial histogram (blocks split across the scoped lanes), and
+ * the partials are merged in block order — so the result is
+ * bit-identical at any lane count, and identical to the serial scan
+ * whenever the state fits in one block. Falls back to the serial
+ * scan when the partial histograms would not fit in a bounded
+ * scratch budget (very wide marginals).
+ */
+std::vector<double> marginalProbabilities(
+    const Complex *amps, std::uint64_t n,
+    const std::vector<Qubit> &qubits);
+
+/**
+ * Born weight ||K psi||^2 of a one-qubit Kraus operator @p m (row
+ * major 2x2) applied to qubit @p q, computed in one read-only pass —
+ * no branch copy. Reduced in fixed blocks (lane-count independent).
+ */
+double branchWeight1q(const Complex *amps, std::uint64_t n, Qubit q,
+                      const Complex m[4]);
+
 } // namespace kernels
 } // namespace qra
 

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * PlanCache: memoised per-circuit execution artifacts, shared across
+ * jobs and shards.
+ *
+ * Lowered plans, noisy trajectory plans, and sampled-execution
+ * distributions (alias table + clbit wiring) depend only on the
+ * circuit (semantic hash), the noise model (semantic fingerprint),
+ * and the fusion level — never on shots, seeds, or thread counts. A
+ * PlanCache keyed on those lets every shard of a job, and every
+ * repeated job over the same prepared circuit (the batched-assertion
+ * sweep pattern), build each artifact exactly once.
+ *
+ * The cache reaches the simulators the same way the thread pool does:
+ * the execution engine installs a PlanCacheScope around each shard,
+ * and StatevectorSimulator / TrajectorySimulator consult
+ * currentPlanCache(). Without an active scope they compile locally,
+ * so direct simulator use is unchanged.
+ *
+ * Concurrency: the first caller of a key publishes the artifact; a
+ * caller that races a still-running build constructs a private
+ * (bit-identical) copy rather than block — a pool task waiting on
+ * the cache could sit, via the thread pool's help-loop, on top of
+ * the very builder frame it waits for. Completed artifacts are
+ * shared by every later caller. Cached artifacts are bit-identical
+ * to locally built ones (plan compilation is deterministic and the
+ * amplitude kernels are lane-count independent), so caching never
+ * changes counts.
+ */
+
+#ifndef QRA_SIM_KERNELS_PLAN_CACHE_HH
+#define QRA_SIM_KERNELS_PLAN_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "noise/noise_model.hh"
+#include "sim/kernels/alias_table.hh"
+#include "sim/kernels/noise_plan.hh"
+#include "sim/kernels/plan.hh"
+
+namespace qra {
+namespace kernels {
+
+/**
+ * Everything sampled execution needs after the one-time evolution:
+ * the outcome alias table over the measured-qubit marginal, the
+ * marginal-bit -> clbit wiring, and the post-selection retention.
+ */
+struct SampledDistribution
+{
+    AliasTable table{std::vector<double>{1.0}};
+    /** (marginal bit index, clbit) per measurement, program order. */
+    std::vector<std::pair<std::size_t, Clbit>> bitWiring;
+    double retainedFraction = 1.0;
+};
+
+/** Cross-job artifact cache (see file comment). */
+class PlanCache
+{
+  public:
+    /**
+     * Entries retained per artifact kind before FIFO eviction kicks
+     * in. Bounds a long-lived queue sweeping many (circuit, noise)
+     * points — e.g. a noise-scale sweep inserts one trajectory plan
+     * per scale — at a few hundred MB worst case instead of growing
+     * without limit. Artifacts held by running shards stay alive
+     * through their shared_ptr; eviction only drops the cache's
+     * reference.
+     */
+    static constexpr std::size_t kMaxEntriesPerKind = 256;
+
+    struct Stats
+    {
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+        std::size_t evictions = 0;
+    };
+
+    /** Lowered ideal plan for (circuit, fusion). */
+    std::shared_ptr<const ExecutablePlan> plan(const Circuit &circuit,
+                                               int fusion);
+
+    /**
+     * Lowered noisy trajectory plan for (circuit, noise fingerprint,
+     * fusion). @p noise may be null (ideal trajectories).
+     */
+    std::shared_ptr<const TrajectoryPlan>
+    trajectoryPlan(const Circuit &circuit, const NoiseModel *noise,
+                   int fusion);
+
+    /**
+     * Sampled-execution distribution for (circuit, fusion); the
+     * measured-qubit set is a function of the circuit and therefore
+     * of its hash. @p build runs at most once per key.
+     */
+    std::shared_ptr<const SampledDistribution> sampledDistribution(
+        const Circuit &circuit, int fusion,
+        const std::function<std::shared_ptr<const SampledDistribution>()>
+            &build);
+
+    /** Aggregate hit/miss counters over all three artifact kinds. */
+    Stats stats() const;
+
+  private:
+    template <typename T>
+    struct Store
+    {
+        struct Entry
+        {
+            /** Unique insertion id: the failure path erases its own
+                entry only, never a successor that recycled the key
+                after a FIFO eviction. */
+            std::uint64_t id;
+            std::shared_future<std::shared_ptr<const T>> future;
+        };
+        std::unordered_map<std::uint64_t, Entry> map;
+        /** (key, id) insertion order, for FIFO eviction; a record
+            whose id no longer matches the stored entry is stale
+            (failed build, earlier eviction) and is skipped. */
+        std::deque<std::pair<std::uint64_t, std::uint64_t>> order;
+    };
+
+    /**
+     * Look up @p key in @p store, building via @p build on a miss.
+     * Returns the artifact; only the inserting thread runs @p build
+     * for the shared slot (racers build private copies, see file
+     * comment).
+     */
+    template <typename T, typename BuildFn>
+    std::shared_ptr<const T> lookup(Store<T> &store, std::uint64_t key,
+                                    BuildFn &&build);
+
+    mutable std::mutex mutex_;
+    Store<ExecutablePlan> plans_;
+    Store<TrajectoryPlan> trajectoryPlans_;
+    Store<SampledDistribution> sampled_;
+    Stats stats_;
+    std::uint64_t nextId_ = 0;
+};
+
+/** The calling thread's active cache (nullptr = compile locally). */
+PlanCache *currentPlanCache();
+
+/** RAII guard installing a cache on the current thread. */
+class PlanCacheScope
+{
+  public:
+    explicit PlanCacheScope(PlanCache *cache);
+    ~PlanCacheScope();
+
+    PlanCacheScope(const PlanCacheScope &) = delete;
+    PlanCacheScope &operator=(const PlanCacheScope &) = delete;
+
+  private:
+    PlanCache *saved_;
+};
+
+} // namespace kernels
+} // namespace qra
+
+#endif // QRA_SIM_KERNELS_PLAN_CACHE_HH

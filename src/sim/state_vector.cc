@@ -146,9 +146,23 @@ StateVector::applyKernel(const kernels::PlanEntry &entry)
       case KernelKind::Measure:
       case KernelKind::ResetQ:
       case KernelKind::PostSelectQ:
+      case KernelKind::SampleKraus:
         break;
     }
     throw SimulationError("applyKernel on a non-unitary plan entry");
+}
+
+void
+StateVector::applyKrausBranch(const Matrix &k,
+                              const std::vector<Qubit> &qubits,
+                              double weight)
+{
+    if (weight < 1e-30)
+        throw SimulationError("Kraus branch sampled with (near-)zero "
+                              "Born weight (numerical issue)");
+    applyMatrix(k, qubits);
+    kernels::scaleAll(amps_.data(), amps_.size(),
+                      1.0 / std::sqrt(weight));
 }
 
 int
@@ -205,18 +219,8 @@ StateVector::marginalProbabilities(const std::vector<Qubit> &qubits) const
 {
     for (Qubit q : qubits)
         checkQubit(q);
-    std::vector<double> marginal(std::size_t{1} << qubits.size(), 0.0);
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        const double p = std::norm(amps_[i]);
-        if (p == 0.0)
-            continue;
-        std::uint64_t key = 0;
-        for (std::size_t j = 0; j < qubits.size(); ++j)
-            if ((i >> qubits[j]) & 1)
-                key |= std::uint64_t{1} << j;
-        marginal[key] += p;
-    }
-    return marginal;
+    return kernels::marginalProbabilities(amps_.data(), amps_.size(),
+                                          qubits);
 }
 
 BasisIndex

@@ -65,6 +65,16 @@ class StateVector
     void applyKernel(const kernels::PlanEntry &entry);
 
     /**
+     * Apply a (generally non-unitary) Kraus operator in place and
+     * renormalise by its pre-computed Born weight ||K psi||^2 — the
+     * trajectory backend's copy-free branch application.
+     * @throws SimulationError if @p weight is (near-)zero.
+     */
+    void applyKrausBranch(const Matrix &k,
+                          const std::vector<Qubit> &qubits,
+                          double weight);
+
+    /**
      * Measure one qubit in the computational basis; collapses the
      * state and returns the outcome (0 or 1).
      */

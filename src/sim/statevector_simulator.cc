@@ -5,9 +5,87 @@
 #include "common/error.hh"
 #include "sim/kernels/alias_table.hh"
 #include "sim/kernels/plan.hh"
+#include "sim/kernels/plan_cache.hh"
 #include "sim/shot_util.hh"
 
 namespace qra {
+
+namespace {
+
+/** Compile @p circuit, through the active PlanCache when one is. */
+std::shared_ptr<const kernels::ExecutablePlan>
+planFor(const Circuit &circuit)
+{
+    if (kernels::PlanCache *cache = kernels::currentPlanCache())
+        return cache->plan(circuit, kernels::currentFusionLevel());
+    return std::make_shared<const kernels::ExecutablePlan>(
+        kernels::ExecutablePlan::compile(circuit));
+}
+
+/**
+ * One-time work of sampled execution: evolve the state, derive the
+ * measured-qubit marginal and its clbit wiring, and build the alias
+ * table. Cached across shards and jobs via the PlanCache.
+ */
+std::shared_ptr<const kernels::SampledDistribution>
+buildSampledDistribution(const Circuit &circuit)
+{
+    StateVector state(circuit.numQubits());
+    auto dist = std::make_shared<kernels::SampledDistribution>();
+
+    const std::shared_ptr<const kernels::ExecutablePlan> plan =
+        planFor(circuit);
+
+    // Qubit -> clbit wiring of the (terminal) measurements.
+    std::vector<std::pair<Qubit, Clbit>> wiring;
+    for (const kernels::PlanEntry &entry : plan->entries()) {
+        switch (entry.kind) {
+          case kernels::KernelKind::Measure:
+            wiring.emplace_back(entry.q0, entry.clbit);
+            break;
+          case kernels::KernelKind::PostSelectQ:
+            dist->retainedFraction *=
+                state.postSelect(entry.q0, entry.postselectValue);
+            break;
+          case kernels::KernelKind::ResetQ:
+            // measurementsAreTerminal rejects Reset circuits.
+            throw SimulationError("reset in sampled execution");
+          default:
+            state.applyKernel(entry);
+        }
+    }
+    if (wiring.empty())
+        return dist; // no measurements: every shot reads zero
+
+    // Measured qubits, deduplicated: the marginal distribution is
+    // over one bit per distinct qubit, and each wiring entry maps its
+    // qubit's bit to a clbit.
+    std::vector<Qubit> measured;
+    for (const auto &[q, c] : wiring) {
+        std::size_t j = 0;
+        while (j < measured.size() && measured[j] != q)
+            ++j;
+        if (j == measured.size())
+            measured.push_back(q);
+        dist->bitWiring.emplace_back(j, c);
+    }
+
+    // measureAll-style circuits (every qubit, in wire order) use the
+    // parallel elementwise probability kernel; true marginals use the
+    // blocked parallel scatter (see kernels::marginalProbabilities) —
+    // either way the build is one pass, amortised over every shot of
+    // every job that shares the circuit.
+    bool identity_marginal = measured.size() == state.numQubits();
+    for (std::size_t j = 0; identity_marginal && j < measured.size();
+         ++j)
+        identity_marginal = measured[j] == j;
+    dist->table = kernels::AliasTable(
+        identity_marginal ? state.probabilities()
+                          : state.marginalProbabilities(measured));
+    return dist;
+}
+
+} // namespace
 
 StatevectorSimulator::StatevectorSimulator(std::uint64_t seed)
     : rng_(seed)
@@ -48,72 +126,31 @@ Result
 StatevectorSimulator::runSampled(const Circuit &circuit,
                                  std::size_t shots)
 {
-    StateVector state(circuit.numQubits());
-    double retained = 1.0;
-
-    // Lower once; all measurements are terminal, so the plan is
-    // unitaries + post-selections followed by Measure markers.
-    const kernels::ExecutablePlan plan =
-        kernels::ExecutablePlan::compile(circuit);
-
-    // Qubit -> clbit wiring of the (terminal) measurements.
-    std::vector<std::pair<Qubit, Clbit>> wiring;
-    for (const kernels::PlanEntry &entry : plan.entries()) {
-        switch (entry.kind) {
-          case kernels::KernelKind::Measure:
-            wiring.emplace_back(entry.q0, entry.clbit);
-            break;
-          case kernels::KernelKind::PostSelectQ:
-            retained *=
-                state.postSelect(entry.q0, entry.postselectValue);
-            break;
-          case kernels::KernelKind::ResetQ:
-            // measurementsAreTerminal rejects Reset circuits.
-            throw SimulationError("reset in sampled execution");
-          default:
-            state.applyKernel(entry);
-        }
-    }
+    // All measurements are terminal, so the whole evolution — plan,
+    // final state, marginal, alias table — is shot-independent. With
+    // an active PlanCache (the runtime JobQueue installs one) it is
+    // built exactly once per (circuit, fusion) across all shards and
+    // repeated jobs; shots then cost one O(1) draw each.
+    std::shared_ptr<const kernels::SampledDistribution> dist;
+    if (kernels::PlanCache *cache = kernels::currentPlanCache())
+        dist = cache->sampledDistribution(
+            circuit, kernels::currentFusionLevel(),
+            [&]() { return buildSampledDistribution(circuit); });
+    else
+        dist = buildSampledDistribution(circuit);
 
     Result result(circuit.numClbits());
-    result.setRetainedFraction(retained);
-    if (wiring.empty()) {
+    result.setRetainedFraction(dist->retainedFraction);
+    if (dist->bitWiring.empty()) {
         // No measurements: report the all-zero register for each shot.
         result.record(0, shots);
         return result;
     }
 
-    // Measured qubits, deduplicated: the marginal distribution is
-    // over one bit per distinct qubit, and each wiring entry maps its
-    // qubit's bit to a clbit.
-    std::vector<Qubit> measured;
-    std::vector<std::pair<std::size_t, Clbit>> bit_wiring;
-    for (const auto &[q, c] : wiring) {
-        std::size_t j = 0;
-        while (j < measured.size() && measured[j] != q)
-            ++j;
-        if (j == measured.size())
-            measured.push_back(q);
-        bit_wiring.emplace_back(j, c);
-    }
-
-    // Build the outcome distribution once, then draw shots in O(1)
-    // each from the alias table instead of scanning 2^n amplitudes
-    // per shot. measureAll-style circuits (every qubit, in wire
-    // order) skip the scatter and use the parallel elementwise
-    // probability kernel; true marginals fall back to one serial
-    // scan, amortised over all shots.
-    bool identity_marginal = measured.size() == state.numQubits();
-    for (std::size_t j = 0; identity_marginal && j < measured.size();
-         ++j)
-        identity_marginal = measured[j] == j;
-    const kernels::AliasTable table(
-        identity_marginal ? state.probabilities()
-                          : state.marginalProbabilities(measured));
     for (std::size_t s = 0; s < shots; ++s) {
-        const std::uint64_t key = table.sample(rng_);
+        const std::uint64_t key = dist->table.sample(rng_);
         std::uint64_t reg = 0;
-        for (const auto &[j, c] : bit_wiring) {
+        for (const auto &[j, c] : dist->bitWiring) {
             if ((key >> j) & 1)
                 reg |= std::uint64_t{1} << c;
             else
@@ -133,8 +170,8 @@ StatevectorSimulator::runPerShot(const Circuit &circuit,
     std::size_t kept = 0;
 
     // Lower (and fuse) once; every shot replays the same plan.
-    const kernels::ExecutablePlan plan =
-        kernels::ExecutablePlan::compile(circuit);
+    const std::shared_ptr<const kernels::ExecutablePlan> plan =
+        planFor(circuit);
 
     // Post-selection in per-shot mode conditions the ensemble: a shot
     // survives each PostSelect with the branch probability, otherwise
@@ -147,7 +184,7 @@ StatevectorSimulator::runPerShot(const Circuit &circuit,
         std::uint64_t reg = 0;
         bool discarded = false;
 
-        for (const kernels::PlanEntry &entry : plan.entries()) {
+        for (const kernels::PlanEntry &entry : plan->entries()) {
             switch (entry.kind) {
               case kernels::KernelKind::Measure:
               {
@@ -197,9 +234,9 @@ StateVector
 StatevectorSimulator::finalState(const Circuit &circuit)
 {
     StateVector state(circuit.numQubits());
-    const kernels::ExecutablePlan plan =
-        kernels::ExecutablePlan::compile(circuit);
-    for (const kernels::PlanEntry &entry : plan.entries()) {
+    const std::shared_ptr<const kernels::ExecutablePlan> plan =
+        planFor(circuit);
+    for (const kernels::PlanEntry &entry : plan->entries()) {
         switch (entry.kind) {
           case kernels::KernelKind::Measure:
             break;
@@ -220,9 +257,9 @@ StateVector
 StatevectorSimulator::evolveWithMeasurements(const Circuit &circuit)
 {
     StateVector state(circuit.numQubits());
-    const kernels::ExecutablePlan plan =
-        kernels::ExecutablePlan::compile(circuit);
-    for (const kernels::PlanEntry &entry : plan.entries()) {
+    const std::shared_ptr<const kernels::ExecutablePlan> plan =
+        planFor(circuit);
+    for (const kernels::PlanEntry &entry : plan->entries()) {
         switch (entry.kind) {
           case kernels::KernelKind::Measure:
             state.measure(entry.q0, rng_);

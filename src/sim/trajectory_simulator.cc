@@ -2,9 +2,9 @@
 
 #include <cmath>
 
-#include "circuit/schedule.hh"
 #include "common/error.hh"
 #include "sim/kernels/kernels.hh"
+#include "sim/kernels/plan_cache.hh"
 #include "sim/shot_util.hh"
 
 namespace qra {
@@ -13,17 +13,34 @@ TrajectorySimulator::TrajectorySimulator(std::uint64_t seed) : rng_(seed)
 {
 }
 
-void
-TrajectorySimulator::sampleKraus(StateVector &state,
-                                 const KrausChannel &channel,
-                                 const std::vector<Qubit> &qubits)
-{
-    const auto &ops = channel.operators();
-    if (ops.size() == 1) {
-        state.applyMatrix(ops[0], qubits);
-        return;
-    }
+namespace {
 
+/**
+ * Guard against sampleDiscrete's drift fallback: when cumulative
+ * rounding lets the draw fall past every branch, the last index comes
+ * back even if its Born weight is zero — redirect to the heaviest
+ * branch instead of collapsing onto an impossible one.
+ */
+std::size_t
+nonDegenerateBranch(const std::vector<double> &weights,
+                    std::size_t chosen)
+{
+    if (weights[chosen] > 1e-30)
+        return chosen;
+    std::size_t best = chosen;
+    for (std::size_t k = 0; k < weights.size(); ++k)
+        if (weights[k] > weights[best])
+            best = k;
+    return best;
+}
+
+} // namespace
+
+void
+TrajectorySimulator::sampleGeneralKraus(StateVector &state,
+                                        const std::vector<Matrix> &ops,
+                                        const std::vector<Qubit> &qubits)
+{
     // Born weights of each branch: ||K_k psi||^2. Kraus operators are
     // not unitary, so apply them to raw amplitude copies.
     std::vector<std::vector<Complex>> branches(ops.size());
@@ -37,9 +54,59 @@ TrajectorySimulator::sampleKraus(StateVector &state,
         weights[k] = norm_sq;
     }
 
-    const std::size_t chosen = sampleDiscrete(weights, rng_);
+    const std::size_t chosen =
+        nonDegenerateBranch(weights, sampleDiscrete(weights, rng_));
     // fromAmplitudes renormalises the selected branch.
     state = StateVector::fromAmplitudes(std::move(branches[chosen]));
+}
+
+void
+TrajectorySimulator::sampleKraus(StateVector &state,
+                                 const KrausChannel &channel,
+                                 const std::vector<Qubit> &qubits)
+{
+    const auto &ops = channel.operators();
+    if (ops.size() == 1) {
+        state.applyMatrix(ops[0], qubits);
+        return;
+    }
+    sampleGeneralKraus(state, ops, qubits);
+}
+
+void
+TrajectorySimulator::sampleSite(const kernels::KrausSite &site,
+                                StateVector &state)
+{
+    if (site.fixedWeights) {
+        // Scaled-unitary branches: state-independent weights, one
+        // uniform draw, one or two in-place kernels (tensor-product
+        // branches split). No copies, no norms.
+        const std::size_t chosen = sampleDiscrete(site.weights, rng_);
+        for (const kernels::PlanEntry &entry : site.branches[chosen])
+            state.applyKernel(entry);
+        return;
+    }
+    if (site.qubits.size() == 1) {
+        // State-dependent one-qubit channel (thermal relaxation):
+        // weights in one read-only pass per branch, then the chosen
+        // operator applied in place and renormalised by its weight.
+        const std::uint64_t n = state.dim();
+        std::vector<double> weights(site.ops.size());
+        for (std::size_t k = 0; k < site.ops.size(); ++k) {
+            const Matrix &op = site.ops[k];
+            const Complex m[4] = {op(0, 0), op(0, 1), op(1, 0),
+                                  op(1, 1)};
+            weights[k] = kernels::branchWeight1q(
+                state.amplitudes().data(), n, site.qubits[0], m);
+        }
+        const std::size_t chosen = nonDegenerateBranch(
+            weights, sampleDiscrete(weights, rng_));
+        state.applyKrausBranch(site.ops[chosen], site.qubits,
+                               weights[chosen]);
+        return;
+    }
+    // General multi-qubit channel: the copy-based reference path.
+    sampleGeneralKraus(state, site.ops, site.qubits);
 }
 
 std::vector<TimedMoment>
@@ -123,6 +190,61 @@ TrajectorySimulator::runShot(const Circuit &circuit,
     return true;
 }
 
+bool
+TrajectorySimulator::runShotPlan(const kernels::TrajectoryPlan &plan,
+                                 StateVector &state,
+                                 std::uint64_t &register_value)
+{
+    using kernels::KernelKind;
+    register_value = 0;
+    for (const kernels::PlanEntry &entry : plan.entries()) {
+        switch (entry.kind) {
+          case KernelKind::Measure:
+          {
+            int outcome = state.measure(entry.q0, rng_);
+            if (entry.site >= 0)
+                outcome = plan.readout(entry.site)
+                              .sampleReadout(outcome, rng_);
+            if (outcome)
+                register_value |= std::uint64_t{1} << entry.clbit;
+            else
+                register_value &= ~(std::uint64_t{1} << entry.clbit);
+            continue;
+          }
+          case KernelKind::ResetQ:
+            state.resetQubit(entry.q0, rng_);
+            continue;
+          case KernelKind::PostSelectQ:
+          {
+            const double p1 = state.probabilityOfOne(entry.q0);
+            const double p = entry.postselectValue ? p1 : 1.0 - p1;
+            if (p < 1e-12)
+                return false; // discard this trajectory
+            if (rng_.uniform() >= p)
+                return false;
+            state.postSelect(entry.q0, entry.postselectValue);
+            continue;
+          }
+          case KernelKind::SampleKraus:
+            sampleSite(plan.site(entry.site), state);
+            continue;
+          default:
+            state.applyKernel(entry);
+        }
+    }
+    return true;
+}
+
+std::shared_ptr<const kernels::TrajectoryPlan>
+TrajectorySimulator::planFor(const Circuit &circuit) const
+{
+    if (kernels::PlanCache *cache = kernels::currentPlanCache())
+        return cache->trajectoryPlan(circuit, noise_,
+                                     kernels::currentFusionLevel());
+    return std::make_shared<const kernels::TrajectoryPlan>(
+        kernels::TrajectoryPlan::compile(circuit, noise_));
+}
+
 Result
 TrajectorySimulator::run(const Circuit &circuit, std::size_t shots)
 {
@@ -130,9 +252,16 @@ TrajectorySimulator::run(const Circuit &circuit, std::size_t shots)
     std::size_t attempted = 0;
     std::size_t kept = 0;
 
-    // The schedule depends only on the circuit and noise model;
-    // compute it once, not per trajectory.
-    const std::vector<TimedMoment> moments = scheduleFor(circuit);
+    // Lower once per job (or fetch the cached artifact): every shot
+    // replays classified kernels and pre-built noise sites. The
+    // legacy interpreter re-walks Operation structs but consumes the
+    // identical RNG stream.
+    std::shared_ptr<const kernels::TrajectoryPlan> plan;
+    std::vector<TimedMoment> moments;
+    if (usePlan_)
+        plan = planFor(circuit);
+    else
+        moments = scheduleFor(circuit);
 
     // Cap retries so pathological post-selections terminate
     // (saturating to avoid overflow at extreme shot counts).
@@ -141,7 +270,10 @@ TrajectorySimulator::run(const Circuit &circuit, std::size_t shots)
         ++attempted;
         StateVector state(circuit.numQubits());
         std::uint64_t reg = 0;
-        if (!runShot(circuit, moments, state, reg))
+        const bool kept_shot =
+            usePlan_ ? runShotPlan(*plan, state, reg)
+                     : runShot(circuit, moments, state, reg);
+        if (!kept_shot)
             continue;
         result.record(reg);
         ++kept;
@@ -158,11 +290,19 @@ TrajectorySimulator::run(const Circuit &circuit, std::size_t shots)
 StateVector
 TrajectorySimulator::evolveOne(const Circuit &circuit)
 {
-    const std::vector<TimedMoment> moments = scheduleFor(circuit);
+    std::shared_ptr<const kernels::TrajectoryPlan> plan;
+    std::vector<TimedMoment> moments;
+    if (usePlan_)
+        plan = planFor(circuit);
+    else
+        moments = scheduleFor(circuit);
     for (int attempt = 0; attempt < 1000; ++attempt) {
         StateVector state(circuit.numQubits());
         std::uint64_t reg = 0;
-        if (runShot(circuit, moments, state, reg))
+        const bool kept_shot =
+            usePlan_ ? runShotPlan(*plan, state, reg)
+                     : runShot(circuit, moments, state, reg);
+        if (kept_shot)
             return state;
     }
     throw SimulationError("post-selection discarded every trajectory");

@@ -128,6 +128,110 @@ TEST(JobQueue, RunAllPreservesOrderAndSeeds)
     EXPECT_EQ(again.rawCounts(), results[3].rawCounts());
 }
 
+TEST(JobQueue, SamplingCacheSkipsRepeatedArtifactBuilds)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+
+    // First sampled job builds the plan and the sampled distribution
+    // (two misses); the repeat hits the distribution directly.
+    const Result first = queue.submit(bellSpec(7)).get();
+    EXPECT_EQ(queue.samplingCacheMisses(), 2u);
+    EXPECT_EQ(queue.samplingCacheHits(), 0u);
+
+    const Result second = queue.submit(bellSpec(7)).get();
+    EXPECT_EQ(queue.samplingCacheMisses(), 2u);
+    EXPECT_EQ(queue.samplingCacheHits(), 1u);
+
+    // Cache hits change nothing observable: same seed, same counts.
+    EXPECT_EQ(first.rawCounts(), second.rawCounts());
+
+    // And a cold queue produces those counts too: caching is purely
+    // an execution shortcut.
+    JobQueue cold(engine);
+    EXPECT_EQ(cold.submit(bellSpec(7)).get().rawCounts(),
+              first.rawCounts());
+
+    queue.clearCache();
+    EXPECT_EQ(queue.samplingCacheMisses(), 0u);
+    queue.submit(bellSpec(7)).get();
+    EXPECT_EQ(queue.samplingCacheMisses(), 2u);
+}
+
+TEST(JobQueue, SamplingCacheShardsShareOneBuild)
+{
+    // Many shards of one sampled job on a single worker (so shards
+    // serialize and the counters are deterministic): exactly one
+    // distribution build plus one plan build, every other shard a
+    // hit. With more workers, racing shards may build private copies
+    // instead of blocking — results are identical either way.
+    ExecutionEngine engine(EngineOptions{
+        .threads = 1, .shardShots = 64, .maxShards = 8});
+    JobQueue queue(engine);
+    JobSpec spec = bellSpec(3);
+    spec.shots = 512; // 8 shards
+    queue.submit(spec).get();
+    EXPECT_EQ(queue.samplingCacheMisses(), 2u);
+    EXPECT_EQ(queue.samplingCacheHits(), 7u);
+}
+
+TEST(JobQueue, SamplingCacheKeysTrajectoryPlansByNoise)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+
+    NoiseModel noise;
+    noise.setGateError(OpKind::CX, 0.05);
+    const NoiseModel doubled = noise.scaled(2.0);
+
+    JobSpec spec = bellSpec(11);
+    spec.backend = "trajectory";
+    spec.noise = &noise;
+    queue.submit(spec).get();
+    queue.submit(spec).get();
+    // One trajectory-plan build, one hit.
+    EXPECT_EQ(queue.samplingCacheMisses(), 1u);
+    EXPECT_EQ(queue.samplingCacheHits(), 1u);
+
+    // A semantically different model may not share the plan.
+    spec.noise = &doubled;
+    queue.submit(spec).get();
+    EXPECT_EQ(queue.samplingCacheMisses(), 2u);
+}
+
+TEST(JobQueue, TranspileOptionsParticipateInPrepareKey)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+
+    const DeviceModel device = DeviceModel::ibmqx4();
+    JobSpec spec = bellSpec();
+    spec.coupling = &device.couplingMap();
+
+    queue.submit(spec).get();
+    spec.transpileOptions.optimize = false;
+    queue.submit(spec).get();
+    spec.transpileOptions.useGreedyLayout = false;
+    queue.submit(spec).get();
+    // Three distinct preparations: the options change the pipeline.
+    EXPECT_EQ(queue.cacheMisses(), 3u);
+    EXPECT_EQ(queue.cacheHits(), 0u);
+
+    // Repeating any of them hits.
+    queue.submit(spec).get();
+    EXPECT_EQ(queue.cacheHits(), 1u);
+
+    // Without a coupling map the options are inert and must not
+    // fragment the cache.
+    JobQueue untranspiled(engine);
+    JobSpec plain = bellSpec();
+    untranspiled.submit(plain).get();
+    plain.transpileOptions.optimize = false;
+    untranspiled.submit(plain).get();
+    EXPECT_EQ(untranspiled.cacheMisses(), 1u);
+    EXPECT_EQ(untranspiled.cacheHits(), 1u);
+}
+
 TEST(JobQueue, AssertionInjectionFlowsThroughQueue)
 {
     ExecutionEngine engine(EngineOptions{.threads = 2});

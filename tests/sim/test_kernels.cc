@@ -181,6 +181,184 @@ TEST(KernelsTest, FusionMatchesUnfusedOnRandomCircuits)
     }
 }
 
+TEST(KernelsTest, TwoQubitWindowFusionMatchesDenseReference)
+{
+    Rng rng(223);
+    for (int round = 0; round < 40; ++round) {
+        const std::size_t n = 2 + rng.below(3);
+        Circuit c(n, n);
+        for (int g = 0; g < 30; ++g)
+            c.append(randomOperation(n, rng));
+
+        const kernels::ExecutablePlan fused =
+            kernels::ExecutablePlan::compile(c, kernels::kFusion2q);
+        const kernels::ExecutablePlan unfused =
+            kernels::ExecutablePlan::compile(c, kernels::kFusionNone);
+        EXPECT_LE(fused.entries().size(), unfused.entries().size());
+
+        StateVector fast = randomState(n, 6000 + round);
+        StateVector reference = fast;
+        for (const kernels::PlanEntry &entry : fused.entries())
+            fast.applyKernel(entry);
+        for (const Operation &op : c.ops()) {
+            if (op.kind != OpKind::Barrier && op.kind != OpKind::I)
+                applyDense(reference, op);
+        }
+        test::expectAmplitudesNear(fast.amplitudes(),
+                                   reference.amplitudes(), 1e-12);
+    }
+}
+
+TEST(KernelsTest, WindowFusionFindsStructure)
+{
+    // H-CX-H on the target is CZ: one phase-mask entry.
+    Circuit hch(2, 2);
+    hch.h(1).cx(0, 1).h(1);
+    const kernels::ExecutablePlan cz =
+        kernels::ExecutablePlan::compile(hch, kernels::kFusion2q);
+    ASSERT_EQ(cz.entries().size(), 1u);
+    EXPECT_EQ(cz.entries()[0].kind, kernels::KernelKind::PhaseOnMask);
+    EXPECT_EQ(cz.entries()[0].mask, 0b11u);
+
+    // CX-CX cancels to nothing.
+    Circuit cxcx(2, 2);
+    cxcx.cx(0, 1).cx(0, 1);
+    EXPECT_TRUE(kernels::ExecutablePlan::compile(
+                    cxcx, kernels::kFusion2q)
+                    .entries()
+                    .empty());
+
+    // H then CX is NOT cheaper as one dense 4x4: the cost model must
+    // refuse and keep both entries.
+    Circuit hcx(2, 2);
+    hcx.h(0).cx(0, 1);
+    EXPECT_EQ(kernels::ExecutablePlan::compile(hcx,
+                                               kernels::kFusion2q)
+                  .entries()
+                  .size(),
+              2u);
+
+    // Windows must not cross a barrier.
+    Circuit fenced(2, 2);
+    fenced.cx(0, 1).barrier().cx(0, 1);
+    EXPECT_EQ(kernels::ExecutablePlan::compile(fenced,
+                                               kernels::kFusion2q)
+                  .entries()
+                  .size(),
+              2u);
+}
+
+TEST(KernelsTest, Classify2qDetectsSeparableAndControlled)
+{
+    // X ⊗ I (acts on q0 only) classifies down to the 1q permutation.
+    Complex x_on_q0[16] = {};
+    x_on_q0[0 * 4 + 1] = 1.0;
+    x_on_q0[1 * 4 + 0] = 1.0;
+    x_on_q0[2 * 4 + 3] = 1.0;
+    x_on_q0[3 * 4 + 2] = 1.0;
+    const kernels::PlanEntry x_entry =
+        kernels::classify2q(3, 5, x_on_q0);
+    EXPECT_EQ(x_entry.kind, kernels::KernelKind::PauliX);
+    EXPECT_EQ(x_entry.q0, 3u);
+
+    // Controlled-on-q1 phase structure.
+    Complex cs[16] = {};
+    cs[0] = cs[5] = cs[10] = 1.0;
+    cs[15] = Complex{0.0, 1.0};
+    const kernels::PlanEntry cs_entry = kernels::classify2q(0, 1, cs);
+    EXPECT_EQ(cs_entry.kind, kernels::KernelKind::PhaseOnMask);
+    EXPECT_EQ(cs_entry.mask, 0b11u);
+
+    // Swap permutation.
+    Complex swap[16] = {};
+    swap[0] = swap[15] = 1.0;
+    swap[2 * 4 + 1] = 1.0;
+    swap[1 * 4 + 2] = 1.0;
+    EXPECT_EQ(kernels::classify2q(0, 1, swap).kind,
+              kernels::KernelKind::SwapQubits);
+}
+
+TEST(KernelsTest, MarginalMatchesSerialReference)
+{
+    // 17 qubits: above the reduce-block size, so the blocked scatter
+    // path actually engages.
+    const StateVector sv = randomState(17, 91);
+    Rng rng(17);
+    for (int round = 0; round < 6; ++round) {
+        std::vector<Qubit> qubits;
+        const std::size_t k = 1 + rng.below(5);
+        while (qubits.size() < k) {
+            const Qubit q = static_cast<Qubit>(rng.below(17));
+            bool dup = false;
+            for (Qubit used : qubits)
+                dup = dup || used == q;
+            if (!dup)
+                qubits.push_back(q);
+        }
+
+        // Serial reference: the pre-PR scatter.
+        std::vector<double> reference(std::size_t{1} << k, 0.0);
+        const auto &amps = sv.amplitudes();
+        for (std::uint64_t i = 0; i < amps.size(); ++i) {
+            std::uint64_t key = 0;
+            for (std::size_t j = 0; j < k; ++j)
+                if ((i >> qubits[j]) & 1)
+                    key |= std::uint64_t{1} << j;
+            reference[key] += std::norm(amps[i]);
+        }
+
+        const std::vector<double> blocked =
+            sv.marginalProbabilities(qubits);
+        ASSERT_EQ(blocked.size(), reference.size());
+        for (std::size_t j = 0; j < blocked.size(); ++j)
+            EXPECT_NEAR(blocked[j], reference[j], 1e-12);
+    }
+}
+
+TEST(KernelsTest, MarginalBitIdenticalAcrossLaneCounts)
+{
+    const StateVector sv = randomState(17, 93);
+    const std::vector<Qubit> qubits = {2, 9, 14, 4};
+    const std::vector<double> serial =
+        sv.marginalProbabilities(qubits);
+    runtime::ThreadPool pool(4);
+    std::vector<double> parallel;
+    {
+        kernels::ParallelScope scope(&pool, 4);
+        parallel = sv.marginalProbabilities(qubits);
+    }
+    // Fixed-block merge: identical rounding at any lane count.
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(KernelsTest, SubsetSampledHistogramMatchesMarginal)
+{
+    // Ancilla-subset measurement through the sampled path must
+    // reproduce the dense marginal distribution.
+    Circuit c(8, 3);
+    Rng rng(47);
+    for (int g = 0; g < 40; ++g)
+        c.append(randomOperation(8, rng));
+    const std::vector<Qubit> measured = {1, 4, 6};
+    for (std::size_t j = 0; j < measured.size(); ++j)
+        c.measure(measured[j], static_cast<Clbit>(j));
+
+    StatevectorSimulator prep(3);
+    Circuit bare(8, 3);
+    for (const Operation &op : c.ops())
+        if (op.kind != OpKind::Measure)
+            bare.append(op);
+    const std::vector<double> marginal =
+        prep.finalState(bare).marginalProbabilities(measured);
+
+    StatevectorSimulator sim(29);
+    const std::size_t shots = 60000;
+    const Result result = sim.run(c, shots);
+    for (std::size_t b = 0; b < marginal.size(); ++b)
+        EXPECT_NEAR(result.probability(b), marginal[b], 0.01)
+            << "outcome " << b;
+}
+
 TEST(KernelsTest, FusionCollapsesInverseRunsToNothing)
 {
     Circuit c(1, 1);

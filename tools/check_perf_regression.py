@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Warn-only perf-regression check for the bench JSON trajectory.
+
+Usage: check_perf_regression.py BASELINE.json CURRENT.json...
+
+Both inputs are JSON-lines files as emitted by `perf_simulator --json`
+and `perf_engine --json` (the committed baseline may concatenate
+several). Records are matched on their identifying keys (bench,
+section, gate, qubits, lanes, ...) and every higher-is-better metric
+(*_per_sec, speedup*) is compared. A drop of more than THRESHOLD
+prints a GitHub Actions warning annotation plus a summary table.
+
+The exit code is always 0: shared CI runners are noisy neighbours, so
+this step documents drift instead of gating merges.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.25
+
+# Keys that identify a record rather than measure it. "threads" is
+# deliberately absent: it describes the host (the committed baseline
+# comes from a 1-core container, CI runners have more), and including
+# it would unmatch every perf_engine record. Records that exist only
+# on one side (e.g. extra-lane gate rows on wider hosts) are skipped.
+IDENTITY_KEYS = (
+    "bench", "section", "gate", "kernel_class", "qubits", "lanes",
+    "shots", "jobs", "level", "subset_qubits",
+)
+
+
+def is_metric(key, value):
+    if not isinstance(value, (int, float)):
+        return False
+    return key.endswith("_per_sec") or key.startswith("speedup")
+
+
+def load_records(paths):
+    records = {}
+    for path in paths:
+        try:
+            handle = open(path, encoding="utf-8")
+        except OSError as error:
+            # Warn-only: a missing artifact (failed bench step) must
+            # not turn this step red on top of the real failure.
+            print(f"perf-regression: skipping {path}: {error}")
+            continue
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                key = tuple(
+                    (k, record[k]) for k in IDENTITY_KEYS if k in record
+                )
+                records[key] = record
+    return records
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0  # warn-only even on usage errors in CI
+
+    baseline = load_records([argv[1]])
+    current = load_records(argv[2:])
+
+    drops = []
+    compared = 0
+    for key, base_record in baseline.items():
+        cur_record = current.get(key)
+        if cur_record is None:
+            continue
+        for metric, base_value in base_record.items():
+            if not is_metric(metric, base_value) or base_value <= 0:
+                continue
+            cur_value = cur_record.get(metric)
+            if not isinstance(cur_value, (int, float)):
+                continue
+            compared += 1
+            drop = 1.0 - cur_value / base_value
+            if drop > THRESHOLD:
+                label = "/".join(
+                    str(v) for _, v in key if v != ""
+                )
+                drops.append((label, metric, base_value, cur_value,
+                              drop))
+
+    if not drops:
+        print(f"perf-regression: {compared} metrics compared, none "
+              f"dropped more than {THRESHOLD:.0%} vs baseline")
+        return 0
+
+    print(f"perf-regression: {len(drops)} of {compared} metrics "
+          f"dropped more than {THRESHOLD:.0%} vs baseline")
+    print(f"{'record':<50} {'metric':<24} {'baseline':>12} "
+          f"{'current':>12} {'drop':>7}")
+    for label, metric, base_value, cur_value, drop in drops:
+        print(f"{label:<50} {metric:<24} {base_value:>12.1f} "
+              f"{cur_value:>12.1f} {drop:>6.1%}")
+    summary = "; ".join(
+        f"{label} {metric} -{drop:.0%}"
+        for label, metric, _, _, drop in drops[:5]
+    )
+    print(f"::warning title=perf regression vs committed baseline::"
+          f"{summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,7 +10,7 @@
  * Usage:
  *   qra_run FILE.qasm [--shots N] [--device ideal|ibmqx4]
  *           [--backend NAME|auto] [--jobs N] [--threads N]
- *           [--intra-threads N] [--seed S] [--draw]
+ *           [--intra-threads N] [--fusion 0|1|2] [--seed S] [--draw]
  *   qra_run --list-backends
  */
 
@@ -38,6 +38,7 @@ struct Options
     std::size_t jobs = 1;
     std::size_t threads = 0;      // 0 = hardware concurrency
     std::size_t intraThreads = 0; // 0 = auto (pool / shards)
+    int fusion = kernels::kFusionDefault; // 0 none, 1 runs, 2 windows
     std::uint64_t seed = 7;
     bool draw = false;
     bool listBackends = false;
@@ -52,7 +53,8 @@ usage()
         "ideal|ibmqx4]\n"
         "               [--backend NAME|auto] [--jobs N] "
         "[--threads N]\n"
-        "               [--intra-threads N] [--seed S] [--draw]\n"
+        "               [--intra-threads N] [--fusion 0|1|2] [--seed "
+        "S] [--draw]\n"
         "       qra_run --list-backends\n");
 }
 
@@ -103,6 +105,16 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.intraThreads = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--fusion") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.fusion = static_cast<int>(std::strtol(v, nullptr, 10));
+            if (opts.fusion < kernels::kFusionNone ||
+                opts.fusion > kernels::kFusion2q) {
+                std::fprintf(stderr, "--fusion must be 0, 1 or 2\n");
+                return false;
+            }
         } else if (arg == "--seed") {
             const char *v = next();
             if (!v)
@@ -189,7 +201,8 @@ main(int argc, char **argv)
 
         ExecutionEngine engine(
             EngineOptions{.threads = opts.threads,
-                          .intraThreads = opts.intraThreads});
+                          .intraThreads = opts.intraThreads,
+                          .fusionLevel = opts.fusion});
         JobQueue queue(engine);
 
         // One spec per job; jobs split the shot budget and get
