@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hh"
+#include "compile/pipelines.hh"
 
 namespace qra {
 
@@ -60,6 +61,18 @@ InstrumentedCircuit::payloadBits(std::uint64_t reg) const
 InstrumentedCircuit
 instrument(const Circuit &payload, const std::vector<AssertionSpec> &specs,
            const InstrumentOptions &options)
+{
+    compile::CompileContext ctx =
+        compile::instrumentPipeline(specs, options).run(payload);
+    return std::move(*ctx.instrumented);
+}
+
+namespace detail {
+
+InstrumentedCircuit
+weaveAssertions(const Circuit &payload,
+                const std::vector<AssertionSpec> &specs,
+                const InstrumentOptions &options)
 {
     // Validate specs against the payload.
     std::size_t total_ancillas = 0;
@@ -169,5 +182,7 @@ instrument(const Circuit &payload, const std::vector<AssertionSpec> &specs,
 
     return out;
 }
+
+} // namespace detail
 
 } // namespace qra

@@ -60,6 +60,15 @@ struct InstrumentOptions
     bool barriers = true;
 };
 
+class InstrumentedCircuit;
+
+namespace detail {
+/** The weaving primitive behind instrument() and the compile passes. */
+InstrumentedCircuit weaveAssertions(const Circuit &payload,
+                                    const std::vector<AssertionSpec> &specs,
+                                    const InstrumentOptions &options);
+} // namespace detail
+
 /** An instrumented circuit plus decode bookkeeping. */
 class InstrumentedCircuit
 {
@@ -101,8 +110,9 @@ class InstrumentedCircuit
 
   private:
     friend InstrumentedCircuit
-    instrument(const Circuit &, const std::vector<AssertionSpec> &,
-               const InstrumentOptions &);
+    detail::weaveAssertions(const Circuit &,
+                            const std::vector<AssertionSpec> &,
+                            const InstrumentOptions &);
 
     Circuit circuit_{1};
     std::size_t payloadClbits_ = 0;
@@ -116,6 +126,10 @@ class InstrumentedCircuit
  * Ancillas are appended above the payload qubits; assertion clbits
  * above the payload clbits. Checks at the same insertion point run in
  * spec order. @throws AssertionError on malformed specs.
+ *
+ * Thin wrapper over the canonical compile::instrumentPipeline(); the
+ * weaving itself lives in detail::weaveAssertions, which the compile
+ * passes call directly.
  */
 InstrumentedCircuit instrument(const Circuit &payload,
                                const std::vector<AssertionSpec> &specs,

@@ -8,6 +8,7 @@
 #define QRA_COMMON_HASH_HH
 
 #include <cstdint>
+#include <string>
 
 namespace qra {
 
@@ -23,6 +24,16 @@ fnv1aMix64(std::uint64_t h, std::uint64_t value)
         h ^= (value >> (8 * byte)) & 0xffULL;
         h *= kPrime;
     }
+    return h;
+}
+
+/** Fold a length-prefixed byte string into an FNV-1a state. */
+inline std::uint64_t
+fnv1aMixString(std::uint64_t h, const std::string &text)
+{
+    h = fnv1aMix64(h, text.size());
+    for (const char c : text)
+        h = fnv1aMix64(h, static_cast<unsigned char>(c));
     return h;
 }
 

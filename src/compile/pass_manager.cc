@@ -1,0 +1,82 @@
+#include "compile/pass_manager.hh"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/hash.hh"
+
+namespace qra {
+namespace compile {
+
+PassManager &
+PassManager::add(PassPtr pass)
+{
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const PassPtr &pass : passes_)
+        names.push_back(pass->name());
+    return names;
+}
+
+std::uint64_t
+PassManager::fingerprint() const
+{
+    std::uint64_t h = kFnv1aOffset;
+    h = fnv1aMix64(h, passes_.size());
+    for (const PassPtr &pass : passes_) {
+        h = fnv1aMixString(h, pass->name());
+        h = pass->fingerprint(h);
+    }
+    return h;
+}
+
+std::string
+PassManager::describe() const
+{
+    std::ostringstream os;
+    os << "pipeline (" << passes_.size() << " pass"
+       << (passes_.size() == 1 ? "" : "es") << "):\n";
+    for (std::size_t i = 0; i < passes_.size(); ++i)
+        os << "  " << i + 1 << ". " << passes_[i]->describe() << "\n";
+    os << "fingerprint: " << std::hex << fingerprint() << std::dec;
+    return os.str();
+}
+
+void
+PassManager::run(CompileContext &ctx) const
+{
+    for (const PassPtr &pass : passes_) {
+        PassStats stats;
+        stats.name = pass->name();
+        stats.opsBefore = ctx.circuit.size();
+        const auto start = std::chrono::steady_clock::now();
+        pass->run(ctx);
+        stats.seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        stats.opsAfter = ctx.circuit.size();
+        stats.note = std::move(ctx.pendingNote);
+        ctx.pendingNote.clear();
+        ctx.passStats.push_back(std::move(stats));
+    }
+}
+
+CompileContext
+PassManager::run(Circuit circuit, const CouplingMap *coupling) const
+{
+    CompileContext ctx;
+    ctx.circuit = std::move(circuit);
+    ctx.coupling = coupling;
+    run(ctx);
+    return ctx;
+}
+
+} // namespace compile
+} // namespace qra

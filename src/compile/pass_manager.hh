@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PassManager: an ordered pipeline of compile passes with per-pass
+ * timing/statistics collection and a stable pipeline fingerprint.
+ */
+
+#ifndef QRA_COMPILE_PASS_MANAGER_HH
+#define QRA_COMPILE_PASS_MANAGER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compile/pass.hh"
+
+namespace qra {
+namespace compile {
+
+/** Runs passes in order over one shared CompileContext. */
+class PassManager
+{
+  public:
+    PassManager() = default;
+
+    /** Append @p pass to the pipeline. */
+    PassManager &add(PassPtr pass);
+
+    std::size_t size() const { return passes_.size(); }
+    const std::vector<PassPtr> &passes() const { return passes_; }
+
+    /** Pass names in pipeline order. */
+    std::vector<std::string> passNames() const;
+
+    /**
+     * Stable 64-bit fingerprint of the pipeline *recipe*: the ordered
+     * pass names plus each pass's configuration fold. Equal
+     * fingerprints mean equal transformations of any input circuit,
+     * so the fingerprint (together with the circuit hash and device
+     * data) can key a preparation cache. Deterministic across runs
+     * and platforms; independent of the input circuit.
+     */
+    std::uint64_t fingerprint() const;
+
+    /**
+     * Multi-line pipeline description for --dump-pipeline: one line
+     * per pass (name plus configuration) and the fingerprint.
+     */
+    std::string describe() const;
+
+    /** Run every pass over @p ctx in order, recording PassStats. */
+    void run(CompileContext &ctx) const;
+
+    /** Convenience: build a context around @p circuit and run. */
+    CompileContext run(Circuit circuit,
+                       const CouplingMap *coupling = nullptr) const;
+
+  private:
+    std::vector<PassPtr> passes_;
+};
+
+} // namespace compile
+} // namespace qra
+
+#endif // QRA_COMPILE_PASS_MANAGER_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The concrete compile passes: the five transpiler stages
+ * (decompose, layout, route, direction-fix, optimise) re-expressed
+ * over the Pass interface, assertion instrumentation as a pass, and
+ * the post-layout connectivity-aware injection pass this architecture
+ * unlocks (ancillas allocated on physical qubits adjacent to their
+ * targets, so the router inserts far fewer SWAPs than the legacy
+ * inject-then-transpile order).
+ */
+
+#ifndef QRA_COMPILE_PASSES_HH
+#define QRA_COMPILE_PASSES_HH
+
+#include "assertions/injector.hh"
+#include "compile/pass.hh"
+#include "transpile/decomposer.hh"
+#include "transpile/transpiler.hh"
+
+namespace qra {
+namespace compile {
+
+/** Gate decomposition (SWAP/CCX/controlled-Pauli lowering). */
+class DecomposePass : public Pass
+{
+  public:
+    explicit DecomposePass(DecomposeOptions options)
+        : options_(options)
+    {
+    }
+
+    std::string name() const override { return "decompose"; }
+    std::uint64_t fingerprint(std::uint64_t h) const override;
+    std::string describe() const override;
+    void run(CompileContext &ctx) const override;
+
+  private:
+    DecomposeOptions options_;
+};
+
+/** Initial virtual->physical placement (greedy or trivial). */
+class LayoutPass : public Pass
+{
+  public:
+    explicit LayoutPass(bool greedy) : greedy_(greedy) {}
+
+    std::string name() const override { return "layout"; }
+    std::uint64_t fingerprint(std::uint64_t h) const override;
+    std::string describe() const override;
+    void run(CompileContext &ctx) const override;
+
+  private:
+    bool greedy_;
+};
+
+/** SWAP insertion until every 2q gate is on a coupled pair. */
+class RoutingPass : public Pass
+{
+  public:
+    std::string name() const override { return "route"; }
+    void run(CompileContext &ctx) const override;
+};
+
+/** CNOT orientation fixing against directed couplings. */
+class DirectionFixPass : public Pass
+{
+  public:
+    std::string name() const override { return "direction-fix"; }
+    void run(CompileContext &ctx) const override;
+};
+
+/** Peephole cancellation and rotation merging. */
+class OptimizePass : public Pass
+{
+  public:
+    std::string name() const override { return "optimize"; }
+    void run(CompileContext &ctx) const override;
+};
+
+/**
+ * Legacy (pre-layout) assertion instrumentation: weave checks into
+ * the working circuit over *virtual* qubits; ancillas are appended
+ * above the payload register and participate in any later layout and
+ * routing like ordinary qubits.
+ */
+class InstrumentPass : public Pass
+{
+  public:
+    InstrumentPass(std::vector<AssertionSpec> specs,
+                   InstrumentOptions options)
+        : specs_(std::move(specs)), options_(options)
+    {
+    }
+
+    std::string name() const override { return "instrument"; }
+    std::uint64_t fingerprint(std::uint64_t h) const override;
+    std::string describe() const override;
+    void run(CompileContext &ctx) const override;
+
+  private:
+    std::vector<AssertionSpec> specs_;
+    InstrumentOptions options_;
+};
+
+/**
+ * Post-layout connectivity-aware assertion injection, interleaved
+ * with routing.
+ *
+ * Requires a coupling map and an initial layout in the context
+ * (i.e. runs after LayoutPass), and subsumes RoutingPass: it weaves
+ * the checks into the payload, then routes the combined gate stream
+ * with a *partial* layout in which ancilla wires stay unbound until
+ * routing reaches their check; at that moment each ancilla binds to
+ * the free physical qubit nearest its targets' current (post-SWAP)
+ * positions, found by breadth-first search over the coupling graph.
+ * Target-ancilla CNOTs therefore start on (or next to) native edges
+ * no matter how far routing has dragged the targets — the legacy
+ * inject-then-transpile order fixes ancilla placement before any
+ * SWAP exists and strands ancillas as the layout drifts.
+ */
+class PostLayoutInjectPass : public Pass
+{
+  public:
+    PostLayoutInjectPass(std::vector<AssertionSpec> specs,
+                         InstrumentOptions options)
+        : specs_(std::move(specs)), options_(options)
+    {
+    }
+
+    std::string name() const override { return "inject-postlayout"; }
+    std::uint64_t fingerprint(std::uint64_t h) const override;
+    std::string describe() const override;
+    void run(CompileContext &ctx) const override;
+
+  private:
+    std::vector<AssertionSpec> specs_;
+    InstrumentOptions options_;
+};
+
+/**
+ * Stable semantic fingerprint of one assertion spec: assertion kind,
+ * shape and description plus targets, insertion point and repetition
+ * count. Two specs with equal fingerprints instrument identically, so
+ * the preparation cache can key on this instead of object identity
+ * (semantically identical resubmissions hit; a recycled pointer can
+ * never alias a different assertion).
+ */
+std::uint64_t foldAssertionSpec(std::uint64_t h,
+                                const AssertionSpec &spec);
+
+/** Fingerprint fold of the instrumentation knobs. */
+std::uint64_t foldInstrumentOptions(std::uint64_t h,
+                                    const InstrumentOptions &options);
+
+} // namespace compile
+} // namespace qra
+
+#endif // QRA_COMPILE_PASSES_HH

@@ -1,0 +1,124 @@
+#include "compile/pipelines.hh"
+
+#include "compile/passes.hh"
+
+namespace qra {
+namespace compile {
+
+namespace {
+
+/** decompose(ccx) — CCX must be lowered before routing. */
+PassPtr
+ccxLowering()
+{
+    DecomposeOptions opts;
+    opts.decomposeSwap = false; // router inserts swaps; keep user's
+    opts.decomposeCcx = true;
+    return std::make_shared<DecomposePass>(opts);
+}
+
+/** decompose(swap) — lower router-inserted SWAPs to CX triplets. */
+PassPtr
+swapLowering()
+{
+    DecomposeOptions opts;
+    opts.decomposeSwap = true;
+    opts.decomposeCcx = false;
+    return std::make_shared<DecomposePass>(opts);
+}
+
+/** The post-routing device stages shared by every pipeline. */
+void
+addPostRoutingStages(PassManager &pm, const TranspileOptions &options)
+{
+    pm.add(swapLowering());
+    pm.add(std::make_shared<DirectionFixPass>());
+    if (options.optimize)
+        pm.add(std::make_shared<OptimizePass>());
+}
+
+} // namespace
+
+PassManager
+transpilePipeline(const TranspileOptions &options)
+{
+    PassManager pm;
+    pm.add(ccxLowering());
+    pm.add(std::make_shared<LayoutPass>(options.useGreedyLayout));
+    pm.add(std::make_shared<RoutingPass>());
+    addPostRoutingStages(pm, options);
+    return pm;
+}
+
+PassManager
+instrumentPipeline(std::vector<AssertionSpec> specs,
+                   const InstrumentOptions &options)
+{
+    PassManager pm;
+    pm.add(std::make_shared<InstrumentPass>(std::move(specs), options));
+    return pm;
+}
+
+PassManager
+preparePipeline(const PrepareSpec &spec)
+{
+    PassManager pm;
+    const bool inject = !spec.assertions.empty();
+    const bool post_layout =
+        inject && spec.coupling != nullptr &&
+        spec.injection == InjectionStrategy::PostLayout;
+
+    if (inject && !post_layout)
+        pm.add(std::make_shared<InstrumentPass>(
+            spec.assertions, spec.instrumentOptions));
+
+    if (spec.coupling != nullptr) {
+        if (post_layout) {
+            // The layout is chosen on the raw payload so that
+            // PostLayoutInjectPass can weave into it directly:
+            // AssertionSpec::insertAt indexes *payload* instructions,
+            // so weaving must precede any decomposition (the pass
+            // CCX-lowers the woven circuit itself before routing).
+            // The pass then routes with check-time ancilla binding.
+            pm.add(std::make_shared<LayoutPass>(
+                spec.transpileOptions.useGreedyLayout));
+            pm.add(std::make_shared<PostLayoutInjectPass>(
+                spec.assertions, spec.instrumentOptions));
+        } else {
+            pm.add(ccxLowering());
+            pm.add(std::make_shared<LayoutPass>(
+                spec.transpileOptions.useGreedyLayout));
+            pm.add(std::make_shared<RoutingPass>());
+        }
+        addPostRoutingStages(pm, spec.transpileOptions);
+    }
+    return pm;
+}
+
+CompileContext
+prepare(Circuit payload, const PrepareSpec &spec)
+{
+    return prepare(std::move(payload), spec, preparePipeline(spec));
+}
+
+CompileContext
+prepare(Circuit payload, const PrepareSpec &spec,
+        const PassManager &pipeline)
+{
+    // Legacy naming: instrumentation suffixes "+asserts", device
+    // transpilation suffixes "@<n>q" on top of whatever entered it.
+    const std::string base_name =
+        spec.assertions.empty() ? payload.name()
+                                : payload.name() + "+asserts";
+
+    CompileContext ctx =
+        pipeline.run(std::move(payload), spec.coupling);
+    if (spec.coupling != nullptr)
+        ctx.circuit.setName(base_name + "@" +
+                            std::to_string(spec.coupling->numQubits()) +
+                            "q");
+    return ctx;
+}
+
+} // namespace compile
+} // namespace qra

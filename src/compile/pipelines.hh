@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Canonical pipelines: the declarative recipes behind transpile(),
+ * instrument() and the runtime's JobQueue::prepare. Call sites build
+ * a PassManager from options instead of hardcoding stage order, and
+ * key caches on PassManager::fingerprint().
+ */
+
+#ifndef QRA_COMPILE_PIPELINES_HH
+#define QRA_COMPILE_PIPELINES_HH
+
+#include <vector>
+
+#include "assertions/injector.hh"
+#include "compile/pass_manager.hh"
+#include "transpile/transpiler.hh"
+
+namespace qra {
+namespace compile {
+
+/** Where assertion checks enter the compile pipeline. */
+enum class InjectionStrategy
+{
+    /**
+     * Legacy order: weave checks over virtual qubits first, then
+     * transpile the instrumented circuit. Ancillas are anonymous
+     * extra qubits to layout and routing.
+     */
+    PreLayout,
+
+    /**
+     * Inject after the payload layout is chosen, pinning each ancilla
+     * to a free physical qubit adjacent to its targets (BFS over the
+     * coupling graph). Reduces the SWAPs routing must insert for
+     * target-ancilla CNOTs. Degrades to PreLayout when the prepare
+     * spec has no coupling map (there is no layout to exploit).
+     */
+    PostLayout,
+};
+
+/**
+ * The five-stage device pipeline behind transpile():
+ * decompose(ccx) -> layout -> route -> decompose(swap) ->
+ * direction-fix [-> optimize].
+ */
+PassManager transpilePipeline(const TranspileOptions &options = {});
+
+/** The single-pass pipeline behind instrument(). */
+PassManager instrumentPipeline(std::vector<AssertionSpec> specs,
+                               const InstrumentOptions &options = {});
+
+/** Everything JobQueue::prepare needs to build its pipeline. */
+struct PrepareSpec
+{
+    std::vector<AssertionSpec> assertions;
+    InstrumentOptions instrumentOptions;
+    InjectionStrategy injection = InjectionStrategy::PreLayout;
+    /** Not owned; null = no device transpilation. */
+    const CouplingMap *coupling = nullptr;
+    TranspileOptions transpileOptions;
+};
+
+/**
+ * Build the preparation pipeline for @p spec declaratively:
+ * injection (pre- or post-layout) and device transpilation appear
+ * only when the spec asks for them, so inert options can never
+ * fragment a cache keyed on the pipeline fingerprint.
+ */
+PassManager preparePipeline(const PrepareSpec &spec);
+
+/**
+ * Run preparePipeline(spec) over @p payload, reproducing the legacy
+ * inject-then-transpile naming ("payload+asserts@5q") so prepared
+ * circuits are bit-for-bit what the monolithic path produced.
+ */
+CompileContext prepare(Circuit payload, const PrepareSpec &spec);
+
+/**
+ * Same, over an already-built @p pipeline (must be
+ * preparePipeline(spec)); lets callers that fingerprinted the
+ * pipeline for a cache key reuse it instead of building it twice.
+ */
+CompileContext prepare(Circuit payload, const PrepareSpec &spec,
+                       const PassManager &pipeline);
+
+} // namespace compile
+} // namespace qra
+
+#endif // QRA_COMPILE_PIPELINES_HH

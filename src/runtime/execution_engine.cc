@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "sim/kernels/parallel.hh"
 
@@ -49,8 +50,10 @@ ExecutionEngine::shardPlan(std::size_t shots, std::uint64_t seed,
     return plan;
 }
 
-std::vector<std::future<Result>>
-ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
+std::size_t
+ExecutionEngine::checkAndLaneCount(const Job &job,
+                                   const BackendPtr &backend,
+                                   std::size_t shard_count) const
 {
     if (!job.circuit)
         throw ValueError("job has no circuit");
@@ -58,9 +61,6 @@ ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
         backend->rejectReason(*job.circuit, job.noise);
     if (!reason.empty())
         throw SimulationError(reason);
-
-    const std::vector<Shard> plan =
-        shardPlan(job.shots, job.seed, *backend);
 
     // Intra-shot lanes: leftover pool capacity divided across the
     // job's shards (or the explicit intraThreads knob), clamped to
@@ -70,22 +70,37 @@ ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
     std::size_t lanes = options_.intraThreads;
     if (lanes == 0)
         lanes = std::max<std::size_t>(
-            1, pool_.size() / std::max<std::size_t>(1, plan.size()));
-    lanes = std::min(lanes, pool_.size());
+            1,
+            pool_.size() / std::max<std::size_t>(1, shard_count));
+    return std::min(lanes, pool_.size());
+}
+
+std::function<Result()>
+ExecutionEngine::shardRunner(const Job &job, const BackendPtr &backend,
+                             const Shard &shard, std::size_t lanes)
+{
+    return [backend, circuit = job.circuit, noise = job.noise, shard,
+            lanes, pool = &pool_, fusion = options_.fusionLevel,
+            artifacts = job.artifacts]() {
+        kernels::ParallelScope scope(pool, lanes);
+        kernels::FusionScope fusion_scope(fusion);
+        kernels::PlanCacheScope cache_scope(artifacts.get());
+        return backend->run(*circuit, shard.shots, shard.seed, noise);
+    };
+}
+
+std::vector<std::future<Result>>
+ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
+{
+    const std::vector<Shard> plan =
+        shardPlan(job.shots, job.seed, *backend);
+    const std::size_t lanes =
+        checkAndLaneCount(job, backend, plan.size());
 
     std::vector<std::future<Result>> futures;
-    for (const Shard &shard : plan) {
-        futures.push_back(pool_.submit(
-            [backend, circuit = job.circuit, noise = job.noise, shard,
-             lanes, pool = &pool_, fusion = options_.fusionLevel,
-             artifacts = job.artifacts]() {
-                kernels::ParallelScope scope(pool, lanes);
-                kernels::FusionScope fusion_scope(fusion);
-                kernels::PlanCacheScope cache_scope(artifacts.get());
-                return backend->run(*circuit, shard.shots, shard.seed,
-                                    noise);
-            }));
-    }
+    for (const Shard &shard : plan)
+        futures.push_back(
+            pool_.submit(shardRunner(job, backend, shard, lanes)));
     return futures;
 }
 
@@ -129,6 +144,83 @@ ExecutionEngine::submit(Job job)
             merged.merge(future.get());
         return merged;
     });
+}
+
+void
+ExecutionEngine::submitAsync(Job job, Completion on_complete)
+{
+    if (!on_complete)
+        throw ValueError("submitAsync requires a completion callback");
+    if (!job.circuit)
+        throw ValueError("job has no circuit");
+    const BackendPtr backend =
+        registry_->resolve(job.backend, *job.circuit, job.noise);
+    const std::vector<Shard> plan =
+        shardPlan(job.shots, job.seed, *backend);
+    const std::size_t lanes =
+        checkAndLaneCount(job, backend, plan.size());
+
+    // Shared completion state: the last shard to finish merges the
+    // parts in shard order (bit-identical to run()) and invokes the
+    // callback on its pool thread — no thread ever blocks in a join.
+    struct AsyncState
+    {
+        std::mutex mutex;
+        std::vector<Result> parts;
+        std::size_t remaining;
+        std::size_t numClbits;
+        Completion callback;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<AsyncState>();
+    state->parts.assign(plan.size(), Result(job.circuit->numClbits()));
+    state->remaining = plan.size();
+    state->numClbits = job.circuit->numClbits();
+    state->callback = std::move(on_complete);
+
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        pool_.submit([runner = shardRunner(job, backend, plan[i],
+                                           lanes),
+                      state, i]() {
+            Result part(state->numClbits);
+            std::exception_ptr error;
+            try {
+                part = runner();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            bool last = false;
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->parts[i] = std::move(part);
+                if (error && !state->error)
+                    state->error = error;
+                last = --state->remaining == 0;
+            }
+            if (!last)
+                return;
+            // A throwing callback would otherwise vanish into a
+            // discarded pool future; surface it instead.
+            try {
+                if (state->error) {
+                    state->callback(Result(state->numClbits),
+                                    state->error);
+                    return;
+                }
+                Result merged(state->numClbits);
+                for (Result &shard_result : state->parts)
+                    merged.merge(shard_result);
+                state->callback(std::move(merged), nullptr);
+            } catch (const std::exception &e) {
+                logWarn(std::string("submitAsync completion callback "
+                                    "threw: ") +
+                        e.what());
+            } catch (...) {
+                logWarn("submitAsync completion callback threw a "
+                        "non-standard exception");
+            }
+        });
+    }
 }
 
 AssertionReport

@@ -154,6 +154,26 @@ class ExecutionEngine
     std::future<Result> submit(Job job);
 
     /**
+     * Completion callback of submitAsync: the merged Result, or — if
+     * any shard threw — a default Result plus the first shard's
+     * exception.
+     */
+    using Completion = std::function<void(Result, std::exception_ptr)>;
+
+    /**
+     * Dispatch @p job's shards and deliver the merged Result through
+     * @p onComplete instead of a future. The last shard to finish
+     * merges (in shard order, so counts are bit-identical to run())
+     * and invokes the callback *on a pool thread*: callbacks must not
+     * block on pool work they themselves wait for, but may submit new
+     * jobs. Errors during dispatch (unknown backend, rejected
+     * circuit) still throw synchronously. Callbacks should not throw;
+     * an exception escaping one is logged as a warning and dropped
+     * (there is no future to carry it).
+     */
+    void submitAsync(Job job, Completion onComplete);
+
+    /**
      * Assertion-flow entry point: execute an instrumented circuit and
      * decode the assertion report from the merged result.
      *
@@ -169,6 +189,17 @@ class ExecutionEngine
   private:
     std::vector<std::future<Result>> dispatch(const Job &job,
                                               const BackendPtr &backend);
+
+    /** Reject invalid jobs and resolve intra-shot lane budget. */
+    std::size_t checkAndLaneCount(const Job &job,
+                                  const BackendPtr &backend,
+                                  std::size_t shard_count) const;
+
+    /** The per-shard execution closure shared by all submit paths. */
+    std::function<Result()> shardRunner(const Job &job,
+                                        const BackendPtr &backend,
+                                        const Shard &shard,
+                                        std::size_t lanes);
 
     EngineOptions options_;
     BackendRegistry *registry_;

@@ -1,7 +1,7 @@
 #include "runtime/job_queue.hh"
 
+#include "common/error.hh"
 #include "common/hash.hh"
-#include "transpile/transpiler.hh"
 
 namespace qra {
 namespace runtime {
@@ -12,44 +12,52 @@ JobQueue::JobQueue(ExecutionEngine &engine)
 {
 }
 
+compile::PrepareSpec
+prepareSpec(const JobSpec &spec)
+{
+    compile::PrepareSpec prep;
+    prep.assertions = spec.assertions;
+    prep.instrumentOptions = spec.instrumentOptions;
+    prep.injection = spec.injection;
+    prep.coupling = spec.coupling;
+    prep.transpileOptions = spec.transpileOptions;
+    return prep;
+}
+
 std::uint64_t
-JobQueue::prepareKey(const JobSpec &spec)
+JobQueue::prepareKey(const JobSpec &spec,
+                     std::uint64_t pipeline_fingerprint)
 {
     std::uint64_t h = spec.circuit.hash();
-    // Assertion specs key by the assertion object's identity: two
-    // submissions sharing spec objects hit; semantically equal but
-    // distinct objects miss, which costs a re-preparation but can
-    // never alias two different preparations.
-    h = fnv1aMix64(h, spec.assertions.size());
-    for (const AssertionSpec &a : spec.assertions) {
-        h = fnv1aMix64(
-            h, reinterpret_cast<std::uintptr_t>(a.assertion.get()));
-        h = fnv1aMix64(h, a.insertAt);
-        h = fnv1aMix64(h, a.repetitions);
-        for (const Qubit q : a.targets)
-            h = fnv1aMix64(h, static_cast<std::uint64_t>(q));
-    }
+    // Device data: the same recipe over a different coupling map
+    // transpiles differently.
     if (spec.coupling != nullptr) {
         h = fnv1aMix64(h, spec.coupling->numQubits());
         for (const auto &[control, target] : spec.coupling->edges()) {
             h = fnv1aMix64(h, static_cast<std::uint64_t>(control));
             h = fnv1aMix64(h, static_cast<std::uint64_t>(target));
         }
-        // Transpile knobs change the prepared circuit, so they are
-        // part of the key — but only when transpilation actually
-        // runs, so option-only differences on untranspiled specs
-        // still share one preparation.
-        h = fnv1aMix64(
-            h, (spec.transpileOptions.useGreedyLayout ? 1u : 0u) |
-                   (spec.transpileOptions.optimize ? 2u : 0u));
     }
-    return h;
+    // The pipeline fingerprint covers every knob that changes the
+    // prepared circuit (transpile options, instrument options,
+    // injection strategy, semantic assertion fingerprints) — and only
+    // those: options on passes the pipeline does not contain (e.g.
+    // transpile knobs without a coupling map) never fragment the
+    // cache, because preparePipeline() simply leaves those passes
+    // out. Building the pipeline just to fingerprint it costs a few
+    // microseconds per submission; keeping the recipe's single source
+    // of truth beats a hand-maintained parallel fold.
+    return fnv1aMix64(h, pipeline_fingerprint);
 }
 
 std::shared_ptr<const JobQueue::Prepared>
 JobQueue::prepare(const JobSpec &spec, bool count_stats)
 {
-    const std::uint64_t key = prepareKey(spec);
+    const compile::PrepareSpec prep = prepareSpec(spec);
+    const compile::PassManager pipeline =
+        compile::preparePipeline(prep);
+    const std::uint64_t key =
+        prepareKey(spec, pipeline.fingerprint());
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = cache_.find(key); it != cache_.end()) {
@@ -59,20 +67,12 @@ JobQueue::prepare(const JobSpec &spec, bool count_stats)
         }
     }
 
+    compile::CompileContext ctx =
+        compile::prepare(spec.circuit, prep, pipeline);
     auto prepared = std::make_shared<Prepared>();
-    Circuit working = spec.circuit;
-    if (!spec.assertions.empty()) {
-        auto inst = std::make_shared<InstrumentedCircuit>(
-            instrument(working, spec.assertions));
-        working = inst->circuit();
-        prepared->instrumented = std::move(inst);
-    }
-    if (spec.coupling != nullptr)
-        working = transpile(working, *spec.coupling,
-                            spec.transpileOptions)
-                      .circuit;
+    prepared->instrumented = ctx.instrumented;
     prepared->circuit =
-        std::make_shared<const Circuit>(std::move(working));
+        std::make_shared<const Circuit>(std::move(ctx.circuit));
 
     std::lock_guard<std::mutex> lock(mutex_);
     // A racing thread may have prepared the same key; keep the first
@@ -101,6 +101,61 @@ JobQueue::submit(const JobSpec &spec)
     job.noise = spec.noise;
     job.artifacts = artifactCache();
     return engine_.submit(std::move(job));
+}
+
+void
+JobQueue::submit(const JobSpec &spec, Completion on_complete)
+{
+    if (!on_complete)
+        throw ValueError("submit requires a completion callback");
+    const std::shared_ptr<const Prepared> prepared =
+        prepare(spec, /*count_stats=*/true);
+    Job job;
+    job.circuit = prepared->circuit;
+    job.shots = spec.shots;
+    job.backend = spec.backend;
+    job.seed = spec.seed;
+    job.noise = spec.noise;
+    job.artifacts = artifactCache();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++outstanding_;
+    }
+    auto finish_one = [this]() {
+        // Notify under the lock: once waitIdle() observes
+        // outstanding_ == 0 the queue may be destroyed, so this
+        // thread must be done touching members before the waiter can
+        // acquire the mutex and return.
+        std::lock_guard<std::mutex> lock(mutex_);
+        --outstanding_;
+        idle_.notify_all();
+    };
+    try {
+        engine_.submitAsync(
+            std::move(job),
+            [callback = std::move(on_complete), finish_one](
+                Result result, std::exception_ptr error) {
+                try {
+                    callback(std::move(result), error);
+                } catch (...) {
+                    finish_one();
+                    throw;
+                }
+                finish_one();
+            });
+    } catch (...) {
+        // Synchronous dispatch failure: the callback will never run.
+        finish_one();
+        throw;
+    }
+}
+
+void
+JobQueue::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this]() { return outstanding_ == 0; });
 }
 
 std::vector<Result>

@@ -2,18 +2,21 @@
  * @file
  * JobQueue: the batch front-end of the runtime.
  *
- * Submit many (circuit, shots, backend, noise) jobs, get a future per
- * job; shards of all in-flight jobs interleave on the engine's thread
- * pool. A preparation cache keyed by Circuit::hash() memoises the
- * expensive per-circuit work — device transpilation and assertion
- * injection — so resubmitting the same circuit (the bench suite's
- * dominant pattern: thousands of shot-jobs over a handful of
- * circuits) skips straight to execution.
+ * Submit many (circuit, shots, backend, noise) jobs, get a future (or
+ * a completion callback) per job; shards of all in-flight jobs
+ * interleave on the engine's thread pool. Preparation — assertion
+ * injection and device transpilation — runs through the declarative
+ * compile::preparePipeline and is memoised in a cache keyed by
+ * (Circuit::hash(), coupling map, pipeline fingerprint), so
+ * resubmitting the same circuit (the bench suite's dominant pattern:
+ * thousands of shot-jobs over a handful of circuits) skips straight
+ * to execution.
  */
 
 #ifndef QRA_RUNTIME_JOB_QUEUE_HH
 #define QRA_RUNTIME_JOB_QUEUE_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "assertions/injector.hh"
+#include "compile/pipelines.hh"
 #include "runtime/execution_engine.hh"
 #include "sim/kernels/plan_cache.hh"
 #include "transpile/coupling_map.hh"
@@ -61,7 +65,30 @@ struct JobSpec
      * artifacts either.
      */
     TranspileOptions transpileOptions;
+
+    /**
+     * Instrumentation knobs (ancilla reuse, barriers). Part of the
+     * preparation-cache key whenever assertions are present; inert —
+     * and excluded from the key — otherwise.
+     */
+    InstrumentOptions instrumentOptions;
+
+    /**
+     * Where assertion checks enter the compile pipeline. PostLayout
+     * pins ancillas next to their targets on the device (fewer routed
+     * SWAPs); it participates in the prepare key only when both
+     * assertions and a coupling map are present.
+     */
+    compile::InjectionStrategy injection =
+        compile::InjectionStrategy::PreLayout;
 };
+
+/**
+ * The declarative compile recipe for @p spec — the pipeline
+ * JobQueue::prepare runs, exposed so tools can introspect it
+ * (qra_run --dump-pipeline) without submitting anything.
+ */
+compile::PrepareSpec prepareSpec(const JobSpec &spec);
 
 /** Batch submission with a prepare (transpile/inject) cache. */
 class JobQueue
@@ -77,6 +104,23 @@ class JobQueue
      * merged Result when every shard has run.
      */
     std::future<Result> submit(const JobSpec &spec);
+
+    /** See ExecutionEngine::Completion. */
+    using Completion = ExecutionEngine::Completion;
+
+    /**
+     * Future-free submission: prepare @p spec, hand it to the engine,
+     * and deliver the merged Result through @p onComplete on a pool
+     * thread when the last shard finishes — no thread ever parks in a
+     * join, so a caller can stream thousands of jobs and consume
+     * results as they land. The callback must not block on pool work
+     * it waits for itself; submitting follow-up jobs is fine. The
+     * queue must outlive all outstanding callbacks (use waitIdle()).
+     */
+    void submit(const JobSpec &spec, Completion onComplete);
+
+    /** Block until every callback submission has completed. */
+    void waitIdle();
 
     /** Submit every spec, then wait for all results, in order. */
     std::vector<Result> runAll(const std::vector<JobSpec> &specs);
@@ -124,8 +168,17 @@ class JobQueue
         std::shared_ptr<const InstrumentedCircuit> instrumented;
     };
 
-    /** Cache key: payload hash x preparation recipe. */
-    static std::uint64_t prepareKey(const JobSpec &spec);
+    /**
+     * Cache key: payload hash x coupling-map data x pipeline
+     * fingerprint. The fingerprint covers the full declarative recipe
+     * — transpile options, instrumentation options, injection
+     * strategy, and *semantic* assertion fingerprints (type, targets,
+     * insertAt, repetitions) — so semantically identical
+     * resubmissions hit even with distinct assertion objects, and a
+     * recycled pointer can never alias a different assertion.
+     */
+    static std::uint64_t prepareKey(const JobSpec &spec,
+                                    std::uint64_t pipeline_fingerprint);
 
     /** @param count_stats False for introspection-only lookups. */
     std::shared_ptr<const Prepared> prepare(const JobSpec &spec,
@@ -138,6 +191,10 @@ class JobQueue
     std::shared_ptr<kernels::PlanCache> artifacts_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
+
+    /** Callback submissions in flight (waitIdle watches this). */
+    std::size_t outstanding_ = 0;
+    std::condition_variable idle_;
 };
 
 } // namespace runtime

@@ -2,10 +2,7 @@
 
 #include <sstream>
 
-#include "transpile/decomposer.hh"
-#include "transpile/direction_fixer.hh"
-#include "transpile/optimizer.hh"
-#include "transpile/router.hh"
+#include "compile/pipelines.hh"
 
 namespace qra {
 
@@ -24,46 +21,18 @@ TranspileResult
 transpile(const Circuit &circuit, const CouplingMap &map,
           const TranspileOptions &options)
 {
-    // 1. Decompose SWAP/CCX into the CX basis so routing and
-    //    direction fixing only ever see CX/CZ two-qubit gates.
-    DecomposeOptions dopts;
-    dopts.decomposeSwap = false; // router inserts swaps; keep user's
-    dopts.decomposeCcx = true;
-    Circuit lowered = decompose(circuit, dopts);
+    compile::CompileContext ctx =
+        compile::transpilePipeline(options).run(circuit, &map);
 
-    // 2. Choose the initial placement.
-    const Layout initial = options.useGreedyLayout
-                               ? greedyLayout(lowered, map)
-                               : trivialLayout(lowered, map);
-
-    // 3. Route: insert SWAPs until every 2-qubit gate is coupled.
-    RoutedCircuit routed = routeCircuit(lowered, map, initial);
-
-    // 4. Lower the inserted SWAPs to CX triplets.
-    DecomposeOptions swap_opts;
-    swap_opts.decomposeSwap = true;
-    swap_opts.decomposeCcx = false;
-    Circuit swap_free = decompose(routed.circuit, swap_opts);
-
-    // 5. Fix CNOT orientation against the directed coupling map.
-    DirectionFixResult directed = fixDirections(swap_free, map);
-
-    // 6. Peephole cleanup.
     TranspileResult result;
-    if (options.optimize) {
-        OptimizeResult opt = optimizeCircuit(directed.circuit);
-        result.circuit = std::move(opt.circuit);
-        result.cancelledGates = opt.cancelledGates;
-    } else {
-        result.circuit = std::move(directed.circuit);
-    }
-
+    result.circuit = std::move(ctx.circuit);
     result.circuit.setName(circuit.name() + "@" +
                            std::to_string(map.numQubits()) + "q");
-    result.initialLayout = initial;
-    result.finalLayout = routed.finalLayout;
-    result.insertedSwaps = routed.insertedSwaps;
-    result.reversedCx = directed.reversedCx;
+    result.initialLayout = std::move(*ctx.initialLayout);
+    result.finalLayout = std::move(*ctx.finalLayout);
+    result.insertedSwaps = ctx.insertedSwaps;
+    result.reversedCx = ctx.reversedCx;
+    result.cancelledGates = ctx.cancelledGates;
     return result;
 }
 

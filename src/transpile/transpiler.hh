@@ -3,6 +3,10 @@
  * Transpiler pipeline: decompose -> layout -> route -> direction-fix
  * -> optimise. Produces a circuit executable on a target DeviceModel
  * (every 2-qubit gate on a native directed edge).
+ *
+ * transpile() is a thin wrapper over the canonical
+ * compile::transpilePipeline(); compose custom stage orders (e.g.
+ * post-layout assertion injection) through compile::PassManager.
  */
 
 #ifndef QRA_TRANSPILE_TRANSPILER_HH

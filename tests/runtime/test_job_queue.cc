@@ -4,9 +4,12 @@
  * hash, and the assertion/transpile prepare pipeline.
  */
 
+#include <mutex>
+
 #include <gtest/gtest.h>
 
 #include "assertions/entanglement_assertion.hh"
+#include "common/error.hh"
 #include "noise/device_model.hh"
 #include "runtime/job_queue.hh"
 
@@ -230,6 +233,138 @@ TEST(JobQueue, TranspileOptionsParticipateInPrepareKey)
     untranspiled.submit(plain).get();
     EXPECT_EQ(untranspiled.cacheMisses(), 1u);
     EXPECT_EQ(untranspiled.cacheHits(), 1u);
+}
+
+TEST(JobQueue, AssertionKeyingIsSemantic)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+
+    auto make_spec = [](std::size_t repetitions) {
+        JobSpec spec;
+        spec.circuit = bellCircuit();
+        spec.shots = 128;
+        spec.backend = "statevector";
+        AssertionSpec check;
+        // A fresh assertion object per call: keying must look
+        // through the pointer at the semantics.
+        check.assertion = std::make_shared<EntanglementAssertion>(2);
+        check.targets = {0, 1};
+        check.insertAt = 2;
+        check.repetitions = repetitions;
+        spec.assertions = {check};
+        return spec;
+    };
+
+    queue.submit(make_spec(1)).get();
+    queue.submit(make_spec(1)).get();
+    // Semantically identical resubmission with a distinct assertion
+    // object hits the cache.
+    EXPECT_EQ(queue.cacheMisses(), 1u);
+    EXPECT_EQ(queue.cacheHits(), 1u);
+
+    // Any semantic change (here: repetitions) misses.
+    queue.submit(make_spec(3)).get();
+    EXPECT_EQ(queue.cacheMisses(), 2u);
+}
+
+TEST(JobQueue, InstrumentOptionsParticipateInPrepareKey)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+
+    JobSpec spec = bellSpec();
+    AssertionSpec check;
+    check.assertion = std::make_shared<EntanglementAssertion>(2);
+    check.targets = {0, 1};
+    check.insertAt = 2;
+    check.repetitions = 2;
+    spec.assertions = {check};
+
+    queue.submit(spec).get();
+    spec.instrumentOptions.barriers = false;
+    queue.submit(spec).get();
+    // Two distinct preparations: the options change the woven
+    // circuit, so they may not alias one prepared entry.
+    EXPECT_EQ(queue.cacheMisses(), 2u);
+    EXPECT_EQ(queue.cacheHits(), 0u);
+
+    // Without assertions the options are inert and must not
+    // fragment the cache.
+    JobQueue plain_queue(engine);
+    JobSpec plain = bellSpec();
+    plain_queue.submit(plain).get();
+    plain.instrumentOptions.reuseAncillas = true;
+    plain.injection = compile::InjectionStrategy::PostLayout;
+    plain_queue.submit(plain).get();
+    EXPECT_EQ(plain_queue.cacheMisses(), 1u);
+    EXPECT_EQ(plain_queue.cacheHits(), 1u);
+}
+
+TEST(JobQueue, InjectionStrategyParticipatesInPrepareKey)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+    const DeviceModel device = DeviceModel::ibmqx4();
+
+    JobSpec spec = bellSpec();
+    spec.coupling = &device.couplingMap();
+    AssertionSpec check;
+    check.assertion = std::make_shared<EntanglementAssertion>(2);
+    check.targets = {0, 1};
+    check.insertAt = 2;
+    spec.assertions = {check};
+
+    queue.submit(spec).get();
+    spec.injection = compile::InjectionStrategy::PostLayout;
+    queue.submit(spec).get();
+    EXPECT_EQ(queue.cacheMisses(), 2u);
+    queue.submit(spec).get();
+    EXPECT_EQ(queue.cacheHits(), 1u);
+}
+
+TEST(JobQueue, CallbackSubmissionMatchesFutures)
+{
+    ExecutionEngine engine(EngineOptions{
+        .threads = 4, .shardShots = 64, .maxShards = 8});
+    JobQueue queue(engine);
+
+    std::vector<JobSpec> specs;
+    for (std::uint64_t seed = 0; seed < 6; ++seed)
+        specs.push_back(bellSpec(seed));
+    const std::vector<Result> expected = queue.runAll(specs);
+
+    std::mutex mutex;
+    std::vector<Result> delivered(specs.size());
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        queue.submit(specs[i],
+                     [&, i](Result result, std::exception_ptr error) {
+                         std::lock_guard<std::mutex> lock(mutex);
+                         EXPECT_EQ(error, nullptr);
+                         delivered[i] = std::move(result);
+                         ++count;
+                     });
+    queue.waitIdle();
+
+    EXPECT_EQ(count, specs.size());
+    // Callback delivery is merge-order deterministic: counts are
+    // bit-identical to the future-based path.
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(delivered[i].rawCounts(), expected[i].rawCounts());
+}
+
+TEST(JobQueue, CallbackSubmissionRejectsSynchronously)
+{
+    ExecutionEngine engine(EngineOptions{.threads = 2});
+    JobQueue queue(engine);
+    JobSpec spec = bellSpec();
+    spec.backend = "no-such-backend";
+    EXPECT_THROW(
+        queue.submit(spec, [](Result, std::exception_ptr) {}),
+        Error);
+    // The failed submission does not leak an outstanding slot.
+    queue.waitIdle();
 }
 
 TEST(JobQueue, AssertionInjectionFlowsThroughQueue)

@@ -26,14 +26,15 @@ THRESHOLD = 0.25
 # on one side (e.g. extra-lane gate rows on wider hosts) are skipped.
 IDENTITY_KEYS = (
     "bench", "section", "gate", "kernel_class", "qubits", "lanes",
-    "shots", "jobs", "level", "subset_qubits",
+    "shots", "jobs", "level", "subset_qubits", "pass", "pipeline",
 )
 
 
 def is_metric(key, value):
     if not isinstance(value, (int, float)):
         return False
-    return key.endswith("_per_sec") or key.startswith("speedup")
+    return (key.endswith("_per_sec") or key.startswith("speedup")
+            or key == "swap_reduction")
 
 
 def load_records(paths):

@@ -10,7 +10,9 @@
  * Usage:
  *   qra_run FILE.qasm [--shots N] [--device ideal|ibmqx4]
  *           [--backend NAME|auto] [--jobs N] [--threads N]
- *           [--intra-threads N] [--fusion 0|1|2] [--seed S] [--draw]
+ *           [--intra-threads N] [--fusion 0|1|2] [--seed S]
+ *           [--passes legacy|postlayout] [--reuse-ancillas]
+ *           [--no-barriers] [--dump-pipeline] [--draw]
  *   qra_run --list-backends
  */
 
@@ -40,6 +42,11 @@ struct Options
     std::size_t intraThreads = 0; // 0 = auto (pool / shards)
     int fusion = kernels::kFusionDefault; // 0 none, 1 runs, 2 windows
     std::uint64_t seed = 7;
+    compile::InjectionStrategy injection =
+        compile::InjectionStrategy::PreLayout;
+    bool reuseAncillas = false;
+    bool barriers = true;
+    bool dumpPipeline = false;
     bool draw = false;
     bool listBackends = false;
 };
@@ -54,7 +61,10 @@ usage()
         "               [--backend NAME|auto] [--jobs N] "
         "[--threads N]\n"
         "               [--intra-threads N] [--fusion 0|1|2] [--seed "
-        "S] [--draw]\n"
+        "S]\n"
+        "               [--passes legacy|postlayout] "
+        "[--reuse-ancillas]\n"
+        "               [--no-barriers] [--dump-pipeline] [--draw]\n"
         "       qra_run --list-backends\n");
 }
 
@@ -120,6 +130,26 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--passes") {
+            const char *v = next();
+            if (!v)
+                return false;
+            if (std::strcmp(v, "legacy") == 0) {
+                opts.injection = compile::InjectionStrategy::PreLayout;
+            } else if (std::strcmp(v, "postlayout") == 0) {
+                opts.injection =
+                    compile::InjectionStrategy::PostLayout;
+            } else {
+                std::fprintf(stderr, "--passes must be legacy or "
+                                     "postlayout\n");
+                return false;
+            }
+        } else if (arg == "--reuse-ancillas") {
+            opts.reuseAncillas = true;
+        } else if (arg == "--no-barriers") {
+            opts.barriers = false;
+        } else if (arg == "--dump-pipeline") {
+            opts.dumpPipeline = true;
         } else if (arg == "--draw") {
             opts.draw = true;
         } else if (arg == "--list-backends") {
@@ -199,12 +229,6 @@ main(int argc, char **argv)
             return 2;
         }
 
-        ExecutionEngine engine(
-            EngineOptions{.threads = opts.threads,
-                          .intraThreads = opts.intraThreads,
-                          .fusionLevel = opts.fusion});
-        JobQueue queue(engine);
-
         // One spec per job; jobs split the shot budget and get
         // independent seed streams, so --jobs N models N submissions
         // of the same program batched through the queue.
@@ -214,6 +238,27 @@ main(int argc, char **argv)
         spec.noise = noise;
         spec.coupling = coupling;
         spec.assertions = program.specs;
+        spec.instrumentOptions.reuseAncillas = opts.reuseAncillas;
+        spec.instrumentOptions.barriers = opts.barriers;
+        spec.injection = opts.injection;
+
+        if (opts.dumpPipeline) {
+            // The declarative compile recipe this run would use, with
+            // its stable fingerprint — goldenable output for CI.
+            // Printed before any engine (thread pool) comes up: the
+            // flag runs nothing.
+            std::printf("%s\n",
+                        compile::preparePipeline(prepareSpec(spec))
+                            .describe()
+                            .c_str());
+            return 0;
+        }
+
+        ExecutionEngine engine(
+            EngineOptions{.threads = opts.threads,
+                          .intraThreads = opts.intraThreads,
+                          .fusionLevel = opts.fusion});
+        JobQueue queue(engine);
 
         std::vector<JobSpec> batch;
         for (std::size_t job = 0; job < opts.jobs; ++job) {
