@@ -1,5 +1,6 @@
 #include "assertions/amplitude_estimator.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -51,18 +52,24 @@ estimateFromSuperpositionAssertion(std::size_t error_count,
     const double hw = stats::wilsonHalfWidth(p_err, shots);
 
     SuperpositionAmplitudeEstimate est;
-    // P(error) = (1 - 2ab)/2  =>  ab = (1 - 2 P(error))/2.
-    const double ab = (1.0 - 2.0 * p_err) / 2.0;
+    // P(error) = (1 - 2ab)/2  =>  ab = (1 - 2 P(error))/2. With
+    // a, b >= 0 the product lives in [0, 1/2]; sampling noise pushing
+    // P(error) past 1/2 lands outside, so clamp and flag rather than
+    // propagate an unphysical negative product into the root solve.
+    const double ab_raw = (1.0 - 2.0 * p_err) / 2.0;
+    const double ab = std::clamp(ab_raw, 0.0, 0.5);
+    est.clamped = ab != ab_raw;
     // d(ab)/d(p) = -1: the half-width carries over unchanged.
     est.product = {ab, hw};
 
-    // |a|^2 and |b|^2 solve t^2 - t + (ab)^2 = 0.
-    const double discriminant = 1.0 - 4.0 * ab * ab;
-    if (discriminant >= 0.0) {
-        const double root = std::sqrt(discriminant);
-        est.probMajor = 0.5 * (1.0 + root);
-        est.probMinor = 0.5 * (1.0 - root);
-    }
+    // |a|^2 and |b|^2 solve t^2 - t + (ab)^2 = 0. The discriminant is
+    // non-negative for ab in [0, 1/2]; the max() guards rounding at
+    // the ab = 1/2 boundary.
+    const double discriminant =
+        std::max(0.0, 1.0 - 4.0 * ab * ab);
+    const double root = std::sqrt(discriminant);
+    est.probMajor = 0.5 * (1.0 + root);
+    est.probMinor = 0.5 * (1.0 - root);
     return est;
 }
 

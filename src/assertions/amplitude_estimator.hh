@@ -46,20 +46,34 @@ estimateFromClassicalAssertion(std::size_t error_count,
 
 /**
  * From a |+> superposition assertion on a real-amplitude state
- * a|0> + b|1>: P(error) = (2 - 4ab)/4 (Sec. 3.3), so
+ * a|0> + b|1> with a, b >= 0: P(error) = (2 - 4ab)/4 (Sec. 3.3), so
  * ab = (1 - 2 P(error))/2 and {|a|^2, |b|^2} are the roots of
  * t^2 - t + (ab)^2 = 0. The assignment of the two roots to a and b
  * is not identifiable from this statistic alone.
+ *
+ * Under the non-negative-amplitude convention ab lives in [0, 1/2];
+ * sampling noise driving P(error) above 1/2 would put ab below 0
+ * (and a hypothetical P(error) below 0 would put it above 1/2), so
+ * the raw value is clamped into [0, 1/2] before the roots are solved
+ * and the clamp is flagged.
  */
 struct SuperpositionAmplitudeEstimate
 {
-    /** Estimated product a*b (signed; negative means |->-like). */
+    /** Estimated product a*b, clamped into [0, 1/2]. */
     Estimate product;
 
     /** Larger of {|a|^2, |b|^2}; nullopt when inconsistent (noise). */
     std::optional<double> probMajor;
     /** Smaller of {|a|^2, |b|^2}. */
     std::optional<double> probMinor;
+
+    /**
+     * True when the raw statistic was unphysical (P(error) > 1/2,
+     * i.e. ab < 0) and the product was clamped. The estimate is then
+     * a boundary value, not an interior point — treat it as "more
+     * shots needed", not as a measurement of 0.
+     */
+    bool clamped = false;
 };
 
 SuperpositionAmplitudeEstimate

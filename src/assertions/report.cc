@@ -50,9 +50,18 @@ analyze(const InstrumentedCircuit &instrumented, const Result &result)
 
     report.anyErrorRate = any_error;
     report.keptFraction = kept;
-    if (kept > 0.0)
+    if (kept > 0.0) {
         for (auto &[payload, p] : report.filteredPayload)
             p /= kept;
+    } else {
+        // Same guard as stats::computeErrorRates' kept-nothing case:
+        // when no shot passed, the conditional distribution is
+        // undefined. Exact backends can still have seeded
+        // filteredPayload with zero-probability keys; drop them so
+        // "nothing passed" reads as an explicitly empty distribution
+        // rather than an unnormalised all-zero one.
+        report.filteredPayload.clear();
+    }
 
     return report;
 }

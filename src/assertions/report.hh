@@ -34,7 +34,11 @@ struct AssertionReport
     /** Payload distribution over all shots (assertion bits dropped). */
     stats::Distribution rawPayload;
 
-    /** Payload distribution over shots where every check passed. */
+    /**
+     * Payload distribution over shots where every check passed.
+     * Explicitly empty when keptFraction is 0 (no shot passed, so
+     * the conditional distribution is undefined).
+     */
     stats::Distribution filteredPayload;
 
     /** Human-readable multi-line summary. */

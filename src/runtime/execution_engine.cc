@@ -10,6 +10,25 @@
 namespace qra {
 namespace runtime {
 
+namespace {
+
+/** Invoke a user callback, logging instead of propagating throws. */
+template <typename Callback, typename... Args>
+void
+invokeGuarded(const char *what, Callback &&callback, Args &&...args)
+{
+    try {
+        callback(std::forward<Args>(args)...);
+    } catch (const std::exception &e) {
+        logWarn(std::string(what) + " threw: " + e.what());
+    } catch (...) {
+        logWarn(std::string(what) +
+                " threw a non-standard exception");
+    }
+}
+
+} // namespace
+
 ExecutionEngine::ExecutionEngine(EngineOptions options,
                                  BackendRegistry *registry)
     : options_(options),
@@ -199,28 +218,255 @@ ExecutionEngine::submitAsync(Job job, Completion on_complete)
             }
             if (!last)
                 return;
-            // A throwing callback would otherwise vanish into a
-            // discarded pool future; surface it instead.
+            if (state->error) {
+                // A throwing callback would otherwise vanish into a
+                // discarded pool future; invokeGuarded surfaces it.
+                invokeGuarded("submitAsync completion callback",
+                              state->callback,
+                              Result(state->numClbits), state->error);
+                return;
+            }
             try {
-                if (state->error) {
-                    state->callback(Result(state->numClbits),
-                                    state->error);
-                    return;
-                }
                 Result merged(state->numClbits);
                 for (Result &shard_result : state->parts)
                     merged.merge(shard_result);
-                state->callback(std::move(merged), nullptr);
-            } catch (const std::exception &e) {
-                logWarn(std::string("submitAsync completion callback "
-                                    "threw: ") +
-                        e.what());
+                invokeGuarded("submitAsync completion callback",
+                              state->callback, std::move(merged),
+                              nullptr);
             } catch (...) {
-                logWarn("submitAsync completion callback threw a "
-                        "non-standard exception");
+                // Merge failure: deliver it rather than dropping the
+                // completion on the floor.
+                invokeGuarded("submitAsync completion callback",
+                              state->callback,
+                              Result(state->numClbits),
+                              std::current_exception());
             }
         });
     }
+}
+
+namespace {
+
+/**
+ * Shared state of one adaptive run. Wave bookkeeping (parts,
+ * remaining) is guarded by the mutex; everything else is only touched
+ * by the dispatching thread or by the wave's last-finishing shard —
+ * the release/acquire pair on the final `--remaining` orders those
+ * accesses, so the merge/evaluate/relaunch sequence runs unlocked.
+ */
+struct AdaptiveState
+{
+    Job job;
+    BackendPtr backend;
+    std::vector<Shard> plan;
+    std::size_t perWave = 1;
+    std::size_t lanes = 1;
+    std::size_t budget = 0;
+    std::size_t numClbits = 0;
+
+    std::size_t nextShard = 0;
+    std::size_t wave = 0;
+    Result merged;
+
+    std::mutex mutex;
+    std::vector<Result> parts;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+
+    ExecutionEngine::Progress progress;
+    ExecutionEngine::Completion done;
+    /** Captures only the engine; the pool tasks keep `this` alive. */
+    std::function<void(std::shared_ptr<AdaptiveState>)> launchWave;
+};
+
+/** Wave epilogue, run by the wave's last-finishing shard. */
+void
+finishAdaptiveWave(const std::shared_ptr<AdaptiveState> &state)
+{
+    if (state->error) {
+        invokeGuarded("submitAdaptive completion callback",
+                      state->done, Result(state->numClbits),
+                      state->error);
+        return;
+    }
+    // Merge in shard order: together with waves walking the plan in
+    // shard-index order this reproduces run()'s merge order exactly.
+    for (Result &part : state->parts)
+        state->merged.merge(part);
+    ++state->wave;
+
+    StoppingStatus status;
+    if (state->job.stopping.enabled()) {
+        try {
+            status = evaluateStopping(state->job.stopping,
+                                      state->merged,
+                                      state->job.instrumented.get());
+        } catch (...) {
+            invokeGuarded("submitAdaptive completion callback",
+                          state->done, Result(state->numClbits),
+                          std::current_exception());
+            return;
+        }
+    } else {
+        // No convergence target: waves always run the full budget,
+        // but when the job carries enough decode bookkeeping the
+        // statistic is still evaluated so streaming consumers see a
+        // live estimate rather than the defaults.
+        try {
+            status = evaluateStopping(state->job.stopping,
+                                      state->merged,
+                                      state->job.instrumented.get());
+        } catch (const Error &) {
+            // Nothing to watch (e.g. any-error without assertions):
+            // stream shot progress only.
+            status.shotsDone = state->merged.shots();
+        }
+    }
+    status.wave = state->wave;
+    status.shotsRequested = state->budget;
+    status.finished = status.converged ||
+                      state->nextShard >= state->plan.size();
+
+    if (state->progress)
+        invokeGuarded("submitAdaptive progress callback",
+                      state->progress, state->merged, status);
+
+    if (!status.finished) {
+        state->launchWave(state);
+        return;
+    }
+    Result final_result = std::move(state->merged);
+    final_result.setShotsRequested(state->budget);
+    final_result.setStoppedEarly(final_result.shots() <
+                                 state->budget);
+    invokeGuarded("submitAdaptive completion callback", state->done,
+                  std::move(final_result), nullptr);
+}
+
+} // namespace
+
+void
+ExecutionEngine::submitAdaptive(Job job, Progress on_progress,
+                                Completion on_complete)
+{
+    if (!on_complete)
+        throw ValueError(
+            "submitAdaptive requires a completion callback");
+    if (!job.circuit)
+        throw ValueError("job has no circuit");
+    const BackendPtr backend =
+        registry_->resolve(job.backend, *job.circuit, job.noise);
+
+    const StoppingRule &rule = job.stopping;
+    const std::size_t budget =
+        rule.maxShots != 0 ? rule.maxShots : job.shots;
+    if (budget == 0)
+        throw ValueError("adaptive job has no shot budget");
+    // Misconfigured rules (assertion statistic without an
+    // instrumented circuit, bad check index, bad outcome string) must
+    // throw here, synchronously, not inside a pool callback.
+    if (rule.enabled())
+        evaluateStopping(rule, Result(job.circuit->numClbits()),
+                         job.instrumented.get());
+
+    auto state = std::make_shared<AdaptiveState>();
+    // Waves partition the *budget's* shard plan by shard index; the
+    // plan (and with it every shard's shots and RNG stream) is the
+    // same one run() would use for the full budget, which is what
+    // makes waved counts bit-identical to a single block.
+    state->plan = shardPlan(budget, job.seed, *backend);
+    if (rule.waveShots > 0) {
+        // Round the requested wave size up to whole shards.
+        const std::size_t avg_shard = std::max<std::size_t>(
+            1, budget / state->plan.size());
+        state->perWave = std::clamp<std::size_t>(
+            (rule.waveShots + avg_shard - 1) / avg_shard, 1,
+            state->plan.size());
+    } else if (!rule.enabled()) {
+        // No convergence target and no explicit wave size: one wave
+        // of the whole plan, i.e. run()'s schedule (full shard
+        // parallelism) plus a single progress report.
+        state->perWave = state->plan.size();
+    } else {
+        // Auto wave size: about one shard per pool thread keeps the
+        // pool busy within a wave without overshooting the stopping
+        // point by more than a pool-width of shards.
+        state->perWave = std::clamp<std::size_t>(
+            pool_.size(), 1, state->plan.size());
+    }
+    state->lanes = checkAndLaneCount(job, backend, state->perWave);
+    state->budget = budget;
+    state->numClbits = job.circuit->numClbits();
+    state->merged = Result(state->numClbits);
+    state->backend = backend;
+    state->job = std::move(job);
+    state->progress = std::move(on_progress);
+    state->done = std::move(on_complete);
+    state->launchWave = [this](std::shared_ptr<AdaptiveState> st) {
+        const std::size_t begin = st->nextShard;
+        const std::size_t count =
+            std::min(st->perWave, st->plan.size() - begin);
+        st->nextShard = begin + count;
+        st->parts.assign(count, Result(st->numClbits));
+        st->remaining = count;
+        for (std::size_t i = 0; i < count; ++i) {
+            pool_.submit([st, i,
+                          runner = shardRunner(st->job, st->backend,
+                                               st->plan[begin + i],
+                                               st->lanes)]() {
+                Result part(st->numClbits);
+                std::exception_ptr error;
+                try {
+                    part = runner();
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                bool last = false;
+                {
+                    std::lock_guard<std::mutex> lock(st->mutex);
+                    st->parts[i] = std::move(part);
+                    if (error && !st->error)
+                        st->error = error;
+                    last = --st->remaining == 0;
+                }
+                if (!last)
+                    return;
+                // An epilogue throw (merge failure, next-wave
+                // dispatch onto a stopping pool) would vanish into
+                // this task's discarded future and leave the job
+                // uncompleted; deliver it instead.
+                try {
+                    finishAdaptiveWave(st);
+                } catch (...) {
+                    invokeGuarded(
+                        "submitAdaptive completion callback",
+                        st->done, Result(st->numClbits),
+                        std::current_exception());
+                }
+            });
+        }
+    };
+    state->launchWave(state);
+}
+
+Result
+ExecutionEngine::runAdaptive(const Job &job, Progress on_progress)
+{
+    // Heap-held promise: the pool-side callback may still be inside
+    // set_value's epilogue when get() unblocks this thread.
+    auto promise = std::make_shared<std::promise<Result>>();
+    std::future<Result> future = promise->get_future();
+    submitAdaptive(
+        job, std::move(on_progress),
+        [promise](Result result, std::exception_ptr error) {
+            if (error)
+                promise->set_exception(error);
+            else
+                promise->set_value(std::move(result));
+        });
+    // Safe to park here: the caller is not a pool thread (the same
+    // contract as future-based submit()), so waves drain freely.
+    return future.get();
 }
 
 AssertionReport

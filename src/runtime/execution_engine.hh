@@ -26,6 +26,7 @@
 #include "circuit/circuit.hh"
 #include "noise/noise_model.hh"
 #include "runtime/backend_registry.hh"
+#include "runtime/stopping.hh"
 #include "runtime/thread_pool.hh"
 #include "sim/kernels/plan.hh"
 #include "sim/kernels/plan_cache.hh"
@@ -52,6 +53,22 @@ struct Job
      * here so repeated jobs skip lowering and distribution builds.
      */
     std::shared_ptr<kernels::PlanCache> artifacts;
+
+    /**
+     * Early-stopping policy for the adaptive entry points
+     * (runAdaptive/submitAdaptive). When the convergence target is
+     * unset the adaptive paths still execute in waves but always run
+     * the full budget. Ignored by run()/submit()/submitAsync().
+     */
+    StoppingRule stopping;
+
+    /**
+     * Decode bookkeeping for the stopping rule's assertion
+     * statistics (and for resolving OutcomeProbability over payload
+     * bits). Required for AnyError/CheckError rules; may be null
+     * otherwise.
+     */
+    std::shared_ptr<const InstrumentedCircuit> instrumented;
 
     Job() = default;
 
@@ -172,6 +189,52 @@ class ExecutionEngine
      * (there is no future to carry it).
      */
     void submitAsync(Job job, Completion onComplete);
+
+    /**
+     * Streaming callback of the adaptive entry points: the merged
+     * partial Result after each wave plus the stopping evaluation.
+     * Invoked on a pool thread, strictly between waves (never
+     * concurrently with shard execution of the same job), so the
+     * partial may be read without locking but must not be retained
+     * past the callback's return — the next wave mutates it.
+     */
+    using Progress =
+        std::function<void(const Result &, const StoppingStatus &)>;
+
+    /**
+     * Adaptive wave-based execution with early stopping. The job's
+     * shot budget (stopping.maxShots, defaulting to job.shots) is
+     * laid out as the usual deterministic shard plan, and the shards
+     * execute in waves of ~stopping.waveShots shots. After each wave
+     * the merged-so-far Result is evaluated against the stopping
+     * rule; @p onProgress (optional) streams the partial result, and
+     * the run ends early once the watched statistic's Wilson 95%
+     * half-width reaches the target (past any minShots floor).
+     *
+     * Determinism: waves partition the budget's shard plan by shard
+     * index, and waves merge in shard order, so a run that executes
+     * the whole budget is bit-identical to run() with the same total
+     * at ANY thread/wave/shard setting. An early-stopped run equals
+     * run() of the shots actually taken whenever those form the same
+     * shard decomposition — guaranteed when the budget is a multiple
+     * of shardShots and within maxShards (uniform shard plan).
+     *
+     * The final Result carries shotsRequested() = budget and
+     * stoppedEarly() when it converged with budget to spare.
+     */
+    Result runAdaptive(const Job &job, Progress onProgress = nullptr);
+
+    /**
+     * Asynchronous form of runAdaptive: shards of the current wave go
+     * to the pool; the last shard of each wave merges (in shard
+     * order), evaluates the rule, invokes @p onProgress on its pool
+     * thread, and either launches the next wave or delivers the final
+     * Result through @p onComplete (also on a pool thread). Both
+     * callbacks follow submitAsync's rules: they must not block on
+     * pool work they wait for themselves, and should not throw.
+     */
+    void submitAdaptive(Job job, Progress onProgress,
+                        Completion onComplete);
 
     /**
      * Assertion-flow entry point: execute an instrumented circuit and

@@ -88,8 +88,8 @@ JobQueue::prepare(const JobSpec &spec, bool count_stats)
     return prepared;
 }
 
-std::future<Result>
-JobQueue::submit(const JobSpec &spec)
+Job
+JobQueue::makeJob(const JobSpec &spec)
 {
     const std::shared_ptr<const Prepared> prepared =
         prepare(spec, /*count_stats=*/true);
@@ -100,7 +100,30 @@ JobQueue::submit(const JobSpec &spec)
     job.seed = spec.seed;
     job.noise = spec.noise;
     job.artifacts = artifactCache();
-    return engine_.submit(std::move(job));
+    job.stopping = spec.stopping;
+    job.instrumented = prepared->instrumented;
+    return job;
+}
+
+std::future<Result>
+JobQueue::submit(const JobSpec &spec)
+{
+    Job job = makeJob(spec);
+    if (!spec.stopping.enabled())
+        return engine_.submit(std::move(job));
+    // Adaptive path: waves need a completion hook, so back the
+    // future with a promise instead of the deferred-merge future.
+    auto promise = std::make_shared<std::promise<Result>>();
+    std::future<Result> future = promise->get_future();
+    engine_.submitAdaptive(
+        std::move(job), nullptr,
+        [promise](Result result, std::exception_ptr error) {
+            if (error)
+                promise->set_exception(error);
+            else
+                promise->set_value(std::move(result));
+        });
+    return future;
 }
 
 void
@@ -108,16 +131,32 @@ JobQueue::submit(const JobSpec &spec, Completion on_complete)
 {
     if (!on_complete)
         throw ValueError("submit requires a completion callback");
-    const std::shared_ptr<const Prepared> prepared =
-        prepare(spec, /*count_stats=*/true);
-    Job job;
-    job.circuit = prepared->circuit;
-    job.shots = spec.shots;
-    job.backend = spec.backend;
-    job.seed = spec.seed;
-    job.noise = spec.noise;
-    job.artifacts = artifactCache();
+    // Fixed-budget specs keep the one-block submitAsync path; an
+    // enabled stopping rule routes through the wave engine.
+    if (spec.stopping.enabled()) {
+        submit(spec, nullptr, std::move(on_complete));
+        return;
+    }
+    submitTracked(makeJob(spec), nullptr, std::move(on_complete),
+                  /*adaptive=*/false);
+}
 
+void
+JobQueue::submit(const JobSpec &spec, Progress on_progress,
+                 Completion on_complete)
+{
+    if (!on_complete)
+        throw ValueError("submit requires a completion callback");
+    // Always the wave path: progress streams once per wave even for
+    // fixed-budget specs (disabled rule = every wave runs).
+    submitTracked(makeJob(spec), std::move(on_progress),
+                  std::move(on_complete), /*adaptive=*/true);
+}
+
+void
+JobQueue::submitTracked(Job job, Progress on_progress,
+                        Completion on_complete, bool adaptive)
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++outstanding_;
@@ -131,19 +170,24 @@ JobQueue::submit(const JobSpec &spec, Completion on_complete)
         --outstanding_;
         idle_.notify_all();
     };
+    Completion tracked = [callback = std::move(on_complete),
+                          finish_one](Result result,
+                                      std::exception_ptr error) {
+        try {
+            callback(std::move(result), error);
+        } catch (...) {
+            finish_one();
+            throw;
+        }
+        finish_one();
+    };
     try {
-        engine_.submitAsync(
-            std::move(job),
-            [callback = std::move(on_complete), finish_one](
-                Result result, std::exception_ptr error) {
-                try {
-                    callback(std::move(result), error);
-                } catch (...) {
-                    finish_one();
-                    throw;
-                }
-                finish_one();
-            });
+        if (adaptive)
+            engine_.submitAdaptive(std::move(job),
+                                   std::move(on_progress),
+                                   std::move(tracked));
+        else
+            engine_.submitAsync(std::move(job), std::move(tracked));
     } catch (...) {
         // Synchronous dispatch failure: the callback will never run.
         finish_one();

@@ -81,6 +81,19 @@ struct JobSpec
      */
     compile::InjectionStrategy injection =
         compile::InjectionStrategy::PreLayout;
+
+    /**
+     * Early-stopping policy. When its convergence target is set,
+     * submissions of this spec execute in shot waves and stop as
+     * soon as the watched statistic's Wilson 95% half-width reaches
+     * the target — the delivered Result then carries stoppedEarly()
+     * and shotsRequested(). Assertion statistics (AnyError,
+     * CheckError) require `assertions` to be non-empty. Not part of
+     * the prepare key: the rule changes how many shots run, never
+     * the prepared circuit, so adaptive resubmissions share cache
+     * entries (and warm sampling artifacts) with fixed ones.
+     */
+    StoppingRule stopping;
 };
 
 /**
@@ -101,12 +114,18 @@ class JobQueue
      * Prepare @p spec (inject assertions, transpile), reusing the
      * cache when an identical circuit was prepared before, and hand
      * the resulting job to the engine. The future resolves to the
-     * merged Result when every shard has run.
+     * merged Result when every shard has run. Specs whose stopping
+     * rule is enabled execute adaptively (in waves, stopping early
+     * on convergence); the future then resolves to the partial-but-
+     * converged Result.
      */
     std::future<Result> submit(const JobSpec &spec);
 
     /** See ExecutionEngine::Completion. */
     using Completion = ExecutionEngine::Completion;
+
+    /** See ExecutionEngine::Progress. */
+    using Progress = ExecutionEngine::Progress;
 
     /**
      * Future-free submission: prepare @p spec, hand it to the engine,
@@ -118,6 +137,17 @@ class JobQueue
      * queue must outlive all outstanding callbacks (use waitIdle()).
      */
     void submit(const JobSpec &spec, Completion onComplete);
+
+    /**
+     * Streaming submission: like submit(spec, onComplete) but the
+     * job always executes in waves (adaptive path) and @p onProgress
+     * receives the merged partial Result plus the stopping evaluation
+     * after every wave, on a pool thread. Useful both for live
+     * dashboards over fixed-budget jobs (rule disabled: every wave
+     * runs) and for confidence-driven early stopping (rule enabled).
+     */
+    void submit(const JobSpec &spec, Progress onProgress,
+                Completion onComplete);
 
     /** Block until every callback submission has completed. */
     void waitIdle();
@@ -183,6 +213,17 @@ class JobQueue
     /** @param count_stats False for introspection-only lookups. */
     std::shared_ptr<const Prepared> prepare(const JobSpec &spec,
                                             bool count_stats);
+
+    /** Prepare @p spec and assemble the engine Job (incl. stopping). */
+    Job makeJob(const JobSpec &spec);
+
+    /**
+     * Dispatch @p job with outstanding-callback tracking; @p adaptive
+     * selects the wave engine (forced for streaming submissions even
+     * when the rule is disabled).
+     */
+    void submitTracked(Job job, Progress onProgress,
+                       Completion onComplete, bool adaptive);
 
     ExecutionEngine &engine_;
     mutable std::mutex mutex_;

@@ -1,0 +1,86 @@
+#include "runtime/stopping.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "stats/distance.hh"
+
+namespace qra {
+namespace runtime {
+
+std::string
+StoppingStatus::str() const
+{
+    std::ostringstream os;
+    os << "wave " << wave << ": " << shotsDone << "/" << shotsRequested
+       << " shots, estimate " << formatPercent(estimate) << " +/- "
+       << formatPercent(halfWidth)
+       << (converged ? " (converged)" : "");
+    return os.str();
+}
+
+StoppingStatus
+evaluateStopping(const StoppingRule &rule, const Result &partial,
+                 const InstrumentedCircuit *instrumented)
+{
+    // Count matching shots straight off the raw counts; the predicates
+    // are the same ones AssertionReport::analyze applies, so the
+    // estimate equals the report's rate over these shots.
+    std::size_t matched = 0;
+    switch (rule.statistic) {
+      case StoppingRule::Statistic::AnyError:
+        if (instrumented == nullptr)
+            throw ValueError("any-error stopping rule needs an "
+                             "instrumented circuit (assertions)");
+        for (const auto &[reg, n] : partial.rawCounts())
+            if (!instrumented->passed(reg))
+                matched += n;
+        break;
+      case StoppingRule::Statistic::CheckError:
+        if (instrumented == nullptr)
+            throw ValueError("check-error stopping rule needs an "
+                             "instrumented circuit (assertions)");
+        if (rule.checkIndex >= instrumented->checks().size())
+            throw ValueError(
+                "stopping rule check index " +
+                std::to_string(rule.checkIndex) +
+                " out of range (circuit has " +
+                std::to_string(instrumented->checks().size()) +
+                " checks)");
+        for (const auto &[reg, n] : partial.rawCounts())
+            if (!instrumented->checkPassed(rule.checkIndex, reg))
+                matched += n;
+        break;
+      case StoppingRule::Statistic::OutcomeProbability:
+      {
+        if (rule.outcome.empty())
+            throw ValueError("outcome-probability stopping rule needs "
+                             "a non-empty outcome bitstring");
+        const std::uint64_t target = fromBitstring(rule.outcome);
+        for (const auto &[reg, n] : partial.rawCounts()) {
+            const std::uint64_t key =
+                instrumented != nullptr ? instrumented->payloadBits(reg)
+                                        : reg;
+            if (key == target)
+                matched += n;
+        }
+        break;
+      }
+    }
+
+    StoppingStatus status;
+    status.shotsDone = partial.shots();
+    if (status.shotsDone > 0)
+        status.estimate = static_cast<double>(matched) /
+                          static_cast<double>(status.shotsDone);
+    status.halfWidth =
+        stats::wilsonHalfWidth(status.estimate, status.shotsDone);
+    status.converged = rule.enabled() &&
+                       status.halfWidth <= rule.targetHalfWidth &&
+                       status.shotsDone >= rule.minShots;
+    return status;
+}
+
+} // namespace runtime
+} // namespace qra

@@ -106,9 +106,20 @@ Result::merge(const Result &other)
             total_attempted;
     // Exact distributions are per-circuit, not per-shot, so merged
     // shards of the same job carry identical copies; adopt the other
-    // side's when this result has none.
+    // side's when this result has none. Two *different* exact
+    // distributions mean the caller is merging distinct jobs — keeping
+    // either one would silently misdescribe the union, so refuse.
     if (!exact_ && other.exact_)
         exact_ = other.exact_;
+    else if (exact_ && other.exact_ && *exact_ != *other.exact_)
+        QRA_FATAL("cannot merge results with conflicting exact "
+                  "distributions (distinct jobs?)");
+    // Adaptive-run metadata: a merged result stopped early if any
+    // part did, and its budget is the sum of the parts' budgets
+    // (tracked only once either side carries explicit bookkeeping).
+    if (shotsRequested_ != 0 || other.shotsRequested_ != 0)
+        shotsRequested_ = shotsRequested() + other.shotsRequested();
+    stoppedEarly_ = stoppedEarly_ || other.stoppedEarly_;
     for (const auto &[key, n] : other.counts_)
         record(key, n);
 }

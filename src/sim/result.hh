@@ -82,7 +82,35 @@ class Result
     double retainedFraction() const { return retainedFraction_; }
     void setRetainedFraction(double f) { retainedFraction_ = f; }
 
-    /** Merge the counts of another result (same width required). */
+    /**
+     * True when an adaptive (wave-based) run converged on its
+     * stopping rule before exhausting the shot budget; shots() then
+     * holds the shots actually taken.
+     */
+    bool stoppedEarly() const { return stoppedEarly_; }
+    void setStoppedEarly(bool stopped) { stoppedEarly_ = stopped; }
+
+    /**
+     * The shot budget the job asked for. Equals shots() for fixed
+     * runs; an early-stopped adaptive run reports the full budget
+     * here and the (smaller) shots taken in shots().
+     */
+    std::size_t shotsRequested() const
+    {
+        return shotsRequested_ != 0 ? shotsRequested_ : shots_;
+    }
+    void setShotsRequested(std::size_t shots)
+    {
+        shotsRequested_ = shots;
+    }
+
+    /**
+     * Merge the counts of another result (same width required).
+     * Merging two results that carry *different* exact distributions
+     * is refused: shards of one job always carry identical copies, so
+     * a mismatch means the caller merged distinct jobs and the exact
+     * data of one would silently misrepresent the union.
+     */
     void merge(const Result &other);
 
     /** Multi-line "bits  count  percent" table sorted by outcome. */
@@ -94,6 +122,9 @@ class Result
     std::map<std::uint64_t, std::size_t> counts_;
     std::optional<std::map<std::uint64_t, double>> exact_;
     double retainedFraction_ = 1.0;
+    bool stoppedEarly_ = false;
+    /** 0 = "same as shots()" so plain results need no bookkeeping. */
+    std::size_t shotsRequested_ = 0;
 };
 
 } // namespace qra

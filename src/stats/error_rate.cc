@@ -1,5 +1,6 @@
 #include "stats/error_rate.hh"
 
+#include <limits>
 #include <sstream>
 
 #include "common/strings.hh"
@@ -10,7 +11,9 @@ namespace stats {
 double
 ErrorRateReport::reduction() const
 {
-    if (rawErrorRate <= 0.0)
+    // An all-rejecting filter has no kept set to be cleaner than the
+    // raw one; reporting 100% reduction there would be a lie.
+    if (!hasFiltered || rawErrorRate <= 0.0)
         return 0.0;
     return 1.0 - filteredErrorRate / rawErrorRate;
 }
@@ -19,9 +22,13 @@ std::string
 ErrorRateReport::str() const
 {
     std::ostringstream os;
-    os << "raw " << formatPercent(rawErrorRate) << " -> filtered "
-       << formatPercent(filteredErrorRate) << " (reduction "
-       << formatPercent(reduction()) << ", kept "
+    os << "raw " << formatPercent(rawErrorRate);
+    if (!hasFiltered) {
+        os << " -> filtered n/a (no shots passed the filter)";
+        return os.str();
+    }
+    os << " -> filtered " << formatPercent(filteredErrorRate)
+       << " (reduction " << formatPercent(reduction()) << ", kept "
        << formatPercent(keptFraction) << " of shots)";
     return os.str();
 }
@@ -50,8 +57,15 @@ computeErrorRates(const Distribution &dist,
     ErrorRateReport report;
     if (total > 0.0)
         report.rawErrorRate = raw_error / total;
-    if (kept > 0.0)
+    if (kept > 0.0) {
         report.filteredErrorRate = kept_error / kept;
+    } else {
+        // Nothing passed: P(error | passed) is undefined, and leaving
+        // it at 0.0 would make reduction() claim a perfect filter.
+        report.filteredErrorRate =
+            std::numeric_limits<double>::quiet_NaN();
+        report.hasFiltered = false;
+    }
     report.keptFraction = total > 0.0 ? kept / total : 1.0;
     return report;
 }

@@ -21,11 +21,21 @@ struct ErrorRateReport
 {
     /** P(payload erroneous), all shots. */
     double rawErrorRate = 0.0;
-    /** P(payload erroneous | assertion passed). */
+    /**
+     * P(payload erroneous | assertion passed). NaN when the filter
+     * kept nothing — the conditional is undefined, not zero; check
+     * hasFiltered before reading it.
+     */
     double filteredErrorRate = 0.0;
+    /** False when no shot passed the filter (filtered rate undefined). */
+    bool hasFiltered = true;
     /** Fraction of shots the filter kept. */
     double keptFraction = 1.0;
-    /** Relative reduction: 1 - filtered/raw (0 when raw is 0). */
+    /**
+     * Relative reduction: 1 - filtered/raw. 0 when raw is 0 or when
+     * the filter kept nothing (rejecting everything removes no
+     * errors from the kept set — there is no kept set).
+     */
     double reduction() const;
 
     /** Percentages, e.g. "raw 3.5% -> filtered 2.5% (-28.5%)". */

@@ -53,6 +53,38 @@ TEST(ReportTest, FilteredPayloadConditionsOnPass)
     EXPECT_EQ(report.filteredPayload.count(1), 0u);
 }
 
+TEST(ReportTest, NothingPassedLeavesFilteredPayloadEmpty)
+{
+    // Payload pinned to |1>, asserted == |0>: the check fires on
+    // every shot. The filtered distribution is undefined, so it must
+    // come back explicitly empty (not an unnormalised all-zero map),
+    // even from an exact backend whose distribution enumerates
+    // zero-probability outcomes.
+    Circuit payload(1, 1);
+    payload.x(0);
+    payload.measure(0, 0);
+    AssertionSpec spec;
+    spec.assertion = std::make_shared<ClassicalAssertion>(0);
+    spec.targets = {0};
+    spec.insertAt = 1;
+    const InstrumentedCircuit inst = instrument(payload, {spec});
+
+    for (const bool exact : {false, true}) {
+        Result r;
+        if (exact) {
+            DensityMatrixSimulator sim(4);
+            r = sim.run(inst.circuit(), 10);
+        } else {
+            StatevectorSimulator sim(4);
+            r = sim.run(inst.circuit(), 1000);
+        }
+        const AssertionReport report = analyze(inst, r);
+        EXPECT_NEAR(report.anyErrorRate, 1.0, 1e-9) << exact;
+        EXPECT_NEAR(report.keptFraction, 0.0, 1e-9) << exact;
+        EXPECT_TRUE(report.filteredPayload.empty()) << exact;
+    }
+}
+
 TEST(ReportTest, UsesExactDistributionWhenAvailable)
 {
     const InstrumentedCircuit inst = superposedPayloadWithCheck();

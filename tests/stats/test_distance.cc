@@ -63,6 +63,22 @@ TEST(DistanceTest, WilsonAtExtremes)
     // Zero successes still leaves nonzero uncertainty.
     EXPECT_GT(wilsonHalfWidth(0.0, 100), 0.0);
     EXPECT_GT(wilsonHalfWidth(1.0, 100), 0.0);
+    // The boundary cases shrink with n like the interior ones.
+    EXPECT_LT(wilsonHalfWidth(0.0, 10000), wilsonHalfWidth(0.0, 100));
+    EXPECT_LT(wilsonHalfWidth(1.0, 10000), wilsonHalfWidth(1.0, 100));
+    // And stay narrower than the maximum-variance midpoint.
+    EXPECT_LT(wilsonHalfWidth(0.0, 100), wilsonHalfWidth(0.5, 100));
+}
+
+TEST(DistanceTest, WilsonWithNoShotsIsVacuous)
+{
+    // n = 0: no information, a full-width interval at any p_hat —
+    // the value early-stopping rules compare against their target,
+    // so it must be the never-converged extreme, not a division by
+    // zero.
+    EXPECT_DOUBLE_EQ(wilsonHalfWidth(0.0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(wilsonHalfWidth(0.5, 0), 1.0);
+    EXPECT_DOUBLE_EQ(wilsonHalfWidth(1.0, 0), 1.0);
 }
 
 } // namespace

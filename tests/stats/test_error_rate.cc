@@ -1,5 +1,7 @@
 /** @file Tests for the raw-vs-filtered error-rate accounting. */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "stats/error_rate.hh"
@@ -78,6 +80,35 @@ TEST(ErrorRateTest, UselessFilterKeepsRate)
     EXPECT_NEAR(report.rawErrorRate, 0.1, 1e-12);
     EXPECT_NEAR(report.filteredErrorRate, 0.1, 1e-12);
     EXPECT_NEAR(report.reduction(), 0.0, 1e-12);
+}
+
+TEST(ErrorRateTest, AllRejectingFilterIsNotAPerfectFilter)
+{
+    // Every shot erroneous, filter keeps nothing: the conditional
+    // error rate is undefined, and reduction() must not report the
+    // bogus "100% reduction, kept 0%" a defaulted 0.0 produced.
+    Distribution dist{{0b01, 0.6}, {0b11, 0.4}};
+    const ErrorRateReport report = computeErrorRates(
+        dist, [](std::uint64_t reg) { return (reg & 1) == 1; },
+        [](std::uint64_t reg) { return ((reg >> 1) & 1) == 0 &&
+                                       (reg & 1) == 0; });
+    EXPECT_NEAR(report.rawErrorRate, 1.0, 1e-12);
+    EXPECT_FALSE(report.hasFiltered);
+    EXPECT_TRUE(std::isnan(report.filteredErrorRate));
+    EXPECT_DOUBLE_EQ(report.reduction(), 0.0);
+    EXPECT_DOUBLE_EQ(report.keptFraction, 0.0);
+    EXPECT_NE(report.str().find("no shots passed"),
+              std::string::npos);
+}
+
+TEST(ErrorRateTest, EmptyDistributionHasNoFilteredRate)
+{
+    const ErrorRateReport report = computeErrorRates(
+        Distribution{}, [](std::uint64_t) { return false; },
+        [](std::uint64_t) { return true; });
+    EXPECT_DOUBLE_EQ(report.rawErrorRate, 0.0);
+    EXPECT_FALSE(report.hasFiltered);
+    EXPECT_DOUBLE_EQ(report.reduction(), 0.0);
 }
 
 TEST(ErrorRateTest, StrMentionsRates)

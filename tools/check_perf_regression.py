@@ -27,6 +27,7 @@ THRESHOLD = 0.25
 IDENTITY_KEYS = (
     "bench", "section", "gate", "kernel_class", "qubits", "lanes",
     "shots", "jobs", "level", "subset_qubits", "pass", "pipeline",
+    "scale",
 )
 
 
@@ -34,7 +35,7 @@ def is_metric(key, value):
     if not isinstance(value, (int, float)):
         return False
     return (key.endswith("_per_sec") or key.startswith("speedup")
-            or key == "swap_reduction")
+            or key == "swap_reduction" or key == "shots_saved_frac")
 
 
 def load_records(paths):

@@ -12,16 +12,24 @@
  *           [--backend NAME|auto] [--jobs N] [--threads N]
  *           [--intra-threads N] [--fusion 0|1|2] [--seed S]
  *           [--passes legacy|postlayout] [--reuse-ancillas]
- *           [--no-barriers] [--dump-pipeline] [--draw]
+ *           [--no-barriers] [--target-halfwidth W] [--min-shots N]
+ *           [--wave-shots N] [--dump-pipeline] [--draw]
  *   qra_run --list-backends
+ *
+ * --target-halfwidth enables confidence-driven early stopping: shots
+ * run in waves and stop once the any-assertion error rate's Wilson
+ * 95% half-width is at or below W (requires qra:assert-* directives;
+ * --shots becomes the budget rather than a fixed count).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "assertions/directives.hh"
 #include "qra.hh"
@@ -46,6 +54,9 @@ struct Options
         compile::InjectionStrategy::PreLayout;
     bool reuseAncillas = false;
     bool barriers = true;
+    double targetHalfWidth = 0.0; // 0 = fixed-shot execution
+    std::size_t minShots = 0;
+    std::size_t waveShots = 0;
     bool dumpPipeline = false;
     bool draw = false;
     bool listBackends = false;
@@ -64,7 +75,9 @@ usage()
         "S]\n"
         "               [--passes legacy|postlayout] "
         "[--reuse-ancillas]\n"
-        "               [--no-barriers] [--dump-pipeline] [--draw]\n"
+        "               [--no-barriers] [--target-halfwidth W]\n"
+        "               [--min-shots N] [--wave-shots N]\n"
+        "               [--dump-pipeline] [--draw]\n"
         "       qra_run --list-backends\n");
 }
 
@@ -144,6 +157,27 @@ parseArgs(int argc, char **argv, Options &opts)
                                      "postlayout\n");
                 return false;
             }
+        } else if (arg == "--target-halfwidth") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.targetHalfWidth = std::strtod(v, nullptr);
+            if (opts.targetHalfWidth <= 0.0 ||
+                opts.targetHalfWidth >= 1.0) {
+                std::fprintf(stderr, "--target-halfwidth must be in "
+                                     "(0, 1)\n");
+                return false;
+            }
+        } else if (arg == "--min-shots") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.minShots = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--wave-shots") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.waveShots = std::strtoull(v, nullptr, 10);
         } else if (arg == "--reuse-ancillas") {
             opts.reuseAncillas = true;
         } else if (arg == "--no-barriers") {
@@ -241,6 +275,15 @@ main(int argc, char **argv)
         spec.instrumentOptions.reuseAncillas = opts.reuseAncillas;
         spec.instrumentOptions.barriers = opts.barriers;
         spec.injection = opts.injection;
+        if (opts.targetHalfWidth > 0.0) {
+            // Confidence-driven early stopping on the any-assertion
+            // error rate; --shots is the per-job budget.
+            spec.stopping.statistic =
+                StoppingRule::Statistic::AnyError;
+            spec.stopping.targetHalfWidth = opts.targetHalfWidth;
+            spec.stopping.minShots = opts.minShots;
+            spec.stopping.waveShots = opts.waveShots;
+        }
 
         if (opts.dumpPipeline) {
             // The declarative compile recipe this run would use, with
@@ -254,10 +297,15 @@ main(int argc, char **argv)
             return 0;
         }
 
-        ExecutionEngine engine(
-            EngineOptions{.threads = opts.threads,
-                          .intraThreads = opts.intraThreads,
-                          .fusionLevel = opts.fusion});
+        EngineOptions engine_options{.threads = opts.threads,
+                                     .intraThreads = opts.intraThreads,
+                                     .fusionLevel = opts.fusion};
+        // Waves are shard-granular; an explicit wave size also sizes
+        // the shards so stopping can trigger at that granularity
+        // (shardable backends only — density stays single-shard).
+        if (opts.targetHalfWidth > 0.0 && opts.waveShots > 0)
+            engine_options.shardShots = opts.waveShots;
+        ExecutionEngine engine(engine_options);
         JobQueue queue(engine);
 
         std::vector<JobSpec> batch;
@@ -267,7 +315,33 @@ main(int argc, char **argv)
             spec.seed = splitSeed(opts.seed, 0x10000 + job);
             batch.push_back(spec);
         }
-        const std::vector<Result> results = queue.runAll(batch);
+
+        std::vector<Result> results(batch.size());
+        std::size_t waves = 0;
+        if (opts.targetHalfWidth > 0.0) {
+            // Streaming submission: count waves across the batch and
+            // let each job stop as soon as its interval is tight.
+            std::mutex mutex;
+            std::exception_ptr first_error;
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                queue.submit(
+                    batch[i],
+                    [&](const Result &, const StoppingStatus &) {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        ++waves;
+                    },
+                    [&, i](Result partial, std::exception_ptr error) {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        if (error && !first_error)
+                            first_error = error;
+                        results[i] = std::move(partial);
+                    });
+            queue.waitIdle();
+            if (first_error)
+                std::rethrow_exception(first_error);
+        } else {
+            results = queue.runAll(batch);
+        }
 
         Result result(results.front().numClbits());
         for (const Result &partial : results)
@@ -290,6 +364,22 @@ main(int argc, char **argv)
                     result.shots(), opts.jobs, engine.threads(),
                     queue.cacheHits(),
                     queue.cacheHits() == 1 ? "" : "s");
+
+        if (opts.targetHalfWidth > 0.0) {
+            // Pooled convergence summary over the merged batch.
+            const StoppingStatus pooled = evaluateStopping(
+                batch.front().stopping, result, inst.get());
+            std::printf("early stopping: used %zu of %zu requested "
+                        "shots in %zu wave%s (%s); pooled %s +/- %s "
+                        "(target %s)\n\n",
+                        result.shots(), result.shotsRequested(),
+                        waves, waves == 1 ? "" : "s",
+                        result.stoppedEarly() ? "stopped early"
+                                              : "budget exhausted",
+                        formatPercent(pooled.estimate).c_str(),
+                        formatPercent(pooled.halfWidth).c_str(),
+                        formatPercent(opts.targetHalfWidth).c_str());
+        }
 
         const AssertionReport report = analyze(*inst, result);
         std::printf("%s\n", report.str(*inst).c_str());
