@@ -28,6 +28,11 @@
  *  - async_callbacks: JobQueue callback-based submission throughput
  *    vs future-join runAll on a batch of sampled jobs.
  *
+ * A telemetry_overhead section runs the per-shot workload with
+ * telemetry off vs fully on (metrics + tracing): the enabled path
+ * must cost < 3% (min ratio over alternating off/on pairs) and the
+ * counts must stay bit-identical, both part of the exit verdict.
+ *
  * Emits one JSON line per measurement for the bench trajectory, then
  * a human-readable table and a verdict: on hosts with >= 4 cores the
  * engine must deliver >= 2x shots/sec at 16 qubits on the per-shot
@@ -644,6 +649,71 @@ main(int argc, char **argv)
         }
     }
 
+    // Telemetry overhead: the identical engine workload with
+    // telemetry off vs fully on (metrics + tracing). Spans are
+    // shard-granular, so the enabled path must stay within 3% and
+    // counts must be bit-identical. 4x shots stretches each run to
+    // tens of milliseconds; the overhead estimate is the minimum
+    // ratio over alternating off/on pairs, so slow drift (thermal,
+    // noisy neighbours) that best-of-N minima cannot cancel drops
+    // out — each pair runs back to back on the same host state.
+    double overhead_frac = 0.0;
+    bool counts_identical = true;
+    {
+        const Circuit circuit = trajectoryWorkload(12, 64, 29);
+        const std::size_t telemetry_shots = shots * 4;
+        auto run_once = [&]() {
+            const auto start = std::chrono::steady_clock::now();
+            Result result = engine.run(circuit, telemetry_shots,
+                                       "statevector", 31);
+            return std::make_pair(secondsSince(start),
+                                  std::move(result));
+        };
+        run_once(); // warm the pool and plan caches
+        double best_off = 1e100;
+        double best_on = 1e100;
+        double best_ratio = 1e100;
+        Result off_result;
+        Result on_result;
+        for (int rep = 0; rep < 7; ++rep) {
+            obs::setMetricsEnabled(false);
+            obs::setTracingEnabled(false);
+            auto [off_seconds, off_r] = run_once();
+            obs::setMetricsEnabled(true);
+            obs::setTracingEnabled(true);
+            auto [on_seconds, on_r] = run_once();
+            best_off = std::min(best_off, off_seconds);
+            best_on = std::min(best_on, on_seconds);
+            best_ratio =
+                std::min(best_ratio, on_seconds / off_seconds);
+            off_result = std::move(off_r);
+            on_result = std::move(on_r);
+        }
+        obs::setMetricsEnabled(false);
+        obs::setTracingEnabled(false);
+        obs::Tracer::global().clear();
+        counts_identical =
+            off_result.rawCounts() == on_result.rawCounts();
+        overhead_frac = std::max(0.0, best_ratio - 1.0);
+
+        if (!json_only)
+            std::printf("  telemetry overhead (12 qubits, %zu "
+                        "shots): off %.4fs, on %.4fs -> %.2f%% "
+                        "(counts %s)\n",
+                        telemetry_shots, best_off, best_on,
+                        overhead_frac * 100.0,
+                        counts_identical ? "identical" : "DIFFER");
+        std::printf("{\"bench\":\"perf_engine\","
+                    "\"section\":\"telemetry_overhead\","
+                    "\"qubits\":12,\"shots\":%zu,"
+                    "\"disabled_seconds\":%.6f,"
+                    "\"enabled_seconds\":%.6f,"
+                    "\"overhead_frac\":%.5f,"
+                    "\"counts_identical\":%d}\n",
+                    telemetry_shots, best_off, best_on, overhead_frac,
+                    counts_identical ? 1 : 0);
+    }
+
     // The parallelism claim only applies where parallelism exists.
     bool ok = true;
     if (threads >= 4) {
@@ -678,5 +748,14 @@ main(int argc, char **argv)
                        "confidence-driven early stopping saves >= 2x "
                        "shots vs the fixed budget on the noise sweep");
     ok = ok && stopping_ok;
+
+    // Telemetry budget: enabled-path cost under 3% and counts
+    // bit-identical with telemetry on or off.
+    const bool telemetry_ok = counts_identical && overhead_frac < 0.03;
+    if (!json_only)
+        bench::verdict(telemetry_ok,
+                       "telemetry enabled-path costs < 3% and leaves "
+                       "counts bit-identical");
+    ok = ok && telemetry_ok;
     return ok ? 0 : 1;
 }

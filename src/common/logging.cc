@@ -1,27 +1,62 @@
 #include "common/logging.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 namespace qra {
 
-LogLevel Logger::minLevel_ = LogLevel::Warn;
+namespace {
+
+/** Startup default: QRA_LOG env override, else warnings-and-above. */
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("QRA_LOG");
+    if (env == nullptr)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "silent") == 0)
+        return LogLevel::Silent;
+    // Unrecognised value: keep the default rather than surprise-
+    // silencing; one warning so the typo is discoverable.
+    std::cerr << "[qra:warn] unrecognised QRA_LOG value \"" << env
+              << "\" (expected debug|info|warn|silent)\n";
+    return LogLevel::Warn;
+}
+
+} // namespace
+
+std::atomic<LogLevel> Logger::minLevel_{initialLevel()};
 
 void
 Logger::setLevel(LogLevel level)
 {
-    minLevel_ = level;
+    minLevel_.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 Logger::level()
 {
-    return minLevel_;
+    return minLevel_.load(std::memory_order_relaxed);
 }
 
 void
 Logger::log(LogLevel severity, const std::string &msg)
 {
-    if (severity < minLevel_)
+    log(severity, msg, {});
+}
+
+void
+Logger::log(LogLevel severity, const std::string &msg,
+            LogFields fields)
+{
+    if (severity < minLevel_.load(std::memory_order_relaxed))
         return;
 
     const char *tag = "";
@@ -31,7 +66,13 @@ Logger::log(LogLevel severity, const std::string &msg)
       case LogLevel::Warn:  tag = "warn";  break;
       case LogLevel::Silent: return;
     }
-    std::cerr << "[qra:" << tag << "] " << msg << "\n";
+    // One formatted write: interleaved-safe enough for stderr lines.
+    std::ostringstream line;
+    line << "[qra:" << tag << "] " << msg;
+    for (const LogField &field : fields)
+        line << " " << field.first << "=" << field.second;
+    line << "\n";
+    std::cerr << line.str();
 }
 
 void
@@ -41,15 +82,33 @@ logDebug(const std::string &msg)
 }
 
 void
+logDebug(const std::string &msg, LogFields fields)
+{
+    Logger::log(LogLevel::Debug, msg, fields);
+}
+
+void
 logInfo(const std::string &msg)
 {
     Logger::log(LogLevel::Info, msg);
 }
 
 void
+logInfo(const std::string &msg, LogFields fields)
+{
+    Logger::log(LogLevel::Info, msg, fields);
+}
+
+void
 logWarn(const std::string &msg)
 {
     Logger::log(LogLevel::Warn, msg);
+}
+
+void
+logWarn(const std::string &msg, LogFields fields)
+{
+    Logger::log(LogLevel::Warn, msg, fields);
 }
 
 } // namespace qra

@@ -1,9 +1,9 @@
 #include "compile/pass_manager.hh"
 
-#include <chrono>
 #include <sstream>
 
 #include "common/hash.hh"
+#include "obs/trace.hh"
 
 namespace qra {
 namespace compile {
@@ -56,12 +56,15 @@ PassManager::run(CompileContext &ctx) const
         PassStats stats;
         stats.name = pass->name();
         stats.opsBefore = ctx.circuit.size();
-        const auto start = std::chrono::steady_clock::now();
+        // One timing source of truth: the span both measures
+        // PassStats.seconds and (when tracing) publishes the
+        // per-pass `pass:<name>` trace event.
+        obs::TimedSpan span("compile", "pass:" + stats.name,
+                            {{"ops_before", stats.opsBefore}});
         pass->run(ctx);
-        stats.seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
         stats.opsAfter = ctx.circuit.size();
+        span.arg("ops_after", stats.opsAfter);
+        stats.seconds = span.stop();
         stats.note = std::move(ctx.pendingNote);
         ctx.pendingNote.clear();
         ctx.passStats.push_back(std::move(stats));

@@ -5,12 +5,61 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/kernels/parallel.hh"
 
 namespace qra {
 namespace runtime {
 
 namespace {
+
+/** Registered-once handles for the engine's metrics. */
+struct EngineMetrics
+{
+    obs::CounterHandle jobs;
+    obs::CounterHandle shards;
+    obs::CounterHandle shots;
+    obs::CounterHandle waves;
+    obs::CounterHandle adaptiveBudgetShots;
+    obs::CounterHandle adaptiveShotsSaved;
+    obs::HistogramHandle shardRunNs;
+    obs::HistogramHandle shardQueueWaitNs;
+};
+
+const EngineMetrics &
+engineMetrics()
+{
+    static const EngineMetrics metrics = []() {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        EngineMetrics m;
+        m.jobs = reg.counter("engine.jobs");
+        m.shards = reg.counter("engine.shards");
+        m.shots = reg.counter("engine.shots");
+        m.waves = reg.counter("engine.waves");
+        m.adaptiveBudgetShots =
+            reg.counter("engine.adaptive.budget_shots");
+        m.adaptiveShotsSaved =
+            reg.counter("engine.adaptive.shots_saved");
+        m.shardRunNs = reg.histogram("engine.shard.run_ns");
+        m.shardQueueWaitNs =
+            reg.histogram("engine.shard.queue_wait_ns");
+        return m;
+    }();
+    return metrics;
+}
+
+std::uint64_t
+elapsedNs(obs::Tracer::Clock::time_point begin,
+          obs::Tracer::Clock::time_point end)
+{
+    return end <= begin
+               ? 0
+               : static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<
+                         std::chrono::nanoseconds>(end - begin)
+                         .count());
+}
 
 /** Invoke a user callback, logging instead of propagating throws. */
 template <typename Callback, typename... Args>
@@ -98,13 +147,33 @@ std::function<Result()>
 ExecutionEngine::shardRunner(const Job &job, const BackendPtr &backend,
                              const Shard &shard, std::size_t lanes)
 {
+    // The enqueue timestamp is only captured when telemetry is on:
+    // the disabled path stays free of clock reads.
+    const obs::Tracer::Clock::time_point enqueued =
+        obs::anyEnabled() ? obs::Tracer::Clock::now()
+                          : obs::Tracer::Clock::time_point{};
     return [backend, circuit = job.circuit, noise = job.noise, shard,
             lanes, pool = &pool_, fusion = options_.fusionLevel,
-            artifacts = job.artifacts]() {
+            artifacts = job.artifacts, enqueued]() {
         kernels::ParallelScope scope(pool, lanes);
         kernels::FusionScope fusion_scope(fusion);
         kernels::PlanCacheScope cache_scope(artifacts.get());
-        return backend->run(*circuit, shard.shots, shard.seed, noise);
+        if (!obs::anyEnabled())
+            return backend->run(*circuit, shard.shots, shard.seed,
+                                noise);
+        const auto start = obs::Tracer::Clock::now();
+        const std::uint64_t wait_ns = elapsedNs(enqueued, start);
+        Result part =
+            backend->run(*circuit, shard.shots, shard.seed, noise);
+        const auto end = obs::Tracer::Clock::now();
+        obs::complete("engine", "shard", start, end,
+                      {{"shots", shard.shots}, {"wait_ns", wait_ns}});
+        const EngineMetrics &m = engineMetrics();
+        obs::count(m.shards);
+        obs::count(m.shots, shard.shots);
+        obs::observe(m.shardRunNs, elapsedNs(start, end));
+        obs::observe(m.shardQueueWaitNs, wait_ns);
+        return part;
     };
 }
 
@@ -128,12 +197,20 @@ ExecutionEngine::run(const Job &job)
 {
     if (!job.circuit)
         throw ValueError("job has no circuit");
+    const auto start = obs::Tracer::Clock::now();
+    obs::count(engineMetrics().jobs);
     const BackendPtr backend =
         registry_->resolve(job.backend, *job.circuit, job.noise);
     std::vector<std::future<Result>> futures = dispatch(job, backend);
     Result merged(job.circuit->numClbits());
     for (std::future<Result> &future : futures)
         merged.merge(future.get());
+    ExecStats stats;
+    stats.shards = futures.size();
+    stats.engineSeconds = std::chrono::duration<double>(
+                              obs::Tracer::Clock::now() - start)
+                              .count();
+    merged.setExecStats(stats);
     return merged;
 }
 
@@ -150,6 +227,8 @@ ExecutionEngine::submit(Job job)
 {
     if (!job.circuit)
         throw ValueError("job has no circuit");
+    const auto start = obs::Tracer::Clock::now();
+    obs::count(engineMetrics().jobs);
     const BackendPtr backend =
         registry_->resolve(job.backend, *job.circuit, job.noise);
     // Shards go to the pool now; the merge is deferred to get() so a
@@ -157,10 +236,17 @@ ExecutionEngine::submit(Job job)
     auto futures = std::make_shared<std::vector<std::future<Result>>>(
         dispatch(job, backend));
     const std::size_t num_clbits = job.circuit->numClbits();
-    return std::async(std::launch::deferred, [futures, num_clbits]() {
+    return std::async(std::launch::deferred, [futures, num_clbits,
+                                              start]() {
         Result merged(num_clbits);
         for (std::future<Result> &future : *futures)
             merged.merge(future.get());
+        ExecStats stats;
+        stats.shards = futures->size();
+        stats.engineSeconds = std::chrono::duration<double>(
+                                  obs::Tracer::Clock::now() - start)
+                                  .count();
+        merged.setExecStats(stats);
         return merged;
     });
 }
@@ -172,6 +258,8 @@ ExecutionEngine::submitAsync(Job job, Completion on_complete)
         throw ValueError("submitAsync requires a completion callback");
     if (!job.circuit)
         throw ValueError("job has no circuit");
+    const auto start_time = obs::Tracer::Clock::now();
+    obs::count(engineMetrics().jobs);
     const BackendPtr backend =
         registry_->resolve(job.backend, *job.circuit, job.noise);
     const std::vector<Shard> plan =
@@ -190,12 +278,14 @@ ExecutionEngine::submitAsync(Job job, Completion on_complete)
         std::size_t numClbits;
         Completion callback;
         std::exception_ptr error;
+        obs::Tracer::Clock::time_point start;
     };
     auto state = std::make_shared<AsyncState>();
     state->parts.assign(plan.size(), Result(job.circuit->numClbits()));
     state->remaining = plan.size();
     state->numClbits = job.circuit->numClbits();
     state->callback = std::move(on_complete);
+    state->start = start_time;
 
     for (std::size_t i = 0; i < plan.size(); ++i) {
         pool_.submit([runner = shardRunner(job, backend, plan[i],
@@ -230,6 +320,13 @@ ExecutionEngine::submitAsync(Job job, Completion on_complete)
                 Result merged(state->numClbits);
                 for (Result &shard_result : state->parts)
                     merged.merge(shard_result);
+                ExecStats stats;
+                stats.shards = state->parts.size();
+                stats.engineSeconds =
+                    std::chrono::duration<double>(
+                        obs::Tracer::Clock::now() - state->start)
+                        .count();
+                merged.setExecStats(stats);
                 invokeGuarded("submitAsync completion callback",
                               state->callback, std::move(merged),
                               nullptr);
@@ -267,6 +364,9 @@ struct AdaptiveState
     std::size_t nextShard = 0;
     std::size_t wave = 0;
     Result merged;
+    obs::Tracer::Clock::time_point start;
+    /** Async-span id of the in-flight wave (0 = tracing off). */
+    std::uint64_t waveSpanId = 0;
 
     std::mutex mutex;
     std::vector<Result> parts;
@@ -291,41 +391,59 @@ finishAdaptiveWave(const std::shared_ptr<AdaptiveState> &state)
     }
     // Merge in shard order: together with waves walking the plan in
     // shard-index order this reproduces run()'s merge order exactly.
-    for (Result &part : state->parts)
-        state->merged.merge(part);
+    {
+        obs::Span merge_span("engine", "wave_merge",
+                             {{"wave", state->wave + 1},
+                              {"parts", state->parts.size()}});
+        for (Result &part : state->parts)
+            state->merged.merge(part);
+    }
     ++state->wave;
+    obs::count(engineMetrics().waves);
 
     StoppingStatus status;
-    if (state->job.stopping.enabled()) {
-        try {
-            status = evaluateStopping(state->job.stopping,
-                                      state->merged,
-                                      state->job.instrumented.get());
-        } catch (...) {
-            invokeGuarded("submitAdaptive completion callback",
-                          state->done, Result(state->numClbits),
-                          std::current_exception());
-            return;
-        }
-    } else {
-        // No convergence target: waves always run the full budget,
-        // but when the job carries enough decode bookkeeping the
-        // statistic is still evaluated so streaming consumers see a
-        // live estimate rather than the defaults.
-        try {
-            status = evaluateStopping(state->job.stopping,
-                                      state->merged,
-                                      state->job.instrumented.get());
-        } catch (const Error &) {
-            // Nothing to watch (e.g. any-error without assertions):
-            // stream shot progress only.
-            status.shotsDone = state->merged.shots();
+    {
+        obs::Span eval_span("engine", "stopping_eval",
+                            {{"wave", state->wave}});
+        if (state->job.stopping.enabled()) {
+            try {
+                status =
+                    evaluateStopping(state->job.stopping,
+                                     state->merged,
+                                     state->job.instrumented.get());
+            } catch (...) {
+                invokeGuarded("submitAdaptive completion callback",
+                              state->done, Result(state->numClbits),
+                              std::current_exception());
+                return;
+            }
+        } else {
+            // No convergence target: waves always run the full
+            // budget, but when the job carries enough decode
+            // bookkeeping the statistic is still evaluated so
+            // streaming consumers see a live estimate rather than
+            // the defaults.
+            try {
+                status =
+                    evaluateStopping(state->job.stopping,
+                                     state->merged,
+                                     state->job.instrumented.get());
+            } catch (const Error &) {
+                // Nothing to watch (e.g. any-error without
+                // assertions): stream shot progress only.
+                status.shotsDone = state->merged.shots();
+            }
         }
     }
     status.wave = state->wave;
     status.shotsRequested = state->budget;
     status.finished = status.converged ||
                       state->nextShard >= state->plan.size();
+
+    if (state->waveSpanId != 0) {
+        obs::asyncEnd("engine", "wave", state->waveSpanId);
+        state->waveSpanId = 0;
+    }
 
     if (state->progress)
         invokeGuarded("submitAdaptive progress callback",
@@ -339,6 +457,19 @@ finishAdaptiveWave(const std::shared_ptr<AdaptiveState> &state)
     final_result.setShotsRequested(state->budget);
     final_result.setStoppedEarly(final_result.shots() <
                                  state->budget);
+    ExecStats stats;
+    stats.shards = state->nextShard;
+    stats.waves = state->wave;
+    stats.engineSeconds = std::chrono::duration<double>(
+                              obs::Tracer::Clock::now() - state->start)
+                              .count();
+    final_result.setExecStats(stats);
+    if (obs::metricsEnabled()) {
+        const EngineMetrics &m = engineMetrics();
+        obs::count(m.adaptiveBudgetShots, state->budget);
+        obs::count(m.adaptiveShotsSaved,
+                   state->budget - final_result.shots());
+    }
     invokeGuarded("submitAdaptive completion callback", state->done,
                   std::move(final_result), nullptr);
 }
@@ -354,6 +485,8 @@ ExecutionEngine::submitAdaptive(Job job, Progress on_progress,
             "submitAdaptive requires a completion callback");
     if (!job.circuit)
         throw ValueError("job has no circuit");
+    const auto start_time = obs::Tracer::Clock::now();
+    obs::count(engineMetrics().jobs);
     const BackendPtr backend =
         registry_->resolve(job.backend, *job.circuit, job.noise);
 
@@ -402,11 +535,20 @@ ExecutionEngine::submitAdaptive(Job job, Progress on_progress,
     state->job = std::move(job);
     state->progress = std::move(on_progress);
     state->done = std::move(on_complete);
+    state->start = start_time;
     state->launchWave = [this](std::shared_ptr<AdaptiveState> st) {
         const std::size_t begin = st->nextShard;
         const std::size_t count =
             std::min(st->perWave, st->plan.size() - begin);
         st->nextShard = begin + count;
+        if (obs::tracingEnabled()) {
+            // Wave shards cross threads, so the wave itself is an
+            // async begin/end pair closed by the wave epilogue.
+            st->waveSpanId = obs::Tracer::global().nextAsyncId();
+            obs::asyncBegin("engine", "wave", st->waveSpanId,
+                            {{"wave", st->wave + 1},
+                             {"shards", count}});
+        }
         st->parts.assign(count, Result(st->numClbits));
         st->remaining = count;
         for (std::size_t i = 0; i < count; ++i) {

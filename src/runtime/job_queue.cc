@@ -2,9 +2,41 @@
 
 #include "common/error.hh"
 #include "common/hash.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace qra {
 namespace runtime {
+
+namespace {
+
+/** Registered-once handles for the queue's metrics. */
+struct QueueMetrics
+{
+    obs::CounterHandle jobs;
+    obs::CounterHandle prepareHits;
+    obs::CounterHandle prepareMisses;
+    obs::HistogramHandle submitToCompleteNs;
+};
+
+const QueueMetrics &
+queueMetrics()
+{
+    static const QueueMetrics metrics = []() {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        QueueMetrics m;
+        m.jobs = reg.counter("jobqueue.jobs");
+        m.prepareHits = reg.counter("jobqueue.prepare_cache.hits");
+        m.prepareMisses =
+            reg.counter("jobqueue.prepare_cache.misses");
+        m.submitToCompleteNs =
+            reg.histogram("jobqueue.submit_to_complete_ns");
+        return m;
+    }();
+    return metrics;
+}
+
+} // namespace
 
 JobQueue::JobQueue(ExecutionEngine &engine)
     : engine_(engine),
@@ -51,7 +83,8 @@ JobQueue::prepareKey(const JobSpec &spec,
 }
 
 std::shared_ptr<const JobQueue::Prepared>
-JobQueue::prepare(const JobSpec &spec, bool count_stats)
+JobQueue::prepare(const JobSpec &spec, bool count_stats,
+                  PrepInfo *info)
 {
     const compile::PrepareSpec prep = prepareSpec(spec);
     const compile::PassManager pipeline =
@@ -61,14 +94,25 @@ JobQueue::prepare(const JobSpec &spec, bool count_stats)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = cache_.find(key); it != cache_.end()) {
-            if (count_stats)
+            if (count_stats) {
                 ++hits_;
+                obs::count(queueMetrics().prepareHits);
+            }
+            if (info != nullptr)
+                info->cacheHit = true;
             return it->second;
         }
     }
 
+    // One timing source of truth: the TimedSpan both feeds the
+    // `prepare` trace span (when tracing) and PrepInfo.seconds.
+    obs::TimedSpan span("queue", "prepare",
+                        {{"ops", spec.circuit.size()}});
     compile::CompileContext ctx =
         compile::prepare(spec.circuit, prep, pipeline);
+    const double prepare_seconds = span.stop();
+    if (info != nullptr)
+        info->seconds = prepare_seconds;
     auto prepared = std::make_shared<Prepared>();
     prepared->instrumented = ctx.instrumented;
     prepared->circuit =
@@ -78,21 +122,28 @@ JobQueue::prepare(const JobSpec &spec, bool count_stats)
     // A racing thread may have prepared the same key; keep the first
     // entry so every job of the batch shares one instance.
     if (const auto it = cache_.find(key); it != cache_.end()) {
-        if (count_stats)
+        if (count_stats) {
             ++hits_;
+            obs::count(queueMetrics().prepareHits);
+        }
+        if (info != nullptr)
+            info->cacheHit = true;
         return it->second;
     }
-    if (count_stats)
+    if (count_stats) {
         ++misses_;
+        obs::count(queueMetrics().prepareMisses);
+    }
     cache_[key] = prepared;
     return prepared;
 }
 
 Job
-JobQueue::makeJob(const JobSpec &spec)
+JobQueue::makeJob(const JobSpec &spec, PrepInfo *info)
 {
+    obs::count(queueMetrics().jobs);
     const std::shared_ptr<const Prepared> prepared =
-        prepare(spec, /*count_stats=*/true);
+        prepare(spec, /*count_stats=*/true, info);
     Job job;
     job.circuit = prepared->circuit;
     job.shots = spec.shots;
@@ -105,25 +156,76 @@ JobQueue::makeJob(const JobSpec &spec)
     return job;
 }
 
+JobQueue::Completion
+JobQueue::stamped(Completion on_complete, PrepInfo info)
+{
+    const auto submitted = obs::Tracer::Clock::now();
+    return [callback = std::move(on_complete), info,
+            submitted](Result result, std::exception_ptr error) {
+        if (!error) {
+            ExecStats stats = result.execStats();
+            stats.prepareCacheHit = info.cacheHit;
+            stats.prepareSeconds = info.seconds;
+            result.setExecStats(stats);
+        }
+        if (obs::metricsEnabled()) {
+            const auto now = obs::Tracer::Clock::now();
+            obs::observe(
+                queueMetrics().submitToCompleteNs,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(now - submitted)
+                        .count()));
+        }
+        callback(std::move(result), error);
+    };
+}
+
 std::future<Result>
 JobQueue::submit(const JobSpec &spec)
 {
-    Job job = makeJob(spec);
-    if (!spec.stopping.enabled())
-        return engine_.submit(std::move(job));
-    // Adaptive path: waves need a completion hook, so back the
-    // future with a promise instead of the deferred-merge future.
-    auto promise = std::make_shared<std::promise<Result>>();
-    std::future<Result> future = promise->get_future();
-    engine_.submitAdaptive(
-        std::move(job), nullptr,
-        [promise](Result result, std::exception_ptr error) {
-            if (error)
-                promise->set_exception(error);
-            else
-                promise->set_value(std::move(result));
+    PrepInfo info;
+    Job job = makeJob(spec, &info);
+    const auto submitted = obs::Tracer::Clock::now();
+    std::future<Result> inner;
+    if (!spec.stopping.enabled()) {
+        inner = engine_.submit(std::move(job));
+    } else {
+        // Adaptive path: waves need a completion hook, so back the
+        // future with a promise instead of the deferred-merge future.
+        auto promise = std::make_shared<std::promise<Result>>();
+        inner = promise->get_future();
+        engine_.submitAdaptive(
+            std::move(job), nullptr,
+            [promise](Result result, std::exception_ptr error) {
+                if (error)
+                    promise->set_exception(error);
+                else
+                    promise->set_value(std::move(result));
+            });
+    }
+    // Deferred stamp wrapper: runs on the consumer's get(), where the
+    // merged Result exists; the latency histogram therefore measures
+    // submit-to-consumption for the future API.
+    return std::async(
+        std::launch::deferred,
+        [future = std::move(inner), info, submitted]() mutable {
+            Result result = future.get();
+            ExecStats stats = result.execStats();
+            stats.prepareCacheHit = info.cacheHit;
+            stats.prepareSeconds = info.seconds;
+            result.setExecStats(stats);
+            if (obs::metricsEnabled()) {
+                const auto now = obs::Tracer::Clock::now();
+                obs::observe(
+                    queueMetrics().submitToCompleteNs,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(now - submitted)
+                            .count()));
+            }
+            return result;
         });
-    return future;
 }
 
 void
@@ -137,7 +239,10 @@ JobQueue::submit(const JobSpec &spec, Completion on_complete)
         submit(spec, nullptr, std::move(on_complete));
         return;
     }
-    submitTracked(makeJob(spec), nullptr, std::move(on_complete),
+    PrepInfo info;
+    Job job = makeJob(spec, &info);
+    submitTracked(std::move(job), nullptr,
+                  stamped(std::move(on_complete), info),
                   /*adaptive=*/false);
 }
 
@@ -149,8 +254,11 @@ JobQueue::submit(const JobSpec &spec, Progress on_progress,
         throw ValueError("submit requires a completion callback");
     // Always the wave path: progress streams once per wave even for
     // fixed-budget specs (disabled rule = every wave runs).
-    submitTracked(makeJob(spec), std::move(on_progress),
-                  std::move(on_complete), /*adaptive=*/true);
+    PrepInfo info;
+    Job job = makeJob(spec, &info);
+    submitTracked(std::move(job), std::move(on_progress),
+                  stamped(std::move(on_complete), info),
+                  /*adaptive=*/true);
 }
 
 void

@@ -165,7 +165,9 @@ class JobQueue
     /**
      * Prepared-circuit cache hits since construction. Only submit()
      * counts toward the hit/miss statistics; instrumented() is
-     * introspection and leaves them untouched.
+     * introspection and leaves them untouched. Per-queue thin reads;
+     * when metrics are enabled the same events also feed the global
+     * registry counters `jobqueue.prepare_cache.hits/misses`.
      */
     std::size_t cacheHits() const;
 
@@ -181,7 +183,11 @@ class JobQueue
      */
     std::shared_ptr<kernels::PlanCache> artifactCache() const;
 
-    /** Artifact-cache hits (shards or jobs that skipped a build). */
+    /**
+     * Artifact-cache hits (shards or jobs that skipped a build).
+     * Thin read of the PlanCache's per-instance stats; the global
+     * registry mirrors them as `plan_cache.hits/misses/evictions`.
+     */
     std::size_t samplingCacheHits() const;
 
     /** Artifact-cache misses (builds actually performed). */
@@ -198,6 +204,13 @@ class JobQueue
         std::shared_ptr<const InstrumentedCircuit> instrumented;
     };
 
+    /** How one submission's preparation went (for ExecStats). */
+    struct PrepInfo
+    {
+        bool cacheHit = false;
+        double seconds = 0.0;
+    };
+
     /**
      * Cache key: payload hash x coupling-map data x pipeline
      * fingerprint. The fingerprint covers the full declarative recipe
@@ -210,12 +223,23 @@ class JobQueue
     static std::uint64_t prepareKey(const JobSpec &spec,
                                     std::uint64_t pipeline_fingerprint);
 
-    /** @param count_stats False for introspection-only lookups. */
+    /**
+     * @param count_stats False for introspection-only lookups.
+     * @param info Optional sink for cache-hit/timing bookkeeping.
+     */
     std::shared_ptr<const Prepared> prepare(const JobSpec &spec,
-                                            bool count_stats);
+                                            bool count_stats,
+                                            PrepInfo *info = nullptr);
 
     /** Prepare @p spec and assemble the engine Job (incl. stopping). */
-    Job makeJob(const JobSpec &spec);
+    Job makeJob(const JobSpec &spec, PrepInfo *info = nullptr);
+
+    /**
+     * Wrap @p onComplete so the delivered Result carries the
+     * preparation bookkeeping in its ExecStats and the submit-to-
+     * complete latency lands in the queue's histogram.
+     */
+    Completion stamped(Completion onComplete, PrepInfo info);
 
     /**
      * Dispatch @p job with outstanding-callback tracking; @p adaptive

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/hash.hh"
+#include "obs/metrics.hh"
 
 namespace qra {
 namespace kernels {
@@ -10,6 +11,32 @@ namespace kernels {
 namespace {
 
 thread_local PlanCache *tls_cache = nullptr;
+
+/**
+ * Global-registry mirrors of the per-instance Stats counters: the
+ * instance accessors stay the per-cache source of truth (tests run
+ * many caches per process), the registry aggregates across them.
+ */
+struct CacheMetrics
+{
+    obs::CounterHandle hits;
+    obs::CounterHandle misses;
+    obs::CounterHandle evictions;
+};
+
+const CacheMetrics &
+cacheMetrics()
+{
+    static const CacheMetrics metrics = []() {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        CacheMetrics m;
+        m.hits = reg.counter("plan_cache.hits");
+        m.misses = reg.counter("plan_cache.misses");
+        m.evictions = reg.counter("plan_cache.evictions");
+        return m;
+    }();
+    return metrics;
+}
 
 std::uint64_t
 planKey(const Circuit &circuit, int fusion)
@@ -57,11 +84,14 @@ PlanCache::lookup(Store<T> &store, std::uint64_t key, BuildFn &&build)
             if (it->second.future.wait_for(std::chrono::seconds(0)) ==
                 std::future_status::ready) {
                 ++stats_.hits;
+                obs::count(cacheMetrics().hits);
                 return it->second.future.get();
             }
             ++stats_.misses;
+            obs::count(cacheMetrics().misses);
         } else {
             ++stats_.misses;
+            obs::count(cacheMetrics().misses);
             my_id = ++nextId_;
             map.emplace(key,
                         typename Store<T>::Entry{
@@ -83,6 +113,7 @@ PlanCache::lookup(Store<T> &store, std::uint64_t key, BuildFn &&build)
                     continue;
                 map.erase(victim_it);
                 ++stats_.evictions;
+                obs::count(cacheMetrics().evictions);
             }
         }
     }

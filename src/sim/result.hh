@@ -15,6 +15,28 @@
 
 namespace qra {
 
+/**
+ * Execution bookkeeping the runtime stamps onto a merged Result:
+ * how the job was carved up and where its wall-clock time went.
+ * Always populated by the JobQueue/ExecutionEngine paths (it costs a
+ * couple of clock reads per *job*, independent of telemetry being
+ * on); default for Results built directly by a simulator.
+ */
+struct ExecStats
+{
+    /** Shards executed and merged into this result. */
+    std::size_t shards = 0;
+    /** Adaptive waves executed (0 = single-block run). */
+    std::size_t waves = 0;
+    /** True when the JobQueue's prepare cache supplied the circuit. */
+    bool prepareCacheHit = false;
+    /** Injection + transpile time this submission spent (usually 0
+        on a cache hit). */
+    double prepareSeconds = 0.0;
+    /** Engine dispatch-to-merge wall time. */
+    double engineSeconds = 0.0;
+};
+
 /** Counts and metadata from running a circuit for some shots. */
 class Result
 {
@@ -105,6 +127,14 @@ class Result
     }
 
     /**
+     * Where this result's execution time went (see ExecStats).
+     * Stamped by the runtime after the merge; merge() itself leaves
+     * it untouched.
+     */
+    const ExecStats &execStats() const { return execStats_; }
+    void setExecStats(const ExecStats &stats) { execStats_ = stats; }
+
+    /**
      * Merge the counts of another result (same width required).
      * Merging two results that carry *different* exact distributions
      * is refused: shards of one job always carry identical copies, so
@@ -125,6 +155,7 @@ class Result
     bool stoppedEarly_ = false;
     /** 0 = "same as shots()" so plain results need no bookkeeping. */
     std::size_t shotsRequested_ = 0;
+    ExecStats execStats_;
 };
 
 } // namespace qra

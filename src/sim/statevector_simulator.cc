@@ -3,6 +3,8 @@
 #include <set>
 
 #include "common/error.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/kernels/alias_table.hh"
 #include "sim/kernels/plan.hh"
 #include "sim/kernels/plan_cache.hh"
@@ -11,6 +13,28 @@
 namespace qra {
 
 namespace {
+
+/** Registered-once handles for the sampling-path metrics. */
+struct SimMetrics
+{
+    obs::CounterHandle sampledShots;
+    obs::CounterHandle perShotShots;
+    obs::GaugeHandle sampledShotsPerSec;
+};
+
+const SimMetrics &
+simMetrics()
+{
+    static const SimMetrics metrics = []() {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        SimMetrics m;
+        m.sampledShots = reg.counter("sim.sampled.shots");
+        m.perShotShots = reg.counter("sim.pershot.shots");
+        m.sampledShotsPerSec = reg.gauge("sim.sampled.shots_per_sec");
+        return m;
+    }();
+    return metrics;
+}
 
 /** Compile @p circuit, through the active PlanCache when one is. */
 std::shared_ptr<const kernels::ExecutablePlan>
@@ -147,6 +171,11 @@ StatevectorSimulator::runSampled(const Circuit &circuit,
         return result;
     }
 
+    // Telemetry clocks sit outside the sampling loop: per-run, not
+    // per-shot, so the enabled-path overhead stays negligible.
+    const bool telemetry = obs::anyEnabled();
+    const auto start = telemetry ? obs::Tracer::Clock::now()
+                                 : obs::Tracer::Clock::time_point{};
     for (std::size_t s = 0; s < shots; ++s) {
         const std::uint64_t key = dist->table.sample(rng_);
         std::uint64_t reg = 0;
@@ -158,6 +187,18 @@ StatevectorSimulator::runSampled(const Circuit &circuit,
         }
         result.record(reg);
     }
+    if (telemetry) {
+        const auto end = obs::Tracer::Clock::now();
+        obs::complete("sim", "sampled_run", start, end,
+                      {{"shots", shots}});
+        const SimMetrics &m = simMetrics();
+        obs::count(m.sampledShots, shots);
+        const double seconds =
+            std::chrono::duration<double>(end - start).count();
+        if (seconds > 0.0)
+            obs::setGauge(m.sampledShotsPerSec,
+                          static_cast<double>(shots) / seconds);
+    }
     return result;
 }
 
@@ -165,6 +206,8 @@ Result
 StatevectorSimulator::runPerShot(const Circuit &circuit,
                                  std::size_t shots)
 {
+    obs::Span run_span("sim", "pershot_run", {{"shots", shots}});
+    obs::count(simMetrics().perShotShots, shots);
     Result result(circuit.numClbits());
     std::size_t attempted = 0;
     std::size_t kept = 0;

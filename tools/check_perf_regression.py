@@ -19,6 +19,11 @@ import sys
 
 THRESHOLD = 0.25
 
+# Lower-is-better metrics checked against an absolute ceiling instead
+# of drift vs baseline: telemetry overhead is a hard design budget
+# (enabled-path cost < 3%), so the current value alone decides.
+LOWER_IS_BETTER_ABS = {"overhead_frac": 0.03}
+
 # Keys that identify a record rather than measure it. "threads" is
 # deliberately absent: it describes the host (the committed baseline
 # comes from a 1-core container, CI runners have more), and including
@@ -35,7 +40,8 @@ def is_metric(key, value):
     if not isinstance(value, (int, float)):
         return False
     return (key.endswith("_per_sec") or key.startswith("speedup")
-            or key == "swap_reduction" or key == "shots_saved_frac")
+            or key == "swap_reduction" or key == "shots_saved_frac"
+            or key == "saved_frac")
 
 
 def load_records(paths):
@@ -74,6 +80,18 @@ def main(argv):
 
     drops = []
     compared = 0
+    # Ceiling checks read the *current* records directly so a section
+    # absent from the committed baseline still gets gated.
+    for key, cur_record in current.items():
+        for metric, ceiling in LOWER_IS_BETTER_ABS.items():
+            cur_value = cur_record.get(metric)
+            if not isinstance(cur_value, (int, float)):
+                continue
+            compared += 1
+            if cur_value > ceiling:
+                label = "/".join(str(v) for _, v in key if v != "")
+                drops.append((label, metric, ceiling, cur_value,
+                              cur_value - ceiling))
     for key, base_record in baseline.items():
         cur_record = current.get(key)
         if cur_record is None:

@@ -13,13 +13,22 @@
  *           [--intra-threads N] [--fusion 0|1|2] [--seed S]
  *           [--passes legacy|postlayout] [--reuse-ancillas]
  *           [--no-barriers] [--target-halfwidth W] [--min-shots N]
- *           [--wave-shots N] [--dump-pipeline] [--draw]
+ *           [--wave-shots N] [--metrics[=FILE]] [--trace=FILE]
+ *           [--trace-jsonl=FILE] [--dump-pipeline] [--draw]
  *   qra_run --list-backends
  *
  * --target-halfwidth enables confidence-driven early stopping: shots
  * run in waves and stop once the any-assertion error rate's Wilson
  * 95% half-width is at or below W (requires qra:assert-* directives;
  * --shots becomes the budget rather than a fixed count).
+ *
+ * Telemetry: --metrics prints a metrics table after the report
+ * (--metrics=FILE writes the JSON snapshot instead); --trace=FILE
+ * writes Chrome trace-event JSON (open in Perfetto or
+ * chrome://tracing), --trace-jsonl=FILE the same events as JSON
+ * lines. Either flag routes execution through the streaming wave
+ * path so traces contain prepare, per-pass, shard, and wave spans —
+ * counts are bit-identical to the plain path.
  */
 
 #include <cstdio>
@@ -57,6 +66,10 @@ struct Options
     double targetHalfWidth = 0.0; // 0 = fixed-shot execution
     std::size_t minShots = 0;
     std::size_t waveShots = 0;
+    bool metricsStdout = false;
+    std::string metricsFile;
+    std::string traceFile;
+    std::string traceJsonlFile;
     bool dumpPipeline = false;
     bool draw = false;
     bool listBackends = false;
@@ -77,6 +90,8 @@ usage()
         "[--reuse-ancillas]\n"
         "               [--no-barriers] [--target-halfwidth W]\n"
         "               [--min-shots N] [--wave-shots N]\n"
+        "               [--metrics[=FILE]] [--trace=FILE]\n"
+        "               [--trace-jsonl=FILE]\n"
         "               [--dump-pipeline] [--draw]\n"
         "       qra_run --list-backends\n");
 }
@@ -178,6 +193,30 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.waveShots = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--metrics") {
+            opts.metricsStdout = true;
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            opts.metricsFile = arg.substr(std::strlen("--metrics="));
+        } else if (arg == "--trace-jsonl" ||
+                   arg.rfind("--trace-jsonl=", 0) == 0) {
+            if (arg == "--trace-jsonl") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opts.traceJsonlFile = v;
+            } else {
+                opts.traceJsonlFile =
+                    arg.substr(std::strlen("--trace-jsonl="));
+            }
+        } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+            if (arg == "--trace") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opts.traceFile = v;
+            } else {
+                opts.traceFile = arg.substr(std::strlen("--trace="));
+            }
         } else if (arg == "--reuse-ancillas") {
             opts.reuseAncillas = true;
         } else if (arg == "--no-barriers") {
@@ -235,6 +274,15 @@ main(int argc, char **argv)
         listBackends();
         return 0;
     }
+
+    // Telemetry switches must be on before any engine work so every
+    // span/counter of the run is captured.
+    const bool want_metrics =
+        opts.metricsStdout || !opts.metricsFile.empty();
+    const bool want_trace =
+        !opts.traceFile.empty() || !opts.traceJsonlFile.empty();
+    obs::setMetricsEnabled(want_metrics);
+    obs::setTracingEnabled(want_trace);
 
     std::ifstream in(opts.file);
     if (!in) {
@@ -318,7 +366,11 @@ main(int argc, char **argv)
 
         std::vector<Result> results(batch.size());
         std::size_t waves = 0;
-        if (opts.targetHalfWidth > 0.0) {
+        // Telemetry also routes through the streaming wave path so
+        // the trace contains wave spans; with a disabled stopping
+        // rule every wave runs and counts are bit-identical to the
+        // plain path.
+        if (opts.targetHalfWidth > 0.0 || want_trace || want_metrics) {
             // Streaming submission: count waves across the batch and
             // let each job stop as soon as its interval is tight.
             std::mutex mutex;
@@ -392,6 +444,41 @@ main(int argc, char **argv)
                     stats::distributionToString(
                         report.filteredPayload, inst->payloadClbits())
                         .c_str());
+
+        // Telemetry exports, after the instrumented work quiesced.
+        if (!opts.traceFile.empty()) {
+            std::ofstream trace_out(opts.traceFile);
+            if (!trace_out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opts.traceFile.c_str());
+                return 2;
+            }
+            obs::Tracer::global().writeChromeJson(trace_out);
+        }
+        if (!opts.traceJsonlFile.empty()) {
+            std::ofstream jsonl_out(opts.traceJsonlFile);
+            if (!jsonl_out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opts.traceJsonlFile.c_str());
+                return 2;
+            }
+            obs::Tracer::global().writeJsonLines(jsonl_out);
+        }
+        if (want_metrics) {
+            const obs::MetricsSnapshot snap =
+                obs::MetricsRegistry::global().snapshot();
+            if (opts.metricsFile.empty()) {
+                std::printf("\nmetrics:\n%s", snap.str().c_str());
+            } else {
+                std::ofstream metrics_out(opts.metricsFile);
+                if (!metrics_out) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 opts.metricsFile.c_str());
+                    return 2;
+                }
+                metrics_out << snap.toJson() << "\n";
+            }
+        }
 
         // Exit status mirrors the assertion outcome so the tool can
         // gate CI pipelines: 0 = all checks clean (on an ideal
