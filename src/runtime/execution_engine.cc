@@ -8,6 +8,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/kernels/parallel.hh"
+#include "sim/kernels/simd/dispatch.hh"
 
 namespace qra {
 namespace runtime {
@@ -92,6 +93,11 @@ ExecutionEngine::ExecutionEngine(EngineOptions options,
     if (options_.fusionLevel < kernels::kFusionNone ||
         options_.fusionLevel > kernels::kFusion2q)
         throw ValueError("EngineOptions.fusionLevel must be 0, 1 or 2");
+    if (options_.simdTier >
+        static_cast<int>(kernels::simd::Tier::Avx512))
+        throw ValueError(
+            "EngineOptions.simdTier must be -1 (auto), 0 (scalar), "
+            "1 (avx2) or 2 (avx512)");
 }
 
 ExecutionEngine::ExecutionEngine(std::size_t threads)
@@ -154,9 +160,11 @@ ExecutionEngine::shardRunner(const Job &job, const BackendPtr &backend,
                           : obs::Tracer::Clock::time_point{};
     return [backend, circuit = job.circuit, noise = job.noise, shard,
             lanes, pool = &pool_, fusion = options_.fusionLevel,
-            artifacts = job.artifacts, enqueued]() {
+            simd_tier = options_.simdTier, artifacts = job.artifacts,
+            enqueued]() {
         kernels::ParallelScope scope(pool, lanes);
         kernels::FusionScope fusion_scope(fusion);
+        kernels::simd::TierScope tier_scope(simd_tier);
         kernels::PlanCacheScope cache_scope(artifacts.get());
         if (!obs::anyEnabled())
             return backend->run(*circuit, shard.shots, shard.seed,

@@ -118,6 +118,16 @@ struct EngineOptions
      * sampled counts are not bit-identical across levels.
      */
     int fusionLevel = kernels::kFusionDefault;
+
+    /**
+     * SIMD dispatch tier installed around backend runs: -1 = auto
+     * (cpuid-detected, QRA_SIMD-overridable), otherwise a
+     * kernels::simd::Tier value (0 scalar, 1 avx2, 2 avx512),
+     * clamped to what the CPU and build support. Unlike fusionLevel,
+     * the tier never changes results — every tier is bit-identical
+     * to the scalar oracle.
+     */
+    int simdTier = -1;
 };
 
 /** One entry of a job's deterministic shard plan. */

@@ -4,7 +4,10 @@
 #include <array>
 
 #include "common/error.hh"
+#include "obs/metrics.hh"
 #include "sim/kernels/parallel.hh"
+#include "sim/kernels/simd/dispatch.hh"
+#include "sim/kernels/traversal.hh"
 
 namespace qra {
 namespace kernels {
@@ -21,24 +24,53 @@ sortedBits(const std::array<std::uint64_t, K> &bits)
     return sorted;
 }
 
+/** Which dispatch tier actually ran, for traces (obs counters). */
+void
+recordDispatch(simd::Tier tier)
+{
+    if (!obs::metricsEnabled())
+        return;
+    static const std::array<obs::CounterHandle, 3> handles = [] {
+        auto &registry = obs::MetricsRegistry::global();
+        return std::array<obs::CounterHandle, 3>{
+            registry.counter("sim.kernels.dispatch.scalar"),
+            registry.counter("sim.kernels.dispatch.avx2"),
+            registry.counter("sim.kernels.dispatch.avx512"),
+        };
+    }();
+    obs::count(handles[static_cast<int>(tier)]);
+}
+
 } // namespace
 
 void
 applyGeneral1q(Complex *amps, std::uint64_t n, Qubit q, Complex m00,
-               Complex m01, Complex m10, Complex m11)
+               Complex m01, Complex m10, Complex m11,
+               Traversal traversal)
 {
     const std::uint64_t bit = std::uint64_t{1} << q;
-    const std::uint64_t low = bit - 1;
-    parallelFor(n >> 1, [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t h = begin; h < end; ++h) {
-            const std::uint64_t i0 = ((h & ~low) << 1) | (h & low);
-            const std::uint64_t i1 = i0 | bit;
-            const Complex a0 = amps[i0];
-            const Complex a1 = amps[i1];
-            amps[i0] = m00 * a0 + m01 * a1;
-            amps[i1] = m10 * a0 + m11 * a1;
+    const Traversal resolved = resolveTraversal(traversal, n, bit, 2);
+    const simd::Ladder ladder = simd::activeLadder();
+    for (int t = 0; t < ladder.count; ++t)
+        if (ladder.tables[t]->general1q(amps, n, q, m00, m01, m10, m11,
+                                        resolved)) {
+            recordDispatch(ladder.tiers[t]);
+            return;
         }
-    });
+    recordDispatch(simd::Tier::Scalar);
+    const std::uint64_t low = bit - 1;
+    forEachCompact(
+        n >> 1, 2, resolved,
+        [=](std::uint64_t begin, std::uint64_t end) {
+            for (std::uint64_t h = begin; h < end; ++h) {
+                const std::uint64_t i0 = ((h & ~low) << 1) | (h & low);
+                const std::uint64_t i1 = i0 | bit;
+                const Complex a0 = amps[i0];
+                const Complex a1 = amps[i1];
+                amps[i0] = m00 * a0 + m01 * a1;
+                amps[i1] = m10 * a0 + m11 * a1;
+            }
+        });
 }
 
 void
@@ -46,6 +78,13 @@ applyDiagonal1q(Complex *amps, std::uint64_t n, Qubit q, Complex d0,
                 Complex d1)
 {
     const std::uint64_t bit = std::uint64_t{1} << q;
+    const simd::Ladder ladder = simd::activeLadder();
+    for (int t = 0; t < ladder.count; ++t)
+        if (ladder.tables[t]->diagonal1q(amps, n, q, d0, d1)) {
+            recordDispatch(ladder.tiers[t]);
+            return;
+        }
+    recordDispatch(simd::Tier::Scalar);
     parallelFor(n, [=](std::uint64_t begin, std::uint64_t end) {
         for (std::uint64_t i = begin; i < end; ++i)
             amps[i] *= (i & bit) ? d1 : d0;
@@ -54,19 +93,30 @@ applyDiagonal1q(Complex *amps, std::uint64_t n, Qubit q, Complex d0,
 
 void
 applyAntiDiagonal1q(Complex *amps, std::uint64_t n, Qubit q, Complex a01,
-                    Complex a10)
+                    Complex a10, Traversal traversal)
 {
     const std::uint64_t bit = std::uint64_t{1} << q;
-    const std::uint64_t low = bit - 1;
-    parallelFor(n >> 1, [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t h = begin; h < end; ++h) {
-            const std::uint64_t i0 = ((h & ~low) << 1) | (h & low);
-            const std::uint64_t i1 = i0 | bit;
-            const Complex a0 = amps[i0];
-            amps[i0] = a01 * amps[i1];
-            amps[i1] = a10 * a0;
+    const Traversal resolved = resolveTraversal(traversal, n, bit, 2);
+    const simd::Ladder ladder = simd::activeLadder();
+    for (int t = 0; t < ladder.count; ++t)
+        if (ladder.tables[t]->antidiagonal1q(amps, n, q, a01, a10,
+                                             resolved)) {
+            recordDispatch(ladder.tiers[t]);
+            return;
         }
-    });
+    recordDispatch(simd::Tier::Scalar);
+    const std::uint64_t low = bit - 1;
+    forEachCompact(
+        n >> 1, 2, resolved,
+        [=](std::uint64_t begin, std::uint64_t end) {
+            for (std::uint64_t h = begin; h < end; ++h) {
+                const std::uint64_t i0 = ((h & ~low) << 1) | (h & low);
+                const std::uint64_t i1 = i0 | bit;
+                const Complex a0 = amps[i0];
+                amps[i0] = a01 * amps[i1];
+                amps[i1] = a10 * a0;
+            }
+        });
 }
 
 void
@@ -132,6 +182,13 @@ void
 applyPhaseOnMask(Complex *amps, std::uint64_t n, std::uint64_t mask,
                  Complex phase)
 {
+    const simd::Ladder ladder = simd::activeLadder();
+    for (int t = 0; t < ladder.count; ++t)
+        if (ladder.tables[t]->phaseOnMask(amps, n, mask, phase)) {
+            recordDispatch(ladder.tiers[t]);
+            return;
+        }
+    recordDispatch(simd::Tier::Scalar);
     // Iterate only the subspace where every mask bit is set.
     std::array<std::uint64_t, 64> bits{};
     std::size_t k = 0;
@@ -147,55 +204,83 @@ applyPhaseOnMask(Complex *amps, std::uint64_t n, std::uint64_t mask,
 void
 applyControlled1q(Complex *amps, std::uint64_t n, Qubit control,
                   Qubit target, Complex m00, Complex m01, Complex m10,
-                  Complex m11)
+                  Complex m11, Traversal traversal)
 {
     const std::uint64_t cbit = std::uint64_t{1} << control;
     const std::uint64_t tbit = std::uint64_t{1} << target;
-    const auto bits = sortedBits<2>({cbit, tbit});
-    parallelFor(n >> 2, [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t h = begin; h < end; ++h) {
-            const std::uint64_t i0 =
-                expandIndex(h, bits.data(), 2) | cbit;
-            const std::uint64_t i1 = i0 | tbit;
-            const Complex a0 = amps[i0];
-            const Complex a1 = amps[i1];
-            amps[i0] = m00 * a0 + m01 * a1;
-            amps[i1] = m10 * a0 + m11 * a1;
+    const Traversal resolved =
+        resolveTraversal(traversal, n, cbit > tbit ? cbit : tbit, 2);
+    const simd::Ladder ladder = simd::activeLadder();
+    for (int t = 0; t < ladder.count; ++t)
+        if (ladder.tables[t]->controlled1q(amps, n, control, target,
+                                           m00, m01, m10, m11,
+                                           resolved)) {
+            recordDispatch(ladder.tiers[t]);
+            return;
         }
-    });
+    recordDispatch(simd::Tier::Scalar);
+    const auto bits = sortedBits<2>({cbit, tbit});
+    forEachCompact(
+        n >> 2, 2, resolved,
+        [=](std::uint64_t begin, std::uint64_t end) {
+            for (std::uint64_t h = begin; h < end; ++h) {
+                const std::uint64_t i0 =
+                    expandIndex(h, bits.data(), 2) | cbit;
+                const std::uint64_t i1 = i0 | tbit;
+                const Complex a0 = amps[i0];
+                const Complex a1 = amps[i1];
+                amps[i0] = m00 * a0 + m01 * a1;
+                amps[i1] = m10 * a0 + m11 * a1;
+            }
+        });
 }
 
 void
 applyGeneral2q(Complex *amps, std::uint64_t n, Qubit q0, Qubit q1,
-               const Matrix &u)
+               const Matrix &u, Traversal traversal)
 {
     QRA_ASSERT(u.rows() == 4 && u.cols() == 4,
                "two-qubit kernel requires a 4x4 matrix");
     const std::uint64_t b0 = std::uint64_t{1} << q0;
     const std::uint64_t b1 = std::uint64_t{1} << q1;
-    const auto bits = sortedBits<2>({b0, b1});
+    const Traversal resolved =
+        resolveTraversal(traversal, n, b0 > b1 ? b0 : b1, 4);
     std::array<Complex, 16> m;
     for (std::size_t r = 0; r < 4; ++r)
         for (std::size_t c = 0; c < 4; ++c)
             m[4 * r + c] = u(r, c);
-    parallelFor(n >> 2, [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t h = begin; h < end; ++h) {
-            const std::uint64_t base = expandIndex(h, bits.data(), 2);
-            const std::uint64_t i1 = base | b0;
-            const std::uint64_t i2 = base | b1;
-            const std::uint64_t i3 = base | b0 | b1;
-            const Complex a0 = amps[base];
-            const Complex a1 = amps[i1];
-            const Complex a2 = amps[i2];
-            const Complex a3 = amps[i3];
-            amps[base] =
-                m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
-            amps[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
-            amps[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
-            amps[i3] =
-                m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+    const simd::Ladder ladder = simd::activeLadder();
+    for (int t = 0; t < ladder.count; ++t)
+        if (ladder.tables[t]->general2q(amps, n, q0, q1, m.data(),
+                                        resolved)) {
+            recordDispatch(ladder.tiers[t]);
+            return;
         }
-    });
+    recordDispatch(simd::Tier::Scalar);
+    const auto bits = sortedBits<2>({b0, b1});
+    forEachCompact(
+        n >> 2, 4, resolved,
+        [=](std::uint64_t begin, std::uint64_t end) {
+            for (std::uint64_t h = begin; h < end; ++h) {
+                const std::uint64_t base =
+                    expandIndex(h, bits.data(), 2);
+                const std::uint64_t i1 = base | b0;
+                const std::uint64_t i2 = base | b1;
+                const std::uint64_t i3 = base | b0 | b1;
+                const Complex a0 = amps[base];
+                const Complex a1 = amps[i1];
+                const Complex a2 = amps[i2];
+                const Complex a3 = amps[i3];
+                amps[base] =
+                    m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+                amps[i1] =
+                    m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+                amps[i2] =
+                    m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+                amps[i3] =
+                    m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+            }
+        });
 }
 
 void

@@ -22,8 +22,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
 #include "math/matrix.hh"
 #include "math/types.hh"
+#include "sim/kernels/traversal.hh"
 
 namespace qra {
 namespace kernels {
@@ -31,11 +33,28 @@ namespace kernels {
 /**
  * Re-insert zero bits at the positions in @p sorted_bits (ascending
  * single-bit masks) into compact index @p h.
+ *
+ * Contract (silent garbage on violation in release builds): each
+ * entry must be a nonzero single-bit mask, and the array must be
+ * strictly ascending. `sorted_bits[j] - 1` computes the below-the-bit
+ * mask; a zero entry wraps to ~0 and hoists the *entire* index left,
+ * a multi-bit entry produces a low mask covering unrelated bits, and
+ * an out-of-order array double-inserts below an already-inserted
+ * position. Debug builds assert all three.
  */
 inline std::uint64_t
 expandIndex(std::uint64_t h, const std::uint64_t *sorted_bits,
             std::size_t k)
 {
+#ifndef NDEBUG
+    for (std::size_t j = 0; j < k; ++j) {
+        QRA_ASSERT(sorted_bits[j] != 0 &&
+                       (sorted_bits[j] & (sorted_bits[j] - 1)) == 0,
+                   "expandIndex bit masks must be nonzero single bits");
+        QRA_ASSERT(j == 0 || sorted_bits[j - 1] < sorted_bits[j],
+                   "expandIndex bit masks must be strictly ascending");
+    }
+#endif
     for (std::size_t j = 0; j < k; ++j) {
         const std::uint64_t low = sorted_bits[j] - 1;
         h = ((h & ~low) << 1) | (h & low);
@@ -43,9 +62,19 @@ expandIndex(std::uint64_t h, const std::uint64_t *sorted_bits,
     return h;
 }
 
-/** General one-qubit unitary [[m00 m01] [m10 m11]] on qubit q. */
+/**
+ * General one-qubit unitary [[m00 m01] [m10 m11]] on qubit q.
+ *
+ * Pair kernels take a Traversal (see traversal.hh): Auto resolves
+ * from the target's stride at call time, Linear/Blocked are pinned
+ * choices (ExecutablePlan lowering pins them per entry). All three
+ * are bit-identical; so are the SIMD dispatch tiers (simd/dispatch.hh)
+ * these kernels route through before falling back to the scalar
+ * oracle loops below.
+ */
 void applyGeneral1q(Complex *amps, std::uint64_t n, Qubit q, Complex m00,
-                    Complex m01, Complex m10, Complex m11);
+                    Complex m01, Complex m10, Complex m11,
+                    Traversal traversal = Traversal::Auto);
 
 /** Diagonal one-qubit gate diag(d0, d1) on qubit q (Z, S, T, RZ, P). */
 void applyDiagonal1q(Complex *amps, std::uint64_t n, Qubit q, Complex d0,
@@ -56,7 +85,8 @@ void applyDiagonal1q(Complex *amps, std::uint64_t n, Qubit q, Complex d0,
  * (X, Y, phased bit flips).
  */
 void applyAntiDiagonal1q(Complex *amps, std::uint64_t n, Qubit q,
-                         Complex a01, Complex a10);
+                         Complex a01, Complex a10,
+                         Traversal traversal = Traversal::Auto);
 
 /** Pauli-X on qubit q (pure amplitude permutation, no arithmetic). */
 void applyX(Complex *amps, std::uint64_t n, Qubit q);
@@ -85,14 +115,16 @@ void applyPhaseOnMask(Complex *amps, std::uint64_t n, std::uint64_t mask,
  */
 void applyControlled1q(Complex *amps, std::uint64_t n, Qubit control,
                        Qubit target, Complex m00, Complex m01,
-                       Complex m10, Complex m11);
+                       Complex m10, Complex m11,
+                       Traversal traversal = Traversal::Auto);
 
 /**
  * General two-qubit unitary; @p u is 4x4 with matrix bit 0 = q0,
  * bit 1 = q1.
  */
 void applyGeneral2q(Complex *amps, std::uint64_t n, Qubit q0, Qubit q1,
-                    const Matrix &u);
+                    const Matrix &u,
+                    Traversal traversal = Traversal::Auto);
 
 /**
  * Generic k-qubit dense unitary; matrix bit j corresponds to

@@ -33,6 +33,7 @@
 #include "circuit/circuit.hh"
 #include "math/matrix.hh"
 #include "math/types.hh"
+#include "sim/kernels/traversal.hh"
 
 namespace qra {
 namespace kernels {
@@ -78,6 +79,16 @@ struct PlanEntry
      * Measure, index into TrajectoryPlan::readout() (-1 = perfect).
      */
     std::int32_t site = -1;
+
+    /**
+     * Traversal the pair kernels (General1q / AntiDiagonal1q /
+     * Controlled1q / General2q) should walk the state with.
+     * ExecutablePlan::compile pins Linear or Blocked per entry from
+     * the operand strides, hoisting the decision out of the shot
+     * loop; ad-hoc entries stay Auto and resolve at call time. The
+     * choice never changes results (see traversal.hh).
+     */
+    Traversal traversal = Traversal::Auto;
 
     /** True for entries the unitary kernels execute directly. */
     bool
@@ -158,6 +169,7 @@ struct PlanStats
     std::size_t entries = 0;     // plan entries emitted
     std::size_t fusedGates = 0;  // 1q gates absorbed into a neighbour
     std::size_t fused2qWindows = 0; // pair windows collapsed by pass 2
+    std::size_t blockedEntries = 0; // entries pinned to Blocked
 };
 
 /**

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Shared intrinsics helpers for the SIMD kernel TUs. Only included
+ * from translation units compiled with the matching -m flags
+ * (simd_avx2.cc, simd_avx512.cc) — never from generic code.
+ *
+ * Layout: amplitudes are std::complex<double>, i.e. interleaved
+ * [re, im] pairs; a __m256d holds two complexes, a __m512d four.
+ *
+ * Exactness: cmul* implement the libstdc++ fast path of complex
+ * multiply — two element-product vectors, then one addsub — so each
+ * component sees exactly one multiply-rounding per product and one
+ * add/sub-rounding, matching the scalar kernels bit for bit (operand
+ * order inside a product and addend order inside the imaginary sum
+ * differ only by IEEE-commutative swaps). No FMA anywhere: a fused
+ * product would round once where the oracle rounds twice.
+ */
+
+#ifndef QRA_SIM_KERNELS_SIMD_AVX_UTIL_HH
+#define QRA_SIM_KERNELS_SIMD_AVX_UTIL_HH
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "math/types.hh"
+
+namespace qra {
+namespace kernels {
+namespace simd {
+
+/** Two complexes from unaligned memory. */
+inline __m256d
+load2(const Complex *p)
+{
+    return _mm256_loadu_pd(reinterpret_cast<const double *>(p));
+}
+
+inline void
+store2(Complex *p, __m256d v)
+{
+    _mm256_storeu_pd(reinterpret_cast<double *>(p), v);
+}
+
+/** [re, im, re', im'] -> [im, re, im', re']. */
+inline __m256d
+swapRI(__m256d v)
+{
+    return _mm256_permute_pd(v, 0x5);
+}
+
+/** Broadcast one complex constant into per-lane re/im vectors. */
+inline __m256d
+bcastRe(Complex m)
+{
+    return _mm256_set1_pd(m.real());
+}
+
+inline __m256d
+bcastIm(Complex m)
+{
+    return _mm256_set1_pd(m.imag());
+}
+
+/** Distinct constants for the low / high complex lane. */
+inline __m256d
+laneRe(Complex lo, Complex hi)
+{
+    return _mm256_setr_pd(lo.real(), lo.real(), hi.real(), hi.real());
+}
+
+inline __m256d
+laneIm(Complex lo, Complex hi)
+{
+    return _mm256_setr_pd(lo.imag(), lo.imag(), hi.imag(), hi.imag());
+}
+
+/**
+ * Complex multiply of each lane of @p v by the constant whose
+ * real/imag parts were broadcast into @p mr / @p mi:
+ *   [vr*mr - vi*mi, vi*mr + vr*mi]  per lane.
+ */
+inline __m256d
+cmulC(__m256d v, __m256d mr, __m256d mi)
+{
+    return _mm256_addsub_pd(_mm256_mul_pd(v, mr),
+                            _mm256_mul_pd(swapRI(v), mi));
+}
+
+/** Broadcast the low / high complex of @p v to both lanes. */
+inline __m256d
+bcastLo(__m256d v)
+{
+    return _mm256_permute2f128_pd(v, v, 0x00);
+}
+
+inline __m256d
+bcastHi(__m256d v)
+{
+    return _mm256_permute2f128_pd(v, v, 0x11);
+}
+
+/** Swap the two complex lanes of @p v. */
+inline __m256d
+swapLanes(__m256d v)
+{
+    return _mm256_permute2f128_pd(v, v, 0x01);
+}
+
+#ifdef __AVX512F__
+
+inline __m512d
+load4(const Complex *p)
+{
+    return _mm512_loadu_pd(reinterpret_cast<const double *>(p));
+}
+
+inline void
+store4(Complex *p, __m512d v)
+{
+    _mm512_storeu_pd(reinterpret_cast<double *>(p), v);
+}
+
+inline __m512d
+swapRI(__m512d v)
+{
+    return _mm512_permute_pd(v, 0x55);
+}
+
+inline __m512d
+bcastRe4(Complex m)
+{
+    return _mm512_set1_pd(m.real());
+}
+
+inline __m512d
+bcastIm4(Complex m)
+{
+    return _mm512_set1_pd(m.imag());
+}
+
+/**
+ * AVX-512 has no addsub; a - b == a + (-b) exactly in IEEE, so flip
+ * the sign of the even (real) lanes of @p b and add. Requires
+ * AVX512DQ for the double xor.
+ */
+inline __m512d
+addsub4(__m512d a, __m512d b)
+{
+    const __m512d flip =
+        _mm512_setr_pd(-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0);
+    return _mm512_add_pd(a, _mm512_xor_pd(b, flip));
+}
+
+inline __m512d
+cmulC4(__m512d v, __m512d mr, __m512d mi)
+{
+    return addsub4(_mm512_mul_pd(v, mr),
+                   _mm512_mul_pd(swapRI(v), mi));
+}
+
+#endif // __AVX512F__
+
+} // namespace simd
+} // namespace kernels
+} // namespace qra
+
+#endif // QRA_SIM_KERNELS_SIMD_AVX_UTIL_HH

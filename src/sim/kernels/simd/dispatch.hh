@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Runtime CPU-dispatch for the vectorized gate kernels.
+ *
+ * The SIMD layer is organised as per-tier kernel tables: one
+ * translation unit per ISA tier (simd_avx2.cc, simd_avx512.cc), each
+ * compiled with exactly the flags its intrinsics need and exporting a
+ * KernelTable of entry points. Every entry decides from *geometry
+ * alone* (target qubit, mask shape, state size) whether it supports
+ * the call, returning false before touching any amplitude when it
+ * does not; the dispatcher in kernels.cc then falls down the ladder
+ * to the next tier and ultimately to the scalar oracle. Tiers are
+ * therefore free to cover only the profitable layouts — unsupported
+ * shapes are not errors, just fall-throughs.
+ *
+ * Tier selection (highest wins, all clamped to what the CPU supports
+ * and what was compiled in):
+ *   1. a thread-local TierScope (EngineOptions::simdTier, installed
+ *      by the engine's shard runner),
+ *   2. the process-wide setProcessTier() (qra_run --simd=...),
+ *   3. the QRA_SIMD environment variable (scalar | avx2 | avx512),
+ *   4. the cpuid-probed default.
+ *
+ * Bit-exactness contract: every table entry must produce amplitudes
+ * bit-identical to the scalar kernels in kernels.cc (libstdc++
+ * std::complex semantics: per complex multiply two element products,
+ * then a separate subtract/add — never FMA-contracted; IEEE addition
+ * commutativity is the only reordering relied upon). The SIMD TUs are
+ * compiled with -ffp-contract=off to keep their scalar peel/tail
+ * loops on the same arithmetic.
+ */
+
+#ifndef QRA_SIM_KERNELS_SIMD_DISPATCH_HH
+#define QRA_SIM_KERNELS_SIMD_DISPATCH_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "math/types.hh"
+#include "sim/kernels/traversal.hh"
+
+namespace qra {
+namespace kernels {
+namespace simd {
+
+/** Instruction-set tiers, ordered so higher = wider. */
+enum class Tier : int
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+/** Printable name ("scalar" / "avx2" / "avx512"). */
+const char *tierName(Tier tier);
+
+/** Parse a tier name; returns false (and leaves @p out) on junk. */
+bool parseTier(std::string_view name, Tier *out);
+
+/** Highest tier compiled into this binary (QRA_ENABLE_* options). */
+Tier compiledTier();
+
+/** Highest tier this CPU supports, clamped to compiledTier(). */
+Tier detectedTier();
+
+/**
+ * The tier dispatch starts from on this thread right now: TierScope
+ * override, else process override, else QRA_SIMD env, else
+ * detectedTier(). Always clamped to detectedTier() — forcing a wider
+ * tier than the CPU has cannot select unusable code.
+ */
+Tier currentTier();
+
+/**
+ * Process-wide tier override (-1 restores automatic selection).
+ * Values above detectedTier() clamp; takes effect on subsequent
+ * kernel calls.
+ */
+void setProcessTier(int tier);
+
+/**
+ * RAII thread-local tier override, mirroring FusionScope: the engine
+ * installs one per shard runner from EngineOptions::simdTier.
+ * @p tier -1 inherits the surrounding selection.
+ */
+class TierScope
+{
+  public:
+    explicit TierScope(int tier);
+    ~TierScope();
+
+    TierScope(const TierScope &) = delete;
+    TierScope &operator=(const TierScope &) = delete;
+
+  private:
+    int saved_;
+};
+
+/** Tiers usable in this binary on this CPU, ascending (never empty:
+ * scalar is always present). */
+std::vector<Tier> availableTiers();
+
+/**
+ * One ISA tier's kernel entry points. Each returns true if it
+ * handled the call, false — before any memory access — when the
+ * geometry is out of its supported shape. @p traversal is already
+ * resolved (never Auto). The 2q matrix is row-major Complex[16] with
+ * matrix bit 0 = q0.
+ */
+struct KernelTable
+{
+    bool (*general1q)(Complex *amps, std::uint64_t n, Qubit q,
+                      Complex m00, Complex m01, Complex m10,
+                      Complex m11, Traversal traversal);
+    bool (*diagonal1q)(Complex *amps, std::uint64_t n, Qubit q,
+                       Complex d0, Complex d1);
+    bool (*antidiagonal1q)(Complex *amps, std::uint64_t n, Qubit q,
+                           Complex a01, Complex a10,
+                           Traversal traversal);
+    bool (*phaseOnMask)(Complex *amps, std::uint64_t n,
+                        std::uint64_t mask, Complex phase);
+    bool (*controlled1q)(Complex *amps, std::uint64_t n, Qubit control,
+                         Qubit target, Complex m00, Complex m01,
+                         Complex m10, Complex m11, Traversal traversal);
+    bool (*general2q)(Complex *amps, std::uint64_t n, Qubit q0,
+                      Qubit q1, const Complex *m, Traversal traversal);
+};
+
+#ifdef QRA_SIMD_AVX2
+/** AVX2 tier table (simd_avx2.cc). */
+extern const KernelTable kAvx2Table;
+#endif
+#ifdef QRA_SIMD_AVX512
+/** AVX-512 tier table (simd_avx512.cc). */
+extern const KernelTable kAvx512Table;
+#endif
+
+/** The tier tables to try for the current selection, widest first. */
+struct Ladder
+{
+    const KernelTable *tables[2];
+    Tier tiers[2];
+    int count = 0;
+};
+
+/** Build the ladder for currentTier(). Cheap (two TLS/atomic reads). */
+Ladder activeLadder();
+
+} // namespace simd
+} // namespace kernels
+} // namespace qra
+
+#endif // QRA_SIM_KERNELS_SIMD_DISPATCH_HH

@@ -1,0 +1,100 @@
+#include "sim/kernels/traversal.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace qra {
+namespace kernels {
+
+namespace {
+
+constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 20;
+constexpr std::size_t kMinBlockBytes = std::size_t{1} << 12;
+
+std::size_t
+floorPow2(std::size_t value)
+{
+    std::size_t p = 1;
+    while (p <= value / 2)
+        p *= 2;
+    return p;
+}
+
+std::size_t
+envBlockBytes()
+{
+    const char *env = std::getenv("QRA_CACHE_BLOCK");
+    if (env == nullptr || *env == '\0')
+        return kDefaultBlockBytes;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < kMinBlockBytes)
+        return kDefaultBlockBytes;
+    return floorPow2(static_cast<std::size_t>(parsed));
+}
+
+/** 0 = "use the default/env value" (so env changes in tests apply). */
+std::atomic<std::size_t> gBlockBytes{0};
+
+} // namespace
+
+const char *
+traversalName(Traversal traversal)
+{
+    switch (traversal) {
+    case Traversal::Auto:
+        return "auto";
+    case Traversal::Linear:
+        return "linear";
+    case Traversal::Blocked:
+        return "blocked";
+    }
+    return "?";
+}
+
+std::size_t
+cacheBlockBytes()
+{
+    const std::size_t configured =
+        gBlockBytes.load(std::memory_order_relaxed);
+    return configured != 0 ? configured : envBlockBytes();
+}
+
+void
+setCacheBlockBytes(std::size_t bytes)
+{
+    if (bytes == 0) {
+        gBlockBytes.store(0, std::memory_order_relaxed);
+        return;
+    }
+    if (bytes < kMinBlockBytes)
+        bytes = kMinBlockBytes;
+    gBlockBytes.store(floorPow2(bytes), std::memory_order_relaxed);
+}
+
+Traversal
+resolveTraversal(Traversal requested, std::uint64_t n,
+                 std::uint64_t max_bit, std::size_t resident_per_index)
+{
+    if (requested != Traversal::Auto)
+        return requested;
+    if (max_bit == 0 || n == 0)
+        return Traversal::Linear;
+    const std::size_t block = cacheBlockBytes();
+    // Stride between the two (or four) resident halves of one pair
+    // group: when it exceeds the cache budget, a contiguous compact
+    // split streams through far-apart windows and tiling pays off.
+    const std::uint64_t stride_bytes = max_bit * sizeof(Complex);
+    if (stride_bytes <= block)
+        return Traversal::Linear;
+    const std::uint64_t count = n / 2;
+    const std::uint64_t tile =
+        std::max<std::uint64_t>(std::uint64_t{1} << 10,
+                                block / (resident_per_index *
+                                         sizeof(Complex)));
+    return count > tile ? Traversal::Blocked : Traversal::Linear;
+}
+
+} // namespace kernels
+} // namespace qra

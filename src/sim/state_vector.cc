@@ -92,12 +92,13 @@ StateVector::applyKernel(const kernels::PlanEntry &entry)
       case KernelKind::AntiDiagonal1q:
         checkQubit(entry.q0);
         kernels::applyAntiDiagonal1q(amps, n, entry.q0, entry.m[1],
-                                     entry.m[2]);
+                                     entry.m[2], entry.traversal);
         return;
       case KernelKind::General1q:
         checkQubit(entry.q0);
         kernels::applyGeneral1q(amps, n, entry.q0, entry.m[0],
-                                entry.m[1], entry.m[2], entry.m[3]);
+                                entry.m[1], entry.m[2], entry.m[3],
+                                entry.traversal);
         return;
       case KernelKind::PauliX:
         checkQubit(entry.q0);
@@ -113,7 +114,7 @@ StateVector::applyKernel(const kernels::PlanEntry &entry)
         checkQubit(entry.q1);
         kernels::applyControlled1q(amps, n, entry.q0, entry.q1,
                                    entry.m[0], entry.m[1], entry.m[2],
-                                   entry.m[3]);
+                                   entry.m[3], entry.traversal);
         return;
       case KernelKind::PhaseOnMask:
         if (entry.mask >> numQubits_)
@@ -136,7 +137,7 @@ StateVector::applyKernel(const kernels::PlanEntry &entry)
         checkQubit(entry.q0);
         checkQubit(entry.q1);
         kernels::applyGeneral2q(amps, n, entry.q0, entry.q1,
-                                entry.dense);
+                                entry.dense, entry.traversal);
         return;
       case KernelKind::GenericK:
         for (Qubit q : entry.qubits)

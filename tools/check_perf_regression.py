@@ -29,10 +29,14 @@ LOWER_IS_BETTER_ABS = {"overhead_frac": 0.03}
 # comes from a 1-core container, CI runners have more), and including
 # it would unmatch every perf_engine record. Records that exist only
 # on one side (e.g. extra-lane gate rows on wider hosts) are skipped.
+# "tier" and "detected" identify roofline records: a record measured
+# at avx2 on an avx512 host only matches a baseline measured the same
+# way — comparing across ISAs (or against a scalar-only CI leg) would
+# flag meaningless "regressions", so unmatched rows are skipped.
 IDENTITY_KEYS = (
     "bench", "section", "gate", "kernel_class", "qubits", "lanes",
     "shots", "jobs", "level", "subset_qubits", "pass", "pipeline",
-    "scale",
+    "scale", "tier", "detected", "traversal",
 )
 
 
@@ -40,8 +44,8 @@ def is_metric(key, value):
     if not isinstance(value, (int, float)):
         return False
     return (key.endswith("_per_sec") or key.startswith("speedup")
-            or key == "swap_reduction" or key == "shots_saved_frac"
-            or key == "saved_frac")
+            or key == "simd_speedup" or key == "swap_reduction"
+            or key == "shots_saved_frac" or key == "saved_frac")
 
 
 def load_records(paths):

@@ -13,9 +13,11 @@
  *           [--intra-threads N] [--fusion 0|1|2] [--seed S]
  *           [--passes legacy|postlayout] [--reuse-ancillas]
  *           [--no-barriers] [--target-halfwidth W] [--min-shots N]
- *           [--wave-shots N] [--metrics[=FILE]] [--trace=FILE]
+ *           [--wave-shots N] [--simd scalar|avx2|avx512]
+ *           [--metrics[=FILE]] [--trace=FILE]
  *           [--trace-jsonl=FILE] [--dump-pipeline] [--draw]
  *   qra_run --list-backends
+ *   qra_run --list-simd
  *
  * --target-halfwidth enables confidence-driven early stopping: shots
  * run in waves and stop once the any-assertion error rate's Wilson
@@ -32,6 +34,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <mutex>
@@ -73,6 +76,8 @@ struct Options
     bool dumpPipeline = false;
     bool draw = false;
     bool listBackends = false;
+    int simdTier = -1; // -1 = auto (cpuid + QRA_SIMD)
+    bool listSimd = false;
 };
 
 void
@@ -90,10 +95,12 @@ usage()
         "[--reuse-ancillas]\n"
         "               [--no-barriers] [--target-halfwidth W]\n"
         "               [--min-shots N] [--wave-shots N]\n"
+        "               [--simd scalar|avx2|avx512]\n"
         "               [--metrics[=FILE]] [--trace=FILE]\n"
         "               [--trace-jsonl=FILE]\n"
         "               [--dump-pipeline] [--draw]\n"
-        "       qra_run --list-backends\n");
+        "       qra_run --list-backends\n"
+        "       qra_run --list-simd\n");
 }
 
 bool
@@ -193,6 +200,22 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.waveShots = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--simd" || arg.rfind("--simd=", 0) == 0) {
+            const char *v;
+            if (arg == "--simd") {
+                v = next();
+                if (!v)
+                    return false;
+            } else {
+                v = arg.c_str() + std::strlen("--simd=");
+            }
+            kernels::simd::Tier tier;
+            if (!kernels::simd::parseTier(v, &tier)) {
+                std::fprintf(stderr, "--simd must be scalar, avx2 or "
+                                     "avx512\n");
+                return false;
+            }
+            opts.simdTier = static_cast<int>(tier);
         } else if (arg == "--metrics") {
             opts.metricsStdout = true;
         } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -227,6 +250,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.draw = true;
         } else if (arg == "--list-backends") {
             opts.listBackends = true;
+        } else if (arg == "--list-simd") {
+            opts.listSimd = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             return false;
@@ -238,7 +263,7 @@ parseArgs(int argc, char **argv, Options &opts)
             return false;
         }
     }
-    return opts.listBackends || !opts.file.empty();
+    return opts.listBackends || opts.listSimd || !opts.file.empty();
 }
 
 void
@@ -260,6 +285,20 @@ listBackends()
     }
 }
 
+void
+listSimd()
+{
+    using namespace qra::kernels::simd;
+    std::printf("compiled: %s\n", tierName(compiledTier()));
+    std::printf("detected: %s\n", tierName(detectedTier()));
+    std::printf("selected: %s%s\n", tierName(currentTier()),
+                std::getenv("QRA_SIMD") ? " (QRA_SIMD)" : "");
+    std::printf("available:");
+    for (Tier tier : availableTiers())
+        std::printf(" %s", tierName(tier));
+    std::printf("\n");
+}
+
 } // namespace
 
 int
@@ -272,6 +311,10 @@ main(int argc, char **argv)
     }
     if (opts.listBackends) {
         listBackends();
+        return 0;
+    }
+    if (opts.listSimd) {
+        listSimd();
         return 0;
     }
 
@@ -347,7 +390,8 @@ main(int argc, char **argv)
 
         EngineOptions engine_options{.threads = opts.threads,
                                      .intraThreads = opts.intraThreads,
-                                     .fusionLevel = opts.fusion};
+                                     .fusionLevel = opts.fusion,
+                                     .simdTier = opts.simdTier};
         // Waves are shard-granular; an explicit wave size also sizes
         // the shards so stopping can trigger at that granularity
         // (shardable backends only — density stays single-shard).
