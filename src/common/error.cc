@@ -29,4 +29,20 @@ panic(const char *file, int line, const std::string &msg)
     throw Error(decorate("panic", file, line, msg));
 }
 
+bool
+isTransient(const std::exception_ptr &error)
+{
+    if (!error)
+        return false;
+    try {
+        std::rethrow_exception(error);
+    } catch (const Error &e) {
+        return e.transient();
+    } catch (const std::bad_alloc &) {
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
 } // namespace qra

@@ -5,11 +5,21 @@
  * Follows the gem5 convention: fatal() reports user errors (bad
  * arguments, malformed circuits) and panic() reports internal library
  * bugs that should never happen regardless of user input.
+ *
+ * Failures are additionally classified transient vs. permanent for
+ * the runtime's retry machinery: a transient failure (resource
+ * pressure, an injected test fault, a flaky backend) may succeed when
+ * the identical work is re-run, while a permanent one (bad arguments,
+ * an unsupported circuit) never will. transient() on the exception
+ * class carries the classification; isTransient() classifies an
+ * in-flight exception_ptr, treating std::bad_alloc as transient too
+ * (memory pressure clears).
  */
 
 #ifndef QRA_COMMON_ERROR_HH
 #define QRA_COMMON_ERROR_HH
 
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -20,6 +30,13 @@ class Error : public std::runtime_error
 {
   public:
     explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+
+    /**
+     * Whether re-running the identical work may succeed. Permanent by
+     * default; transient subclasses (and std::bad_alloc, see
+     * isTransient()) opt in to the retry machinery.
+     */
+    virtual bool transient() const { return false; }
 };
 
 /** A user-facing error: invalid arguments, malformed input, etc. */
@@ -48,6 +65,24 @@ class SimulationError : public Error
 {
   public:
     explicit SimulationError(const std::string &msg) : Error(msg) {}
+};
+
+/**
+ * A backend/shard failure expected to clear on retry: resource
+ * pressure, a stalled executor, an injected test fault. The JobQueue
+ * and ExecutionEngine re-run shards that fail with a transient error
+ * (up to the job's RetryPolicy) with their original RNG streams, so a
+ * retried run's counts are bit-identical to a fault-free one.
+ */
+class TransientSimulationError : public SimulationError
+{
+  public:
+    explicit TransientSimulationError(const std::string &msg)
+        : SimulationError(msg)
+    {
+    }
+
+    bool transient() const override { return true; }
 };
 
 /** Errors raised by noise channels and device models. */
@@ -93,6 +128,15 @@ class AssertionError : public Error
  * context attached; this indicates a broken invariant inside QRA.
  */
 [[noreturn]] void panic(const char *file, int line, const std::string &msg);
+
+/**
+ * Classify an in-flight exception for the retry machinery.
+ *
+ * @return True for qra::Error subclasses whose transient() is true
+ *         and for std::bad_alloc (memory pressure may clear); false
+ *         for every other exception — including a null @p error.
+ */
+bool isTransient(const std::exception_ptr &error);
 
 } // namespace qra
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/logging.hh"
+
 namespace qra {
 namespace obs {
 
@@ -93,8 +95,13 @@ Tracer::global()
 void
 Tracer::setRingCapacity(std::size_t capacity)
 {
+    if (capacity < kMinRingCapacity)
+        logWarn("Tracer::setRingCapacity(" +
+                std::to_string(capacity) + ") is below the floor of " +
+                std::to_string(kMinRingCapacity) +
+                " events; clamping up");
     std::lock_guard<std::mutex> lock(mutex_);
-    ringCapacity_ = std::max<std::size_t>(capacity, 16);
+    ringCapacity_ = std::max(capacity, kMinRingCapacity);
 }
 
 void

@@ -83,6 +83,11 @@ class Tracer
 
     static constexpr std::size_t kDefaultRingCapacity = 16384;
 
+    /** Smallest accepted ring capacity: below this a ring thrashes
+        (wraps within a single job) and drop accounting degenerates.
+        setRingCapacity clamps up to it, with a warning. */
+    static constexpr std::size_t kMinRingCapacity = 16;
+
     Tracer();
 
     Tracer(const Tracer &) = delete;
@@ -94,7 +99,9 @@ class Tracer
     /**
      * Events retained per thread before the ring wraps. Takes effect
      * for rings created after the call; existing rings keep their
-     * size. Call before recording starts.
+     * size. Call before recording starts. Values below
+     * kMinRingCapacity (16) are clamped up to it and logged as a
+     * warning — the request is not honoured silently.
      */
     void setRingCapacity(std::size_t capacity);
 

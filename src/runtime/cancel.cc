@@ -1,0 +1,58 @@
+#include "runtime/cancel.hh"
+
+namespace qra {
+namespace runtime {
+
+const char *
+cancelReasonName(CancelReason reason)
+{
+    switch (reason) {
+      case CancelReason::User:
+        return "user";
+      case CancelReason::Deadline:
+        return "deadline";
+      case CancelReason::None:
+        break;
+    }
+    return "none";
+}
+
+void
+CancelToken::cancel(CancelReason reason) const
+{
+    if (reason == CancelReason::None)
+        return;
+    int expected = static_cast<int>(CancelReason::None);
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<int>(reason), std::memory_order_acq_rel,
+        std::memory_order_acquire);
+}
+
+void
+CancelToken::armDeadline(Clock::time_point deadline) const
+{
+    state_->deadlineNs.store(static_cast<std::int64_t>(
+                                 deadline.time_since_epoch().count()),
+                             std::memory_order_relaxed);
+    // Release pairs with poll()'s acquire: a poller that sees the
+    // flag also sees the expiry value.
+    state_->hasDeadline.store(true, std::memory_order_release);
+}
+
+bool
+CancelToken::poll() const
+{
+    if (cancelled())
+        return true;
+    if (!state_->hasDeadline.load(std::memory_order_acquire))
+        return false;
+    const std::int64_t now = static_cast<std::int64_t>(
+        Clock::now().time_since_epoch().count());
+    if (now < state_->deadlineNs.load(std::memory_order_relaxed))
+        return false;
+    cancel(CancelReason::Deadline);
+    return true;
+}
+
+} // namespace runtime
+} // namespace qra

@@ -1,0 +1,24 @@
+#include "runtime/checkpoint.hh"
+
+#include <sstream>
+
+namespace qra {
+namespace runtime {
+
+std::string
+JobCheckpoint::str() const
+{
+    std::ostringstream out;
+    if (!valid())
+        return "checkpoint(invalid)";
+    out << "checkpoint(shard " << nextShard << "/" << planShards
+        << ", wave " << wave << ", " << merged.shots() << "/"
+        << budget << " shots";
+    if (exhausted())
+        out << ", exhausted";
+    out << ")";
+    return out.str();
+}
+
+} // namespace runtime
+} // namespace qra

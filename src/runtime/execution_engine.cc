@@ -1,6 +1,8 @@
 #include "runtime/execution_engine.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -24,6 +26,9 @@ struct EngineMetrics
     obs::CounterHandle waves;
     obs::CounterHandle adaptiveBudgetShots;
     obs::CounterHandle adaptiveShotsSaved;
+    obs::CounterHandle cancelled;
+    obs::CounterHandle retries;
+    obs::CounterHandle resumedShots;
     obs::HistogramHandle shardRunNs;
     obs::HistogramHandle shardQueueWaitNs;
 };
@@ -42,6 +47,9 @@ engineMetrics()
             reg.counter("engine.adaptive.budget_shots");
         m.adaptiveShotsSaved =
             reg.counter("engine.adaptive.shots_saved");
+        m.cancelled = reg.counter("engine.cancelled");
+        m.retries = reg.counter("engine.retries");
+        m.resumedShots = reg.counter("engine.resumed_shots");
         m.shardRunNs = reg.histogram("engine.shard.run_ns");
         m.shardQueueWaitNs =
             reg.histogram("engine.shard.queue_wait_ns");
@@ -75,6 +83,41 @@ invokeGuarded(const char *what, Callback &&callback, Args &&...args)
         logWarn(std::string(what) +
                 " threw a non-standard exception");
     }
+}
+
+/** Arm Job::deadlineMs on the job's cancel token at dispatch. */
+void
+armJobDeadline(const Job &job)
+{
+    if (job.deadlineMs <= 0.0)
+        return;
+    job.cancel.armDeadline(
+        CancelToken::Clock::now() +
+        std::chrono::duration_cast<CancelToken::Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                job.deadlineMs)));
+}
+
+/** The fault plan governing a job: its own, else the QRA_FAULTS one. */
+const FaultPlan *
+effectiveFaultPlan(const Job &job)
+{
+    return job.faults ? job.faults.get() : processFaultPlan();
+}
+
+/**
+ * Stamp a fixed-budget merge that came up short because the job was
+ * cancelled: cancelled() + reason, plus the original ask so
+ * shotsRequested() reports the shortfall.
+ */
+void
+stampCancelledFixed(Result &merged, const Job &job)
+{
+    if (!job.cancel.poll() || merged.shots() >= job.shots)
+        return;
+    merged.setShotsRequested(job.shots);
+    merged.setCancelled(cancelReasonName(job.cancel.reason()));
+    obs::count(engineMetrics().cancelled);
 }
 
 } // namespace
@@ -150,8 +193,10 @@ ExecutionEngine::checkAndLaneCount(const Job &job,
 }
 
 std::function<Result()>
-ExecutionEngine::shardRunner(const Job &job, const BackendPtr &backend,
-                             const Shard &shard, std::size_t lanes)
+ExecutionEngine::shardRunner(
+    const Job &job, const BackendPtr &backend, const Shard &shard,
+    std::size_t lanes, std::size_t shard_index, bool skip_on_cancel,
+    std::shared_ptr<std::atomic<std::size_t>> retries)
 {
     // The enqueue timestamp is only captured when telemetry is on:
     // the disabled path stays free of clock reads.
@@ -161,18 +206,63 @@ ExecutionEngine::shardRunner(const Job &job, const BackendPtr &backend,
     return [backend, circuit = job.circuit, noise = job.noise, shard,
             lanes, pool = &pool_, fusion = options_.fusionLevel,
             simd_tier = options_.simdTier, artifacts = job.artifacts,
-            enqueued]() {
+            enqueued, shard_index, skip_on_cancel,
+            cancel = job.cancel, retry = job.retry,
+            faults_owner = job.faults,
+            faults = effectiveFaultPlan(job),
+            retries = std::move(retries)]() {
+        // Cancellation is shard-granular: a fixed-budget shard the
+        // pool dequeues after cancel() contributes zero shots and the
+        // merge stays bit-identical to the completed prefix. Adaptive
+        // wave shards never skip (skip_on_cancel=false) so a wave
+        // either fully merges or fully fails — the invariant the
+        // checkpoint cursor depends on.
+        if (skip_on_cancel && cancel.poll())
+            return Result(circuit->numClbits());
         kernels::ParallelScope scope(pool, lanes);
         kernels::FusionScope fusion_scope(fusion);
         kernels::simd::TierScope tier_scope(simd_tier);
         kernels::PlanCacheScope cache_scope(artifacts.get());
-        if (!obs::anyEnabled())
+        // Transient failures (TransientSimulationError, bad_alloc —
+        // injected or real) re-run the shard with its ORIGINAL seed:
+        // a recovered run's counts are bit-identical to a fault-free
+        // one. Permanent errors and exhausted budgets propagate.
+        auto run_once = [&](std::size_t attempt) {
+            maybeInjectFault(faults, FaultSite::Scope::Shard,
+                             shard_index, attempt);
             return backend->run(*circuit, shard.shots, shard.seed,
                                 noise);
+        };
+        auto run_with_retry = [&]() {
+            for (std::size_t attempt = 0;; ++attempt) {
+                try {
+                    return run_once(attempt);
+                } catch (...) {
+                    const std::exception_ptr error =
+                        std::current_exception();
+                    if (!isTransient(error) ||
+                        attempt + 1 >= retry.maxAttempts ||
+                        cancel.cancelled())
+                        std::rethrow_exception(error);
+                    if (retries)
+                        retries->fetch_add(
+                            1, std::memory_order_relaxed);
+                    obs::count(engineMetrics().retries);
+                    const double delay_ms = retryBackoffMs(
+                        retry, attempt + 1, shard.seed);
+                    if (delay_ms > 0.0)
+                        std::this_thread::sleep_for(
+                            std::chrono::duration<double,
+                                                  std::milli>(
+                                delay_ms));
+                }
+            }
+        };
+        if (!obs::anyEnabled())
+            return run_with_retry();
         const auto start = obs::Tracer::Clock::now();
         const std::uint64_t wait_ns = elapsedNs(enqueued, start);
-        Result part =
-            backend->run(*circuit, shard.shots, shard.seed, noise);
+        Result part = run_with_retry();
         const auto end = obs::Tracer::Clock::now();
         obs::complete("engine", "shard", start, end,
                       {{"shots", shard.shots}, {"wait_ns", wait_ns}});
@@ -186,7 +276,9 @@ ExecutionEngine::shardRunner(const Job &job, const BackendPtr &backend,
 }
 
 std::vector<std::future<Result>>
-ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
+ExecutionEngine::dispatch(
+    const Job &job, const BackendPtr &backend,
+    const std::shared_ptr<std::atomic<std::size_t>> &retries)
 {
     const std::vector<Shard> plan =
         shardPlan(job.shots, job.seed, *backend);
@@ -194,9 +286,10 @@ ExecutionEngine::dispatch(const Job &job, const BackendPtr &backend)
         checkAndLaneCount(job, backend, plan.size());
 
     std::vector<std::future<Result>> futures;
-    for (const Shard &shard : plan)
-        futures.push_back(
-            pool_.submit(shardRunner(job, backend, shard, lanes)));
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        futures.push_back(pool_.submit(
+            shardRunner(job, backend, plan[i], lanes, i,
+                        /*skip_on_cancel=*/true, retries)));
     return futures;
 }
 
@@ -209,12 +302,17 @@ ExecutionEngine::run(const Job &job)
     obs::count(engineMetrics().jobs);
     const BackendPtr backend =
         registry_->resolve(job.backend, *job.circuit, job.noise);
-    std::vector<std::future<Result>> futures = dispatch(job, backend);
+    armJobDeadline(job);
+    auto retries = std::make_shared<std::atomic<std::size_t>>(0);
+    std::vector<std::future<Result>> futures =
+        dispatch(job, backend, retries);
     Result merged(job.circuit->numClbits());
     for (std::future<Result> &future : futures)
         merged.merge(future.get());
+    stampCancelledFixed(merged, job);
     ExecStats stats;
     stats.shards = futures.size();
+    stats.retries = retries->load(std::memory_order_relaxed);
     stats.engineSeconds = std::chrono::duration<double>(
                               obs::Tracer::Clock::now() - start)
                               .count();
@@ -239,24 +337,31 @@ ExecutionEngine::submit(Job job)
     obs::count(engineMetrics().jobs);
     const BackendPtr backend =
         registry_->resolve(job.backend, *job.circuit, job.noise);
+    armJobDeadline(job);
+    auto retries = std::make_shared<std::atomic<std::size_t>>(0);
     // Shards go to the pool now; the merge is deferred to get() so a
     // waiting caller never occupies a pool thread.
     auto futures = std::make_shared<std::vector<std::future<Result>>>(
-        dispatch(job, backend));
+        dispatch(job, backend, retries));
     const std::size_t num_clbits = job.circuit->numClbits();
-    return std::async(std::launch::deferred, [futures, num_clbits,
-                                              start]() {
-        Result merged(num_clbits);
-        for (std::future<Result> &future : *futures)
-            merged.merge(future.get());
-        ExecStats stats;
-        stats.shards = futures->size();
-        stats.engineSeconds = std::chrono::duration<double>(
-                                  obs::Tracer::Clock::now() - start)
-                                  .count();
-        merged.setExecStats(stats);
-        return merged;
-    });
+    return std::async(
+        std::launch::deferred,
+        [futures, num_clbits, start, retries,
+         job = std::move(job)]() {
+            Result merged(num_clbits);
+            for (std::future<Result> &future : *futures)
+                merged.merge(future.get());
+            stampCancelledFixed(merged, job);
+            ExecStats stats;
+            stats.shards = futures->size();
+            stats.retries = retries->load(std::memory_order_relaxed);
+            stats.engineSeconds =
+                std::chrono::duration<double>(
+                    obs::Tracer::Clock::now() - start)
+                    .count();
+            merged.setExecStats(stats);
+            return merged;
+        });
 }
 
 void
@@ -270,6 +375,7 @@ ExecutionEngine::submitAsync(Job job, Completion on_complete)
     obs::count(engineMetrics().jobs);
     const BackendPtr backend =
         registry_->resolve(job.backend, *job.circuit, job.noise);
+    armJobDeadline(job);
     const std::vector<Shard> plan =
         shardPlan(job.shots, job.seed, *backend);
     const std::size_t lanes =
@@ -284,6 +390,9 @@ ExecutionEngine::submitAsync(Job job, Completion on_complete)
         std::vector<Result> parts;
         std::size_t remaining;
         std::size_t numClbits;
+        std::size_t requestedShots = 0;
+        CancelToken cancel;
+        std::atomic<std::size_t> retryCount{0};
         Completion callback;
         std::exception_ptr error;
         obs::Tracer::Clock::time_point start;
@@ -292,12 +401,20 @@ ExecutionEngine::submitAsync(Job job, Completion on_complete)
     state->parts.assign(plan.size(), Result(job.circuit->numClbits()));
     state->remaining = plan.size();
     state->numClbits = job.circuit->numClbits();
+    state->requestedShots = job.shots;
+    state->cancel = job.cancel;
     state->callback = std::move(on_complete);
     state->start = start_time;
+    // Aliased handle: shard retries land in the state's counter and
+    // keep it alive alongside the shard closures.
+    auto retries = std::shared_ptr<std::atomic<std::size_t>>(
+        state, &state->retryCount);
 
     for (std::size_t i = 0; i < plan.size(); ++i) {
         pool_.submit([runner = shardRunner(job, backend, plan[i],
-                                           lanes),
+                                           lanes, i,
+                                           /*skip_on_cancel=*/true,
+                                           retries),
                       state, i]() {
             Result part(state->numClbits);
             std::exception_ptr error;
@@ -328,8 +445,17 @@ ExecutionEngine::submitAsync(Job job, Completion on_complete)
                 Result merged(state->numClbits);
                 for (Result &shard_result : state->parts)
                     merged.merge(shard_result);
+                if (state->cancel.poll() &&
+                    merged.shots() < state->requestedShots) {
+                    merged.setShotsRequested(state->requestedShots);
+                    merged.setCancelled(cancelReasonName(
+                        state->cancel.reason()));
+                    obs::count(engineMetrics().cancelled);
+                }
                 ExecStats stats;
                 stats.shards = state->parts.size();
+                stats.retries = state->retryCount.load(
+                    std::memory_order_relaxed);
                 stats.engineSeconds =
                     std::chrono::duration<double>(
                         obs::Tracer::Clock::now() - state->start)
@@ -368,10 +494,19 @@ struct AdaptiveState
     std::size_t lanes = 1;
     std::size_t budget = 0;
     std::size_t numClbits = 0;
+    /** Resolved fault plan (job's own or QRA_FAULTS; may be null). */
+    const FaultPlan *faults = nullptr;
 
     std::size_t nextShard = 0;
+    /** First shard of the in-flight wave — the checkpoint cursor is
+        rewound here when the wave fails, so its shots are not lost. */
+    std::size_t waveBegin = 0;
     std::size_t wave = 0;
+    /** Shots adopted from Job::resumeFrom (0 = fresh run). */
+    std::size_t resumedShots = 0;
     Result merged;
+    StoppingStatus lastStatus;
+    std::atomic<std::size_t> retryCount{0};
     obs::Tracer::Clock::time_point start;
     /** Async-span id of the in-flight wave (0 = tracing off). */
     std::uint64_t waveSpanId = 0;
@@ -387,11 +522,50 @@ struct AdaptiveState
     std::function<void(std::shared_ptr<AdaptiveState>)> launchWave;
 };
 
+/**
+ * Fill the job's checkpoint sink (if any) with the current cursor.
+ * Called with the wave machinery quiescent: at completion,
+ * cancellation, and wave failure (cursor rewound to the failing
+ * wave's first shard — its shards re-run on resume). The stored
+ * merged Result is the raw shard merge, before any completion
+ * stamping, so resuming merges cleanly on top of it.
+ */
+void
+writeCheckpoint(const std::shared_ptr<AdaptiveState> &state,
+                std::size_t next_shard)
+{
+    if (!state->job.checkpoint)
+        return;
+    JobCheckpoint &ck = *state->job.checkpoint;
+    ck.circuitHash = state->job.circuit->hash();
+    ck.seed = state->job.seed;
+    ck.budget = state->budget;
+    ck.planShards = state->plan.size();
+    ck.nextShard = next_shard;
+    ck.wave = state->wave;
+    ck.merged = state->merged;
+    ck.lastStatus = state->lastStatus;
+}
+
 /** Wave epilogue, run by the wave's last-finishing shard. */
 void
 finishAdaptiveWave(const std::shared_ptr<AdaptiveState> &state)
 {
+    // Wave-scope fault sites fail the epilogue itself (there is no
+    // per-wave retry — recovery is the checkpoint/resume path).
+    if (!state->error) {
+        try {
+            maybeInjectFault(state->faults, FaultSite::Scope::Wave,
+                             state->wave, 0);
+        } catch (...) {
+            state->error = std::current_exception();
+        }
+    }
     if (state->error) {
+        // The failing wave's parts are discarded; rewind the
+        // checkpoint cursor to its first shard so a resume re-runs
+        // exactly the lost shots.
+        writeCheckpoint(state, state->waveBegin);
         invokeGuarded("submitAdaptive completion callback",
                       state->done, Result(state->numClbits),
                       state->error);
@@ -445,8 +619,13 @@ finishAdaptiveWave(const std::shared_ptr<AdaptiveState> &state)
     }
     status.wave = state->wave;
     status.shotsRequested = state->budget;
-    status.finished = status.converged ||
+    // Cancellation is polled only here, at the wave boundary: the
+    // wave that was in flight when cancel() fired still merges in
+    // full, so the checkpoint cursor always sits between waves.
+    status.cancelled = state->job.cancel.poll();
+    status.finished = status.converged || status.cancelled ||
                       state->nextShard >= state->plan.size();
+    state->lastStatus = status;
 
     if (state->waveSpanId != 0) {
         obs::asyncEnd("engine", "wave", state->waveSpanId);
@@ -461,18 +640,29 @@ finishAdaptiveWave(const std::shared_ptr<AdaptiveState> &state)
         state->launchWave(state);
         return;
     }
+    // Checkpoint before completion stamping: the stored merge is the
+    // raw shard prefix a resume continues from.
+    writeCheckpoint(state, state->nextShard);
     Result final_result = std::move(state->merged);
     final_result.setShotsRequested(state->budget);
-    final_result.setStoppedEarly(final_result.shots() <
-                                 state->budget);
+    final_result.setStoppedEarly(status.converged &&
+                                 final_result.shots() <
+                                     state->budget);
+    if (status.cancelled) {
+        final_result.setCancelled(
+            cancelReasonName(state->job.cancel.reason()));
+        obs::count(engineMetrics().cancelled);
+    }
     ExecStats stats;
     stats.shards = state->nextShard;
     stats.waves = state->wave;
+    stats.retries = state->retryCount.load(std::memory_order_relaxed);
+    stats.resumedShots = state->resumedShots;
     stats.engineSeconds = std::chrono::duration<double>(
                               obs::Tracer::Clock::now() - state->start)
                               .count();
     final_result.setExecStats(stats);
-    if (obs::metricsEnabled()) {
+    if (obs::metricsEnabled() && !status.cancelled) {
         const EngineMetrics &m = engineMetrics();
         obs::count(m.adaptiveBudgetShots, state->budget);
         obs::count(m.adaptiveShotsSaved,
@@ -497,6 +687,7 @@ ExecutionEngine::submitAdaptive(Job job, Progress on_progress,
     obs::count(engineMetrics().jobs);
     const BackendPtr backend =
         registry_->resolve(job.backend, *job.circuit, job.noise);
+    armJobDeadline(job);
 
     const StoppingRule &rule = job.stopping;
     const std::size_t budget =
@@ -539,6 +730,46 @@ ExecutionEngine::submitAdaptive(Job job, Progress on_progress,
     state->budget = budget;
     state->numClbits = job.circuit->numClbits();
     state->merged = Result(state->numClbits);
+    state->faults = effectiveFaultPlan(job);
+
+    // Resume: adopt a prior run's cursor after validating that it
+    // describes THIS job's shard plan — same circuit, seed, budget,
+    // and shard decomposition — so the continued merge is
+    // bit-identical to an uninterrupted run. The stopping rule is
+    // deliberately not matched: resuming with a tighter target is the
+    // refine-an-estimate use case.
+    if (job.resumeFrom) {
+        const JobCheckpoint &ck = *job.resumeFrom;
+        if (!ck.valid())
+            throw ValueError("resume checkpoint was never written "
+                             "(invalid)");
+        if (ck.circuitHash != job.circuit->hash())
+            throw ValueError(
+                "resume checkpoint is for a different circuit");
+        if (ck.seed != job.seed)
+            throw ValueError(
+                "resume checkpoint is for a different seed");
+        if (ck.budget != budget)
+            throw ValueError(
+                "resume checkpoint is for a different shot budget");
+        if (ck.planShards != state->plan.size())
+            throw ValueError(
+                "resume checkpoint shard plan does not match this "
+                "engine's (different shardShots/maxShards?)");
+        if (ck.merged.shots() > 0 &&
+            ck.merged.numClbits() != state->numClbits)
+            throw ValueError(
+                "resume checkpoint counts have the wrong register "
+                "width");
+        state->nextShard = std::min(ck.nextShard, ck.planShards);
+        state->wave = ck.wave;
+        if (ck.merged.shots() > 0)
+            state->merged = ck.merged;
+        state->resumedShots = ck.merged.shots();
+        obs::count(engineMetrics().resumedShots,
+                   state->resumedShots);
+    }
+
     state->backend = backend;
     state->job = std::move(job);
     state->progress = std::move(on_progress);
@@ -546,6 +777,7 @@ ExecutionEngine::submitAdaptive(Job job, Progress on_progress,
     state->start = start_time;
     state->launchWave = [this](std::shared_ptr<AdaptiveState> st) {
         const std::size_t begin = st->nextShard;
+        st->waveBegin = begin;
         const std::size_t count =
             std::min(st->perWave, st->plan.size() - begin);
         st->nextShard = begin + count;
@@ -561,9 +793,13 @@ ExecutionEngine::submitAdaptive(Job job, Progress on_progress,
         st->remaining = count;
         for (std::size_t i = 0; i < count; ++i) {
             pool_.submit([st, i,
-                          runner = shardRunner(st->job, st->backend,
-                                               st->plan[begin + i],
-                                               st->lanes)]() {
+                          runner = shardRunner(
+                              st->job, st->backend,
+                              st->plan[begin + i], st->lanes,
+                              begin + i, /*skip_on_cancel=*/false,
+                              std::shared_ptr<
+                                  std::atomic<std::size_t>>(
+                                  st, &st->retryCount))]() {
                 Result part(st->numClbits);
                 std::exception_ptr error;
                 try {
@@ -596,6 +832,23 @@ ExecutionEngine::submitAdaptive(Job job, Progress on_progress,
             });
         }
     };
+    if (state->nextShard >= state->plan.size()) {
+        // Resuming an exhausted checkpoint: nothing left to run. Go
+        // straight to the epilogue on a pool thread (a zero-shard
+        // wave would never have a last-finishing shard to drive it)
+        // — it re-evaluates the rule on the merged counts and
+        // completes.
+        pool_.submit([state]() {
+            try {
+                finishAdaptiveWave(state);
+            } catch (...) {
+                invokeGuarded("submitAdaptive completion callback",
+                              state->done, Result(state->numClbits),
+                              std::current_exception());
+            }
+        });
+        return;
+    }
     state->launchWave(state);
 }
 

@@ -15,6 +15,7 @@
 #ifndef QRA_RUNTIME_EXECUTION_ENGINE_HH
 #define QRA_RUNTIME_EXECUTION_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -26,6 +27,10 @@
 #include "circuit/circuit.hh"
 #include "noise/noise_model.hh"
 #include "runtime/backend_registry.hh"
+#include "runtime/cancel.hh"
+#include "runtime/checkpoint.hh"
+#include "runtime/fault.hh"
+#include "runtime/retry.hh"
 #include "runtime/stopping.hh"
 #include "runtime/thread_pool.hh"
 #include "sim/kernels/plan.hh"
@@ -69,6 +74,51 @@ struct Job
      * otherwise.
      */
     std::shared_ptr<const InstrumentedCircuit> instrumented;
+
+    /**
+     * Cooperative cancellation handle. Keep a copy and call
+     * cancel(): fixed-budget paths skip every shard not yet started,
+     * adaptive paths stop at the next wave boundary (in-flight wave
+     * shards always finish so checkpoints stay wave-aligned). The
+     * delivered Result is the merge of exactly the shards that
+     * completed — bit-identical to those shards of an uncancelled
+     * run — stamped cancelled().
+     */
+    CancelToken cancel;
+
+    /**
+     * Wall-clock deadline in milliseconds from dispatch; <= 0 = none.
+     * Armed on the cancel token at dispatch, so expiry behaves
+     * exactly like cancel() with reason "deadline".
+     */
+    double deadlineMs = 0.0;
+
+    /** Re-run policy for transiently failed shards (see retry.hh).
+        Retried shards reuse their original RNG stream, so a recovered
+        job is bit-identical to a fault-free one. */
+    RetryPolicy retry;
+
+    /**
+     * Fault-injection plan for this job; null = the process-wide
+     * QRA_FAULTS plan (itself usually null). Test/bench hook — see
+     * fault.hh.
+     */
+    std::shared_ptr<const FaultPlan> faults;
+
+    /**
+     * Checkpoint sink for the adaptive paths: when set, the engine
+     * writes the job's resumable cursor here at completion,
+     * cancellation, and wave failure (see checkpoint.hh). Ignored by
+     * the fixed-budget paths.
+     */
+    std::shared_ptr<JobCheckpoint> checkpoint;
+
+    /**
+     * Resume source for the adaptive paths: skip the shards a prior
+     * run already merged. Must match this job's circuit, seed, and
+     * budget (validated synchronously); the stopping rule may differ.
+     */
+    std::shared_ptr<const JobCheckpoint> resumeFrom;
 
     Job() = default;
 
@@ -260,19 +310,27 @@ class ExecutionEngine
                                     Result *result_out = nullptr);
 
   private:
-    std::vector<std::future<Result>> dispatch(const Job &job,
-                                              const BackendPtr &backend);
+    std::vector<std::future<Result>>
+    dispatch(const Job &job, const BackendPtr &backend,
+             const std::shared_ptr<std::atomic<std::size_t>> &retries);
 
     /** Reject invalid jobs and resolve intra-shot lane budget. */
     std::size_t checkAndLaneCount(const Job &job,
                                   const BackendPtr &backend,
                                   std::size_t shard_count) const;
 
-    /** The per-shard execution closure shared by all submit paths. */
-    std::function<Result()> shardRunner(const Job &job,
-                                        const BackendPtr &backend,
-                                        const Shard &shard,
-                                        std::size_t lanes);
+    /**
+     * The per-shard execution closure shared by all submit paths:
+     * cancellation poll (skip_on_cancel = fixed-budget paths only;
+     * adaptive wave shards always run so waves complete atomically),
+     * fault injection at @p shard_index, and the transient-failure
+     * retry loop (attempts re-counted into @p retries when non-null).
+     */
+    std::function<Result()>
+    shardRunner(const Job &job, const BackendPtr &backend,
+                const Shard &shard, std::size_t lanes,
+                std::size_t shard_index, bool skip_on_cancel,
+                std::shared_ptr<std::atomic<std::size_t>> retries);
 
     EngineOptions options_;
     BackendRegistry *registry_;

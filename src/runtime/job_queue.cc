@@ -91,6 +91,23 @@ JobQueue::prepare(const JobSpec &spec, bool count_stats,
         compile::preparePipeline(prep);
     const std::uint64_t key =
         prepareKey(spec, pipeline.fingerprint());
+
+    auto count_hit = [&]() {
+        if (count_stats) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++hits_;
+            obs::count(queueMetrics().prepareHits);
+        }
+        if (info != nullptr)
+            info->cacheHit = true;
+    };
+
+    // Single-flight: the first submission of a key becomes the
+    // builder; racing submissions wait on its shared future instead
+    // of compiling the same circuit again.
+    std::promise<std::shared_ptr<const Prepared>> promise;
+    std::shared_future<std::shared_ptr<const Prepared>> pending;
+    bool builder = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = cache_.find(key); it != cache_.end()) {
@@ -102,40 +119,71 @@ JobQueue::prepare(const JobSpec &spec, bool count_stats,
                 info->cacheHit = true;
             return it->second;
         }
-    }
-
-    // One timing source of truth: the TimedSpan both feeds the
-    // `prepare` trace span (when tracing) and PrepInfo.seconds.
-    obs::TimedSpan span("queue", "prepare",
-                        {{"ops", spec.circuit.size()}});
-    compile::CompileContext ctx =
-        compile::prepare(spec.circuit, prep, pipeline);
-    const double prepare_seconds = span.stop();
-    if (info != nullptr)
-        info->seconds = prepare_seconds;
-    auto prepared = std::make_shared<Prepared>();
-    prepared->instrumented = ctx.instrumented;
-    prepared->circuit =
-        std::make_shared<const Circuit>(std::move(ctx.circuit));
-
-    std::lock_guard<std::mutex> lock(mutex_);
-    // A racing thread may have prepared the same key; keep the first
-    // entry so every job of the batch shares one instance.
-    if (const auto it = cache_.find(key); it != cache_.end()) {
-        if (count_stats) {
-            ++hits_;
-            obs::count(queueMetrics().prepareHits);
+        if (const auto it = inflight_.find(key);
+            it != inflight_.end()) {
+            pending = it->second;
+        } else {
+            builder = true;
+            pending = promise.get_future().share();
+            inflight_[key] = pending;
         }
+    }
+
+    if (!builder) {
+        // The wait is bounded by one compile::prepare on the builder
+        // thread (which touches no pool work), so parking here is
+        // safe even from a pool-thread callback. A failed build
+        // rethrows out of get() to every waiter.
+        std::shared_ptr<const Prepared> prepared = pending.get();
+        count_hit();
+        return prepared;
+    }
+
+    try {
+        // Fault hook for the prepare pipeline (see fault.hh); the
+        // attempt index counts builds across the queue's lifetime so
+        // a `prepare:throw` site poisons exactly one build.
+        maybeInjectFault(
+            spec.faults ? spec.faults.get() : processFaultPlan(),
+            FaultSite::Scope::Prepare, 0,
+            prepareAttempts_.fetch_add(1, std::memory_order_relaxed));
+        // One timing source of truth: the TimedSpan both feeds the
+        // `prepare` trace span (when tracing) and PrepInfo.seconds.
+        obs::TimedSpan span("queue", "prepare",
+                            {{"ops", spec.circuit.size()}});
+        compile::CompileContext ctx =
+            compile::prepare(spec.circuit, prep, pipeline);
+        const double prepare_seconds = span.stop();
         if (info != nullptr)
-            info->cacheHit = true;
-        return it->second;
+            info->seconds = prepare_seconds;
+        auto prepared = std::make_shared<Prepared>();
+        prepared->instrumented = ctx.instrumented;
+        prepared->circuit =
+            std::make_shared<const Circuit>(std::move(ctx.circuit));
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cache_[key] = prepared;
+            inflight_.erase(key);
+            if (count_stats) {
+                ++misses_;
+                obs::count(queueMetrics().prepareMisses);
+            }
+        }
+        promise.set_value(prepared);
+        return prepared;
+    } catch (...) {
+        // Evict the in-flight entry BEFORE publishing the failure:
+        // the key must never stay poisoned — the next submission of
+        // this spec starts a fresh build rather than inheriting this
+        // one's exception forever.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
     }
-    if (count_stats) {
-        ++misses_;
-        obs::count(queueMetrics().prepareMisses);
-    }
-    cache_[key] = prepared;
-    return prepared;
 }
 
 Job
@@ -153,8 +201,27 @@ JobQueue::makeJob(const JobSpec &spec, PrepInfo *info)
     job.artifacts = artifactCache();
     job.stopping = spec.stopping;
     job.instrumented = prepared->instrumented;
+    job.cancel = spec.cancel;
+    job.deadlineMs = spec.deadlineMs;
+    job.retry = spec.retry;
+    job.faults = spec.faults;
+    job.checkpoint = spec.checkpoint;
+    job.resumeFrom = spec.resumeFrom;
     return job;
 }
+
+namespace {
+
+/** Specs with lifecycle state only the wave engine maintains
+    (checkpoint sink, resume source) force the adaptive path. */
+bool
+needsAdaptive(const JobSpec &spec)
+{
+    return spec.stopping.enabled() || spec.checkpoint != nullptr ||
+           spec.resumeFrom != nullptr;
+}
+
+} // namespace
 
 JobQueue::Completion
 JobQueue::stamped(Completion on_complete, PrepInfo info)
@@ -188,7 +255,7 @@ JobQueue::submit(const JobSpec &spec)
     Job job = makeJob(spec, &info);
     const auto submitted = obs::Tracer::Clock::now();
     std::future<Result> inner;
-    if (!spec.stopping.enabled()) {
+    if (!needsAdaptive(spec)) {
         inner = engine_.submit(std::move(job));
     } else {
         // Adaptive path: waves need a completion hook, so back the
@@ -234,8 +301,9 @@ JobQueue::submit(const JobSpec &spec, Completion on_complete)
     if (!on_complete)
         throw ValueError("submit requires a completion callback");
     // Fixed-budget specs keep the one-block submitAsync path; an
-    // enabled stopping rule routes through the wave engine.
-    if (spec.stopping.enabled()) {
+    // enabled stopping rule (or checkpoint/resume state) routes
+    // through the wave engine.
+    if (needsAdaptive(spec)) {
         submit(spec, nullptr, std::move(on_complete));
         return;
     }

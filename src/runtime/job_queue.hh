@@ -16,6 +16,7 @@
 #ifndef QRA_RUNTIME_JOB_QUEUE_HH
 #define QRA_RUNTIME_JOB_QUEUE_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -94,6 +95,25 @@ struct JobSpec
      * entries (and warm sampling artifacts) with fixed ones.
      */
     StoppingRule stopping;
+
+    /**
+     * Lifecycle knobs, forwarded verbatim to the engine Job (see
+     * execution_engine.hh). None participate in the prepare key:
+     * they change how a job executes, never the prepared circuit.
+     */
+    /** Cooperative cancellation handle (keep a copy, call cancel()). */
+    CancelToken cancel;
+    /** Wall-clock deadline in ms from dispatch; <= 0 = none. */
+    double deadlineMs = 0.0;
+    /** Re-run policy for transiently failed shards. */
+    RetryPolicy retry;
+    /** Fault-injection plan; null = the process-wide QRA_FAULTS one. */
+    std::shared_ptr<const FaultPlan> faults;
+    /** Checkpoint sink; setting it routes the spec through the wave
+        engine even when the stopping rule is disabled. */
+    std::shared_ptr<JobCheckpoint> checkpoint;
+    /** Resume source (also routes through the wave engine). */
+    std::shared_ptr<const JobCheckpoint> resumeFrom;
 };
 
 /**
@@ -224,6 +244,14 @@ class JobQueue
                                     std::uint64_t pipeline_fingerprint);
 
     /**
+     * Single-flight preparation: the first submission of a key
+     * builds (outside the lock) while concurrent submissions of the
+     * same key wait on its shared future and count as cache hits —
+     * the batch pattern never compiles one circuit twice. A build
+     * that throws evicts its in-flight entry before propagating, so
+     * the key is never poisoned: the next submission simply builds
+     * again.
+     *
      * @param count_stats False for introspection-only lookups.
      * @param info Optional sink for cache-hit/timing bookkeeping.
      */
@@ -253,9 +281,17 @@ class JobQueue
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, std::shared_ptr<const Prepared>>
         cache_;
+    /** Keys being built right now (single-flight); a failed build
+        erases its entry, so the map only ever holds live builds. */
+    std::unordered_map<
+        std::uint64_t,
+        std::shared_future<std::shared_ptr<const Prepared>>>
+        inflight_;
     std::shared_ptr<kernels::PlanCache> artifacts_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
+    /** Prepare builds started (the fault injector's attempt index). */
+    std::atomic<std::size_t> prepareAttempts_{0};
 
     /** Callback submissions in flight (waitIdle watches this). */
     std::size_t outstanding_ = 0;

@@ -1,0 +1,41 @@
+#include "runtime/retry.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace qra {
+namespace runtime {
+
+namespace {
+
+/** Stream tag separating backoff draws from every other splitSeed
+    consumer of the shard seed. */
+constexpr std::uint64_t kBackoffStream = 0xB0FFull;
+
+} // namespace
+
+double
+retryBackoffMs(const RetryPolicy &policy, std::size_t attempt,
+               std::uint64_t shardSeed)
+{
+    if (attempt == 0 || policy.baseBackoffMs <= 0.0)
+        return 0.0;
+    // Exponent capped so pathological attempt counts cannot overflow
+    // the double: 2^40 ms is already ~35 years.
+    const double exponent =
+        static_cast<double>(std::min<std::size_t>(attempt - 1, 40));
+    double delay_ms = policy.baseBackoffMs;
+    for (double e = 0; e < exponent; e += 1.0)
+        delay_ms *= 2.0;
+    const double jitter = std::clamp(policy.jitterFrac, 0.0, 1.0);
+    if (jitter > 0.0) {
+        Rng rng(splitSeed(splitSeed(shardSeed, kBackoffStream),
+                          attempt));
+        delay_ms *= 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+    }
+    return delay_ms;
+}
+
+} // namespace runtime
+} // namespace qra

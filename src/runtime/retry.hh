@@ -1,0 +1,67 @@
+/**
+ * @file
+ * RetryPolicy: seeded-jitter exponential backoff for transient shard
+ * failures.
+ *
+ * A shard whose backend run fails with a *transient* error (see
+ * common/error.hh: TransientSimulationError, std::bad_alloc) is
+ * re-run up to maxAttempts times with its ORIGINAL RNG stream — a
+ * retried shard reuses the shard seed the deterministic plan gave it,
+ * so a job that recovers from transient faults produces counts
+ * bit-identical to a fault-free run. Permanent errors are never
+ * retried.
+ *
+ * Backoff between attempts is exponential with seeded jitter: the
+ * jitter factor is drawn from an RNG stream split off the shard seed
+ * and the attempt number, so even the sleep schedule is reproducible
+ * run to run.
+ */
+
+#ifndef QRA_RUNTIME_RETRY_HH
+#define QRA_RUNTIME_RETRY_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qra {
+namespace runtime {
+
+/** How (and whether) to re-run transiently failed shards. */
+struct RetryPolicy
+{
+    /**
+     * Total attempts per shard including the first. 1 = no retry
+     * (the default): a transient failure propagates like a permanent
+     * one.
+     */
+    std::size_t maxAttempts = 1;
+
+    /**
+     * Backoff before retry attempt k (k = 1 for the first retry):
+     * baseBackoffMs * 2^(k-1), scaled by the jitter factor.
+     */
+    double baseBackoffMs = 1.0;
+
+    /**
+     * Jitter: the backoff is multiplied by a seeded uniform draw from
+     * [1 - jitterFrac, 1 + jitterFrac]. 0 disables jitter. Must be in
+     * [0, 1].
+     */
+    double jitterFrac = 0.25;
+
+    bool enabled() const { return maxAttempts > 1; }
+};
+
+/**
+ * The backoff (milliseconds) before retry attempt @p attempt (>= 1)
+ * of a shard seeded @p shardSeed: exponential in the attempt, jitter
+ * drawn from a dedicated RNG stream split off (shardSeed, attempt) —
+ * deterministic for a fixed plan.
+ */
+double retryBackoffMs(const RetryPolicy &policy, std::size_t attempt,
+                      std::uint64_t shardSeed);
+
+} // namespace runtime
+} // namespace qra
+
+#endif // QRA_RUNTIME_RETRY_HH

@@ -16,7 +16,8 @@ StoppingStatus::str() const
     os << "wave " << wave << ": " << shotsDone << "/" << shotsRequested
        << " shots, estimate " << formatPercent(estimate) << " +/- "
        << formatPercent(halfWidth)
-       << (converged ? " (converged)" : "");
+       << (converged ? " (converged)" : "")
+       << (cancelled ? " (cancelled)" : "");
     return os.str();
 }
 

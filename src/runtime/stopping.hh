@@ -102,13 +102,18 @@ struct StoppingStatus
     /** Half-width target met (and past any minShots floor). */
     bool converged = false;
 
-    /** No further waves will run (converged or budget exhausted). */
+    /** No further waves will run (converged, budget exhausted, or
+        cancelled). */
     bool finished = false;
+
+    /** The job's CancelToken fired (or its deadline passed) at this
+        wave boundary; shotsDone holds the shots actually merged. */
+    bool cancelled = false;
 
     /** Converged with budget to spare. */
     bool stoppedEarly() const
     {
-        return finished && shotsDone < shotsRequested;
+        return finished && !cancelled && shotsDone < shotsRequested;
     }
 
     /** One-line summary, e.g. "wave 3: 768/8192 shots, ...". */

@@ -120,6 +120,11 @@ Result::merge(const Result &other)
     if (shotsRequested_ != 0 || other.shotsRequested_ != 0)
         shotsRequested_ = shotsRequested() + other.shotsRequested();
     stoppedEarly_ = stoppedEarly_ || other.stoppedEarly_;
+    if (other.cancelled_) {
+        cancelled_ = true;
+        if (cancelReason_.empty())
+            cancelReason_ = other.cancelReason_;
+    }
     for (const auto &[key, n] : other.counts_)
         record(key, n);
 }

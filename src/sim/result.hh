@@ -35,6 +35,10 @@ struct ExecStats
     double prepareSeconds = 0.0;
     /** Engine dispatch-to-merge wall time. */
     double engineSeconds = 0.0;
+    /** Shard attempts re-run after a transient failure (RetryPolicy). */
+    std::size_t retries = 0;
+    /** Shots adopted from a JobCheckpoint instead of re-executed. */
+    std::size_t resumedShots = 0;
 };
 
 /** Counts and metadata from running a circuit for some shots. */
@@ -127,6 +131,24 @@ class Result
     }
 
     /**
+     * True when the job was cancelled (CancelToken or deadline)
+     * before its budget completed. The counts are the merge of
+     * exactly the shards that finished — bit-identical to those
+     * shards of an uncancelled run — and shots() < shotsRequested().
+     */
+    bool cancelled() const { return cancelled_; }
+
+    /** Why the job was cancelled: "user" or "deadline" (empty when
+        not cancelled). */
+    const std::string &cancelReason() const { return cancelReason_; }
+
+    void setCancelled(std::string reason)
+    {
+        cancelled_ = true;
+        cancelReason_ = std::move(reason);
+    }
+
+    /**
      * Where this result's execution time went (see ExecStats).
      * Stamped by the runtime after the merge; merge() itself leaves
      * it untouched.
@@ -153,6 +175,8 @@ class Result
     std::optional<std::map<std::uint64_t, double>> exact_;
     double retainedFraction_ = 1.0;
     bool stoppedEarly_ = false;
+    bool cancelled_ = false;
+    std::string cancelReason_;
     /** 0 = "same as shots()" so plain results need no bookkeeping. */
     std::size_t shotsRequested_ = 0;
     ExecStats execStats_;

@@ -21,8 +21,10 @@ THRESHOLD = 0.25
 
 # Lower-is-better metrics checked against an absolute ceiling instead
 # of drift vs baseline: telemetry overhead is a hard design budget
-# (enabled-path cost < 3%), so the current value alone decides.
-LOWER_IS_BETTER_ABS = {"overhead_frac": 0.03}
+# (enabled-path cost < 3%), and a retry policy on the fault-free path
+# must stay within 10% (it only adds a try/catch and an atomic), so
+# the current value alone decides.
+LOWER_IS_BETTER_ABS = {"overhead_frac": 0.03, "retry_overhead_frac": 0.10}
 
 # Keys that identify a record rather than measure it. "threads" is
 # deliberately absent: it describes the host (the committed baseline

@@ -14,6 +14,7 @@
  *           [--passes legacy|postlayout] [--reuse-ancillas]
  *           [--no-barriers] [--target-halfwidth W] [--min-shots N]
  *           [--wave-shots N] [--simd scalar|avx2|avx512]
+ *           [--deadline-ms MS] [--retries N] [--inject-fault=SPEC]
  *           [--metrics[=FILE]] [--trace=FILE]
  *           [--trace-jsonl=FILE] [--dump-pipeline] [--draw]
  *   qra_run --list-backends
@@ -23,6 +24,14 @@
  * run in waves and stop once the any-assertion error rate's Wilson
  * 95% half-width is at or below W (requires qra:assert-* directives;
  * --shots becomes the budget rather than a fixed count).
+ *
+ * Robustness: --deadline-ms cancels the run once the wall clock
+ * passes MS milliseconds (the partial result is reported, exit 3);
+ * --retries N re-runs transiently failed shards up to N extra times
+ * with their original RNG streams (recovered counts are bit-identical
+ * to a fault-free run); --inject-fault installs a deterministic
+ * fault plan (grammar in runtime/fault.hh, e.g. shard:2:throw) for
+ * exercising those paths end to end.
  *
  * Telemetry: --metrics prints a metrics table after the report
  * (--metrics=FILE writes the JSON snapshot instead); --trace=FILE
@@ -69,6 +78,9 @@ struct Options
     double targetHalfWidth = 0.0; // 0 = fixed-shot execution
     std::size_t minShots = 0;
     std::size_t waveShots = 0;
+    double deadlineMs = 0.0; // 0 = none
+    std::size_t retries = 0; // extra attempts per shard
+    std::string faultSpec;   // "" = no injection
     bool metricsStdout = false;
     std::string metricsFile;
     std::string traceFile;
@@ -96,6 +108,8 @@ usage()
         "               [--no-barriers] [--target-halfwidth W]\n"
         "               [--min-shots N] [--wave-shots N]\n"
         "               [--simd scalar|avx2|avx512]\n"
+        "               [--deadline-ms MS] [--retries N]\n"
+        "               [--inject-fault=SPEC]\n"
         "               [--metrics[=FILE]] [--trace=FILE]\n"
         "               [--trace-jsonl=FILE]\n"
         "               [--dump-pipeline] [--draw]\n"
@@ -200,6 +214,35 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.waveShots = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--deadline-ms") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.deadlineMs = std::strtod(v, nullptr);
+            if (opts.deadlineMs <= 0.0) {
+                std::fprintf(stderr,
+                             "--deadline-ms must be positive\n");
+                return false;
+            }
+        } else if (arg == "--retries") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.retries = std::strtoull(v, nullptr, 10);
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            opts.retries = std::strtoull(
+                arg.c_str() + std::strlen("--retries="), nullptr, 10);
+        } else if (arg == "--inject-fault" ||
+                   arg.rfind("--inject-fault=", 0) == 0) {
+            if (arg == "--inject-fault") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opts.faultSpec = v;
+            } else {
+                opts.faultSpec =
+                    arg.substr(std::strlen("--inject-fault="));
+            }
         } else if (arg == "--simd" || arg.rfind("--simd=", 0) == 0) {
             const char *v;
             if (arg == "--simd") {
@@ -375,6 +418,12 @@ main(int argc, char **argv)
             spec.stopping.minShots = opts.minShots;
             spec.stopping.waveShots = opts.waveShots;
         }
+        spec.deadlineMs = opts.deadlineMs;
+        if (opts.retries > 0)
+            spec.retry.maxAttempts = opts.retries + 1;
+        if (!opts.faultSpec.empty())
+            spec.faults = std::make_shared<const FaultPlan>(
+                FaultPlan::parse(opts.faultSpec));
 
         if (opts.dumpPipeline) {
             // The declarative compile recipe this run would use, with
@@ -461,6 +510,12 @@ main(int argc, char **argv)
                     queue.cacheHits(),
                     queue.cacheHits() == 1 ? "" : "s");
 
+        if (result.cancelled())
+            std::printf("cancelled (%s): %zu of %zu requested shots "
+                        "completed before the cutoff\n\n",
+                        result.cancelReason().c_str(), result.shots(),
+                        result.shotsRequested());
+
         if (opts.targetHalfWidth > 0.0) {
             // Pooled convergence summary over the merged batch.
             const StoppingStatus pooled = evaluateStopping(
@@ -526,10 +581,18 @@ main(int argc, char **argv)
 
         // Exit status mirrors the assertion outcome so the tool can
         // gate CI pipelines: 0 = all checks clean (on an ideal
-        // device) or mostly clean (noisy), 1 = a check fired hard.
+        // device) or mostly clean (noisy), 1 = a check fired hard,
+        // 3 = the run was cancelled (deadline) with a partial result.
+        if (result.cancelled())
+            return 3;
         const bool failed = report.anyErrorRate > 0.45;
         return failed ? 1 : 0;
     } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        // Injected bad_alloc / stall faults and other stdlib errors
+        // get the same clean one-liner as runtime Errors.
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
