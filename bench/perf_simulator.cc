@@ -2,7 +2,7 @@
  * @file
  * P1: simulator performance harness for the kernel subsystem.
  *
- * Seven sections, each with machine-readable JSON lines for the perf
+ * Eight sections, each with machine-readable JSON lines for the perf
  * trajectory:
  *  - gate throughput: amplitudes/sec per kernel class (diagonal,
  *    permutation, controlled, general 1q/2q, generic k-qubit) at one
@@ -10,6 +10,12 @@
  *  - roofline: amps/sec of every vectorizable kernel class at every
  *    available SIMD tier against a measured copy-bandwidth ceiling on
  *    the same footprint, with simd_speedup = tier/scalar per class;
+ *  - reduction roofline: the measurement-pipeline reductions
+ *    (computeProbabilities, normSquaredOnMask, sumWeights, marginal
+ *    scatter) per tier against the same ceiling, with reduce_speedup
+ *    = tier/scalar, plus a cross-tier bit-identity check on sampled
+ *    counts that gates the exit code (determinism is a hard verdict;
+ *    throughput targets stay warn-only);
  *  - fusion: entry count and wall-time effect of the ExecutablePlan
  *    single-qubit fusion pass on a 1q-dense random circuit;
  *  - fusion depth: entries and evolve time at fusion levels 0/1/2,
@@ -309,6 +315,174 @@ rooflineSection(std::size_t num_qubits)
                 ceiling, aps / ceiling);
         }
     }
+    return avx2_speedups;
+}
+
+/**
+ * Reduction roofline: the measurement-pipeline reductions timed at
+ * every available SIMD tier against the copy-bandwidth ceiling. A
+ * reduction streams 16 B per amplitude read-only (computeProbabilities
+ * adds an 8 B probability write), so the copy ceiling is again the
+ * memory-bound limit. Returns per-class avx2-vs-scalar speedups and
+ * sets @p parity_ok to the cross-tier bit-identity verdict: the
+ * sampled counts of a measureAll and a subset-marginal circuit must
+ * be *identical* (not close) on every tier, serially and under the
+ * engine's threaded shard path.
+ */
+std::map<std::string, double>
+reductionRooflineSection(std::size_t num_qubits, bool *parity_ok)
+{
+    using kernels::simd::Tier;
+    using kernels::simd::TierScope;
+
+    const std::uint64_t n = std::uint64_t{1} << num_qubits;
+    const Qubit mid = static_cast<Qubit>(num_qubits / 2);
+    const std::size_t reps = 40;
+
+    const std::vector<Complex> amps(n, Complex{0.5, -0.5});
+    std::vector<double> probs(n);
+    const std::vector<Qubit> marginal_qs = {0, 2, mid,
+                                            static_cast<Qubit>(
+                                                num_qubits - 1)};
+
+    struct ReduceCase
+    {
+        const char *kernel_class;
+        std::function<double()> run;
+    };
+    volatile double sink = 0.0; // keep the reductions observable
+    const std::vector<ReduceCase> cases = {
+        {"compute_probabilities",
+         [&]() {
+             return kernels::computeProbabilities(amps.data(), n,
+                                                  probs.data());
+         }},
+        {"norm_sq_mask",
+         [&]() {
+             return kernels::normSquaredOnMask(
+                 amps.data(), n, std::uint64_t{1} << mid,
+                 std::uint64_t{1} << mid);
+         }},
+        {"sum_weights",
+         [&]() { return kernels::sumWeights(probs.data(), n); }},
+        {"marginal_scatter",
+         [&]() {
+             return kernels::marginalProbabilities(amps.data(), n,
+                                                   marginal_qs)[0];
+         }},
+    };
+
+    // Same ceiling methodology as the gate roofline: a straight copy
+    // of the amplitude footprint.
+    std::vector<Complex> src(n, Complex{0.5, -0.5});
+    std::vector<Complex> dst(n);
+    std::memcpy(dst.data(), src.data(), n * sizeof(Complex));
+    const auto copy_start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r)
+        std::memcpy(r % 2 ? dst.data() : src.data(),
+                    r % 2 ? src.data() : dst.data(),
+                    n * sizeof(Complex));
+    const double copy_s = secondsSince(copy_start);
+    const double ceiling =
+        static_cast<double>(reps) * static_cast<double>(n) / copy_s;
+
+    const char *detected =
+        kernels::simd::tierName(kernels::simd::detectedTier());
+    std::map<std::string, double> avx2_speedups;
+    human("  %-22s %-8s %16s %14s %10s\n", "reduction class", "tier",
+          "amps/sec", "reduce_speedup", "roofline");
+    for (const ReduceCase &rc : cases) {
+        double scalar_aps = 0.0;
+        double scalar_value = 0.0;
+        for (Tier tier : kernels::simd::availableTiers()) {
+            TierScope scope(static_cast<int>(tier));
+            const double value = rc.run(); // warm-up
+            const auto start = std::chrono::steady_clock::now();
+            for (std::size_t r = 0; r < reps; ++r)
+                sink = rc.run();
+            const double seconds = secondsSince(start);
+            const double aps = static_cast<double>(reps) *
+                               static_cast<double>(n) / seconds;
+            if (tier == Tier::Scalar) {
+                scalar_aps = aps;
+                scalar_value = value;
+            } else if (std::memcmp(&value, &scalar_value,
+                                   sizeof(double)) != 0) {
+                *parity_ok = false;
+                human("  FAIL: %s value differs bitwise on tier %s\n",
+                      rc.kernel_class, kernels::simd::tierName(tier));
+            }
+            const double speedup = aps / scalar_aps;
+            if (tier == Tier::Avx2)
+                avx2_speedups[rc.kernel_class] = speedup;
+            human("  %-22s %-8s %16.3e %13.2fx %9.0f%%\n",
+                  rc.kernel_class, kernels::simd::tierName(tier), aps,
+                  speedup, 100.0 * aps / ceiling);
+            std::printf(
+                "{\"bench\":\"perf_simulator\","
+                "\"section\":\"reduction_roofline\","
+                "\"kernel_class\":\"%s\",\"qubits\":%zu,\"lanes\":1,"
+                "\"tier\":\"%s\",\"detected\":\"%s\","
+                "\"amps_per_sec\":%.3e,\"reduce_speedup\":%.3f,"
+                "\"ceiling_amps_per_sec\":%.3e,"
+                "\"roofline_fraction\":%.3f}\n",
+                rc.kernel_class, num_qubits,
+                kernels::simd::tierName(tier), detected, aps, speedup,
+                ceiling, aps / ceiling);
+        }
+    }
+    (void)sink;
+
+    // Cross-tier/threads sampled-counts bit-identity: the whole point
+    // of the lane-deterministic reductions. Hard verdict.
+    Circuit full = randomCircuit(num_qubits >= 8 ? 8 : num_qubits,
+                                 60, 17);
+    full.measureAll();
+    Circuit subset(8, 3);
+    subset.h(0).cx(0, 3).ry(0.8, 5).cx(3, 5).h(2);
+    subset.measure(4, 0).measure(1, 1).measure(5, 2);
+    bool identical = true;
+    auto engineCounts = [](const Circuit &c, int tier,
+                           std::size_t threads) {
+        runtime::ExecutionEngine engine(runtime::EngineOptions{
+            .threads = threads,
+            .shardShots = 1024,
+            .maxShards = 4,
+            .simdTier = tier});
+        runtime::Job job(c, 4096, "statevector", 23);
+        return engine.run(job).rawCounts();
+    };
+    for (const Circuit &c : {full, subset}) {
+        std::map<std::uint64_t, std::size_t> sim_oracle;
+        {
+            TierScope scope(static_cast<int>(Tier::Scalar));
+            StatevectorSimulator sim(23);
+            sim_oracle = sim.run(c, 4096).rawCounts();
+        }
+        // Same shard plan at 1 and 4 threads: the engine's counts
+        // depend only on the job, never on lanes or tier.
+        const auto engine_oracle =
+            engineCounts(c, static_cast<int>(Tier::Scalar), 1);
+        for (Tier tier : kernels::simd::availableTiers()) {
+            {
+                TierScope scope(static_cast<int>(tier));
+                StatevectorSimulator sim(23);
+                if (sim.run(c, 4096).rawCounts() != sim_oracle)
+                    identical = false;
+            }
+            if (engineCounts(c, static_cast<int>(tier), 4) !=
+                engine_oracle)
+                identical = false;
+        }
+    }
+    if (!identical) {
+        *parity_ok = false;
+        human("  FAIL: sampled counts differ across tiers/threads\n");
+    }
+    std::printf("{\"bench\":\"perf_simulator\","
+                "\"section\":\"reduction_parity\",\"qubits\":%zu,"
+                "\"detected\":\"%s\",\"bit_identical\":%s}\n",
+                num_qubits, detected, identical ? "true" : "false");
     return avx2_speedups;
 }
 
@@ -615,6 +789,11 @@ main(int argc, char **argv)
     const std::map<std::string, double> avx2_speedups =
         rooflineSection(num_qubits);
 
+    human("\n-- reduction roofline (measurement pipeline) --\n");
+    bool reduce_parity_ok = true;
+    const std::map<std::string, double> reduce_speedups =
+        reductionRooflineSection(num_qubits, &reduce_parity_ok);
+
     human("\n-- single-qubit fusion --\n");
     fusionSection(num_qubits);
 
@@ -649,11 +828,31 @@ main(int argc, char **argv)
                     num_qubits, simd_ok ? "true" : "false");
     }
 
-    const bool ok = speedup >= 2.0 && trajectory_speedup >= 2.0;
+    // Reduction throughput target (>= 2x avx2 on the fused
+    // probability pass): warn-only like the gate SIMD target, for the
+    // same runner-variance reason. The bit-identity verdict above is
+    // hard and folds into the exit code.
+    if (!reduce_speedups.empty()) {
+        const bool reduce_fast =
+            reduce_speedups.count("compute_probabilities") &&
+            reduce_speedups.at("compute_probabilities") >= 2.0;
+        if (!reduce_fast)
+            human("  WARN: avx2 compute_probabilities below the 2x "
+                  "reduction target (warn-only)\n");
+        std::printf("{\"bench\":\"perf_simulator\","
+                    "\"section\":\"reduce_verdict\",\"qubits\":%zu,"
+                    "\"reduce_fast\":%s,\"bit_identical\":%s}\n",
+                    num_qubits, reduce_fast ? "true" : "false",
+                    reduce_parity_ok ? "true" : "false");
+    }
+
+    const bool ok = speedup >= 2.0 && trajectory_speedup >= 2.0 &&
+                    reduce_parity_ok;
     if (!g_json_only)
         bench::verdict(ok,
-                       "alias-table sampling >= 2x the per-shot scan "
-                       "and the lowered trajectory plan >= 2x the "
-                       "legacy interpreter");
+                       "alias-table sampling >= 2x the per-shot scan, "
+                       "the lowered trajectory plan >= 2x the legacy "
+                       "interpreter, and sampled counts bit-identical "
+                       "across SIMD tiers and thread counts");
     return ok ? 0 : 1;
 }

@@ -140,7 +140,7 @@ ExecutionEngine::ExecutionEngine(EngineOptions options,
         static_cast<int>(kernels::simd::Tier::Avx512))
         throw ValueError(
             "EngineOptions.simdTier must be -1 (auto), 0 (scalar), "
-            "1 (avx2) or 2 (avx512)");
+            "1 (portable), 2 (avx2) or 3 (avx512)");
 }
 
 ExecutionEngine::ExecutionEngine(std::size_t threads)
@@ -205,7 +205,9 @@ ExecutionEngine::shardRunner(
                           : obs::Tracer::Clock::time_point{};
     return [backend, circuit = job.circuit, noise = job.noise, shard,
             lanes, pool = &pool_, fusion = options_.fusionLevel,
-            simd_tier = options_.simdTier, artifacts = job.artifacts,
+            simd_tier = options_.simdTier,
+            cache_block = options_.cacheBlockBytes,
+            artifacts = job.artifacts,
             enqueued, shard_index, skip_on_cancel,
             cancel = job.cancel, retry = job.retry,
             faults_owner = job.faults,
@@ -222,6 +224,7 @@ ExecutionEngine::shardRunner(
         kernels::ParallelScope scope(pool, lanes);
         kernels::FusionScope fusion_scope(fusion);
         kernels::simd::TierScope tier_scope(simd_tier);
+        kernels::CacheBlockScope block_scope(cache_block);
         kernels::PlanCacheScope cache_scope(artifacts.get());
         // Transient failures (TransientSimulationError, bad_alloc —
         // injected or real) re-run the shard with its ORIGINAL seed:

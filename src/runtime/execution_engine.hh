@@ -172,12 +172,24 @@ struct EngineOptions
     /**
      * SIMD dispatch tier installed around backend runs: -1 = auto
      * (cpuid-detected, QRA_SIMD-overridable), otherwise a
-     * kernels::simd::Tier value (0 scalar, 1 avx2, 2 avx512),
-     * clamped to what the CPU and build support. Unlike fusionLevel,
-     * the tier never changes results — every tier is bit-identical
-     * to the scalar oracle.
+     * kernels::simd::Tier value (0 scalar, 1 portable, 2 avx2,
+     * 3 avx512), clamped to what the CPU and build support. Unlike
+     * fusionLevel, the tier never changes results — every tier is
+     * bit-identical to the scalar oracle, for gate updates and
+     * measurement reductions alike.
      */
     int simdTier = -1;
+
+    /**
+     * Cache-tile budget (bytes) for blocked pair traversal, installed
+     * per shard (kernels::CacheBlockScope): 0 = the process default
+     * (1 MiB or QRA_CACHE_BLOCK). Values round down to a power of two
+     * with a 4 KiB floor. Like simdTier this is a pure locality knob —
+     * Linear and Blocked traversal are bit-identical — so per-plan
+     * tuning (e.g. a smaller budget on a cache-starved host) never
+     * changes counts.
+     */
+    std::size_t cacheBlockBytes = 0;
 };
 
 /** One entry of a job's deterministic shard plan. */

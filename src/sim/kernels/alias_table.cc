@@ -1,13 +1,20 @@
 #include "sim/kernels/alias_table.hh"
 
+#include <cmath>
 #include <limits>
 
 #include "common/error.hh"
+#include "sim/kernels/kernels.hh"
 
 namespace qra {
 namespace kernels {
 
 AliasTable::AliasTable(const std::vector<double> &weights)
+    : AliasTable(weights, sumWeights(weights.data(), weights.size()))
+{
+}
+
+AliasTable::AliasTable(const std::vector<double> &weights, double total)
 {
     const std::size_t n = weights.size();
     if (n == 0)
@@ -15,12 +22,14 @@ AliasTable::AliasTable(const std::vector<double> &weights)
     if (n > std::numeric_limits<std::uint32_t>::max())
         throw ValueError("alias table too large");
 
-    double total = 0.0;
-    for (double w : weights) {
-        if (w < 0.0)
-            throw ValueError("alias table weights must be >= 0");
-        total += w;
-    }
+    // Renormalisation guards: scale = n/total is the only division in
+    // sampled execution, so refuse totals it cannot survive. A zero
+    // total arises from an all-zero (or fully underflowed denormal)
+    // probability vector; a non-finite one from inf/NaN amplitudes or
+    // an overflowed sum. Both would otherwise silently produce a
+    // table that samples garbage.
+    if (!std::isfinite(total))
+        throw ValueError("alias table weights sum is not finite");
     if (total <= 0.0)
         throw ValueError("alias table weights sum to zero");
 
@@ -31,6 +40,8 @@ AliasTable::AliasTable(const std::vector<double> &weights)
     std::vector<double> scaled(n);
     const double scale = static_cast<double>(n) / total;
     for (std::size_t i = 0; i < n; ++i) {
+        if (weights[i] < 0.0)
+            throw ValueError("alias table weights must be >= 0");
         scaled[i] = weights[i] * scale;
         alias_[i] = static_cast<std::uint32_t>(i);
     }

@@ -27,10 +27,27 @@ class AliasTable
 {
   public:
     /**
-     * Build from non-negative weights (need not be normalised).
-     * @throws ValueError if @p weights is empty or sums to zero.
+     * Build from non-negative weights (need not be normalised). The
+     * prefix total is computed with the vectorized deterministic
+     * reduction (kernels::sumWeights).
+     * @throws ValueError if @p weights is empty, contains a negative
+     * entry, or its total is zero or non-finite (see the guarded
+     * overload below).
      */
     explicit AliasTable(const std::vector<double> &weights);
+
+    /**
+     * Build from weights whose total is already known — sampled
+     * execution fuses the |amp|^2 fill with the block sum
+     * (kernels::computeProbabilities) and hands the total straight
+     * here, skipping the second pass. @p total must be exactly what
+     * sumWeights(weights) would return.
+     * @throws ValueError on an empty vector, a negative entry, a
+     * zero total (all-zero or fully underflowed weights), or a
+     * non-finite total (inf/NaN amplitudes) — renormalising by such
+     * a total would silently divide into garbage.
+     */
+    AliasTable(const std::vector<double> &weights, double total);
 
     std::size_t size() const { return threshold_.size(); }
 

@@ -30,15 +30,73 @@ recordDispatch(simd::Tier tier)
 {
     if (!obs::metricsEnabled())
         return;
-    static const std::array<obs::CounterHandle, 3> handles = [] {
+    static const std::array<obs::CounterHandle, 4> handles = [] {
         auto &registry = obs::MetricsRegistry::global();
-        return std::array<obs::CounterHandle, 3>{
+        return std::array<obs::CounterHandle, 4>{
             registry.counter("sim.kernels.dispatch.scalar"),
+            registry.counter("sim.kernels.dispatch.portable"),
             registry.counter("sim.kernels.dispatch.avx2"),
             registry.counter("sim.kernels.dispatch.avx512"),
         };
     }();
     obs::count(handles[static_cast<int>(tier)]);
+}
+
+/** Which tier a reduction call resolved to (obs counters). */
+void
+recordReduce(simd::Tier tier)
+{
+    if (!obs::metricsEnabled())
+        return;
+    static const std::array<obs::CounterHandle, 4> handles = [] {
+        auto &registry = obs::MetricsRegistry::global();
+        return std::array<obs::CounterHandle, 4>{
+            registry.counter("sim.kernels.reduce.scalar"),
+            registry.counter("sim.kernels.reduce.portable"),
+            registry.counter("sim.kernels.reduce.avx2"),
+            registry.counter("sim.kernels.reduce.avx512"),
+        };
+    }();
+    obs::count(handles[static_cast<int>(tier)]);
+}
+
+/** The canonical left-to-right lane fold (see kernels.hh). */
+inline double
+foldLanes(const double lanes[8])
+{
+    double total = lanes[0];
+    for (int j = 1; j < 8; ++j)
+        total += lanes[j];
+    return total;
+}
+
+/** One reduce-table entry resolved for a whole reduction call. */
+struct ReducePick
+{
+    const simd::ReduceTable *table = nullptr;
+    simd::Tier tier = simd::Tier::Scalar;
+};
+
+/**
+ * Resolve the widest tier whose @p probe (an empty-range entry call,
+ * a pure geometry check) accepts, and record the obs counter. The
+ * geometry is fixed for the whole call, so one probe decides every
+ * block.
+ */
+template <typename Probe>
+ReducePick
+pickReduce(Probe &&probe)
+{
+    const simd::ReduceLadder ladder = simd::activeReduceLadder();
+    ReducePick pick;
+    for (int t = 0; t < ladder.count; ++t)
+        if (probe(ladder.tables[t])) {
+            pick.table = ladder.tables[t];
+            pick.tier = ladder.tiers[t];
+            break;
+        }
+    recordReduce(pick.tier);
+    return pick;
 }
 
 } // namespace
@@ -355,13 +413,37 @@ double
 normSquaredOnMask(const Complex *amps, std::uint64_t n,
                   std::uint64_t mask, std::uint64_t match)
 {
+    QRA_ASSERT((match & ~mask) == 0,
+               "normSquaredOnMask match must be a subset of mask");
+    // Iterate the compact space with the mask bits stripped; each
+    // compact index expands back with the match bits set, so only
+    // matching amplitudes are ever read (no data-dependent branch).
+    std::array<std::uint64_t, 64> bits{};
+    std::size_t k = 0;
+    for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1)
+        bits[k++] = rest & ~(rest - 1);
+    const std::uint64_t *bits_data = bits.data();
+    const ReducePick pick =
+        pickReduce([=](const simd::ReduceTable *table) {
+            return table->normSqLanes(amps, 0, 0, bits_data, k, match,
+                                      nullptr);
+        });
     return deterministicSum(
-        n, [=](std::uint64_t begin, std::uint64_t end) {
-            double partial = 0.0;
-            for (std::uint64_t i = begin; i < end; ++i)
-                if ((i & mask) == match)
-                    partial += std::norm(amps[i]);
-            return partial;
+        n >> k, [=](std::uint64_t begin, std::uint64_t end) {
+            double lanes[8] = {0.0};
+            if (pick.table == nullptr ||
+                !pick.table->normSqLanes(amps, begin, end, bits_data,
+                                         k, match, lanes)) {
+                for (std::uint64_t h = begin; h < end; ++h) {
+                    const std::uint64_t i =
+                        expandIndex(h, bits_data, k) | match;
+                    const double re = amps[i].real();
+                    const double im = amps[i].imag();
+                    lanes[2 * (h & 3)] += re * re;
+                    lanes[2 * (h & 3) + 1] += im * im;
+                }
+            }
+            return foldLanes(lanes);
         });
 }
 
@@ -378,13 +460,51 @@ collapseQubit(Complex *amps, std::uint64_t n, Qubit q, int outcome,
     });
 }
 
-void
+double
 computeProbabilities(const Complex *amps, std::uint64_t n, double *probs)
 {
-    parallelFor(n, [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t i = begin; i < end; ++i)
-            probs[i] = std::norm(amps[i]);
-    });
+    const ReducePick pick =
+        pickReduce([=](const simd::ReduceTable *table) {
+            return table->probLanes(amps, probs, 0, 0, nullptr);
+        });
+    return deterministicSum(
+        n, [=](std::uint64_t begin, std::uint64_t end) {
+            double lanes[8] = {0.0};
+            if (pick.table == nullptr ||
+                !pick.table->probLanes(amps, probs, begin, end,
+                                       lanes)) {
+                for (std::uint64_t i = begin; i < end; ++i) {
+                    const double re = amps[i].real();
+                    const double im = amps[i].imag();
+                    // Accumulate the stored pair sum (plain
+                    // lanes[j & 7] rule) so the fused total is
+                    // exactly sumWeights(probs, n).
+                    const double p = re * re + im * im;
+                    probs[i] = p;
+                    lanes[i & 7] += p;
+                }
+            }
+            return foldLanes(lanes);
+        });
+}
+
+double
+sumWeights(const double *w, std::uint64_t n)
+{
+    const ReducePick pick =
+        pickReduce([=](const simd::ReduceTable *table) {
+            return table->sumLanes(w, 0, 0, nullptr);
+        });
+    return deterministicSum(
+        n, [=](std::uint64_t begin, std::uint64_t end) {
+            double lanes[8] = {0.0};
+            if (pick.table == nullptr ||
+                !pick.table->sumLanes(w, begin, end, lanes)) {
+                for (std::uint64_t j = begin; j < end; ++j)
+                    lanes[j & 7] += w[j];
+            }
+            return foldLanes(lanes);
+        });
 }
 
 void
@@ -398,17 +518,29 @@ scaleAll(Complex *amps, std::uint64_t n, double scale)
 
 namespace {
 
-/** Serial marginal scatter (reference path and small-state path). */
+/**
+ * Marginal scatter over one range (reference path). The vector tiers
+ * fill a per-element norms strip first (each |amp|^2 bit-identical
+ * to std::norm: one rounding per square, one per add), then the
+ * scatter reads the strip in the same index order — so the histogram
+ * is bit-identical to the inline-norm scan by construction. @p begin
+ * must be 4-aligned when @p strip is non-null (block starts are).
+ */
 void
 marginalScatter(const Complex *amps, std::uint64_t begin,
                 std::uint64_t end, const std::uint64_t *bits,
-                std::size_t k, double *histogram)
+                std::size_t k, double *histogram,
+                const simd::ReduceTable *table, double *strip)
 {
+    const bool vectored =
+        table != nullptr && strip != nullptr &&
+        table->norms(amps, begin, end, strip);
     for (std::uint64_t i = begin; i < end; ++i) {
         std::uint64_t key = 0;
         for (std::size_t j = 0; j < k; ++j)
             key |= ((i & bits[j]) != 0 ? std::uint64_t{1} : 0) << j;
-        histogram[key] += std::norm(amps[i]);
+        histogram[key] +=
+            vectored ? strip[i - begin] : std::norm(amps[i]);
     }
 }
 
@@ -424,6 +556,11 @@ marginalProbabilities(const Complex *amps, std::uint64_t n,
     for (std::size_t j = 0; j < k; ++j)
         bits[j] = std::uint64_t{1} << qubits[j];
 
+    const ReducePick pick =
+        pickReduce([=](const simd::ReduceTable *table) {
+            return table->norms(amps, 0, 0, nullptr);
+        });
+
     std::vector<double> marginal(dim, 0.0);
     const std::uint64_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
     // Scratch budget: 32 MiB of partial histograms. Wider marginals
@@ -431,21 +568,33 @@ marginalProbabilities(const Complex *amps, std::uint64_t n,
     // assertion-ancilla marginals are far below the cap.
     constexpr std::uint64_t kScratchDoubles = std::uint64_t{1} << 22;
     if (blocks <= 1 || blocks * dim > kScratchDoubles) {
-        marginalScatter(amps, 0, n, bits.data(), k, marginal.data());
+        // Serial scan in kReduceBlock strips so the vector tier still
+        // covers it (one strip of norms, then the ordered scatter).
+        std::vector<double> strip(
+            std::min<std::uint64_t>(n, kReduceBlock));
+        for (std::uint64_t begin = 0; begin < n;
+             begin += kReduceBlock)
+            marginalScatter(amps, begin,
+                            std::min(n, begin + kReduceBlock),
+                            bits.data(), k, marginal.data(),
+                            pick.table, strip.data());
         return marginal;
     }
 
     std::vector<double> partials(blocks * dim, 0.0);
     double *partials_data = partials.data();
     const std::uint64_t *bits_data = bits.data();
+    const simd::ReduceTable *table = pick.table;
     parallelFor(blocks, /*grain=*/1,
                 [=](std::uint64_t b0, std::uint64_t b1) {
+                    std::vector<double> strip(kReduceBlock);
                     for (std::uint64_t b = b0; b < b1; ++b) {
                         const std::uint64_t begin = b * kReduceBlock;
                         const std::uint64_t end =
                             std::min(n, begin + kReduceBlock);
                         marginalScatter(amps, begin, end, bits_data, k,
-                                        partials_data + b * dim);
+                                        partials_data + b * dim, table,
+                                        strip.data());
                     }
                 });
 

@@ -21,7 +21,11 @@ clampToDetected(int tier)
     return tier > detected ? detected : tier;
 }
 
-/** CPU probe, independent of build flags. */
+/**
+ * CPU probe, independent of build flags. The portable tier needs no
+ * CPU features, so any CPU "supports" at least Portable — whether it
+ * is usable is compiledTier()'s call (detectedTier clamps).
+ */
 Tier
 probeCpuTier()
 {
@@ -32,7 +36,7 @@ probeCpuTier()
     if (__builtin_cpu_supports("avx2"))
         return Tier::Avx2;
 #endif
-    return Tier::Scalar;
+    return Tier::Portable;
 }
 
 /** QRA_SIMD environment selection, or -1 when absent/invalid. */
@@ -45,7 +49,7 @@ envTier()
     Tier tier;
     if (!parseTier(env, &tier)) {
         logWarn(std::string("ignoring invalid QRA_SIMD value '") + env +
-                "' (want scalar|avx2|avx512)");
+                "' (want scalar|portable|avx2|avx512)");
         return -1;
     }
     return static_cast<int>(tier);
@@ -72,6 +76,8 @@ tierName(Tier tier)
     switch (tier) {
     case Tier::Scalar:
         return "scalar";
+    case Tier::Portable:
+        return "portable";
     case Tier::Avx2:
         return "avx2";
     case Tier::Avx512:
@@ -85,6 +91,10 @@ parseTier(std::string_view name, Tier *out)
 {
     if (name == "scalar") {
         *out = Tier::Scalar;
+        return true;
+    }
+    if (name == "portable") {
+        *out = Tier::Portable;
         return true;
     }
     if (name == "avx2") {
@@ -105,6 +115,8 @@ compiledTier()
     return Tier::Avx512;
 #elif defined(QRA_SIMD_AVX2)
     return Tier::Avx2;
+#elif defined(QRA_SIMD_PORTABLE)
+    return Tier::Portable;
 #else
     return Tier::Scalar;
 #endif
@@ -155,10 +167,19 @@ availableTiers()
 {
     std::vector<Tier> tiers{Tier::Scalar};
     const Tier top = detectedTier();
+    (void)top;
+#ifdef QRA_SIMD_PORTABLE
+    if (top >= Tier::Portable)
+        tiers.push_back(Tier::Portable);
+#endif
+#ifdef QRA_SIMD_AVX2
     if (top >= Tier::Avx2)
         tiers.push_back(Tier::Avx2);
+#endif
+#ifdef QRA_SIMD_AVX512
     if (top >= Tier::Avx512)
         tiers.push_back(Tier::Avx512);
+#endif
     return tiers;
 }
 
@@ -179,6 +200,43 @@ activeLadder()
     if (tier >= Tier::Avx2) {
         ladder.tables[ladder.count] = &kAvx2Table;
         ladder.tiers[ladder.count] = Tier::Avx2;
+        ++ladder.count;
+    }
+#endif
+#ifdef QRA_SIMD_PORTABLE
+    if (tier >= Tier::Portable) {
+        ladder.tables[ladder.count] = &kPortableTable;
+        ladder.tiers[ladder.count] = Tier::Portable;
+        ++ladder.count;
+    }
+#endif
+    return ladder;
+}
+
+ReduceLadder
+activeReduceLadder()
+{
+    ReduceLadder ladder;
+    const Tier tier = currentTier();
+    (void)tier;
+#ifdef QRA_SIMD_AVX512
+    if (tier >= Tier::Avx512) {
+        ladder.tables[ladder.count] = &kAvx512Reduce;
+        ladder.tiers[ladder.count] = Tier::Avx512;
+        ++ladder.count;
+    }
+#endif
+#ifdef QRA_SIMD_AVX2
+    if (tier >= Tier::Avx2) {
+        ladder.tables[ladder.count] = &kAvx2Reduce;
+        ladder.tiers[ladder.count] = Tier::Avx2;
+        ++ladder.count;
+    }
+#endif
+#ifdef QRA_SIMD_PORTABLE
+    if (tier >= Tier::Portable) {
+        ladder.tables[ladder.count] = &kPortableReduce;
+        ladder.tiers[ladder.count] = Tier::Portable;
         ++ladder.count;
     }
 #endif

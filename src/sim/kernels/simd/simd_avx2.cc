@@ -400,11 +400,146 @@ general2qAvx2(Complex *amps, std::uint64_t n, Qubit q0, Qubit q1,
     return true;
 }
 
+// ---- reductions ------------------------------------------------------
+//
+// Lane contract (dispatch.hh): slot 2*(h&3) holds re^2 partials, slot
+// 2*(h&3)+1 holds im^2 partials; acc_lo covers slots 0..3 (compact
+// indices h with h&3 in {0,1}), acc_hi slots 4..7. Block starts are
+// 4-aligned, so the vector accumulators map exactly onto the slots
+// and the caller's left-to-right fold is tier-independent.
+
+bool
+normSqLanesAvx2(const Complex *amps, std::uint64_t begin,
+                std::uint64_t end, const std::uint64_t *bits,
+                std::size_t k, std::uint64_t match, double *lanes)
+{
+    if (k != 0 && bits[0] < 4)
+        return false; // group of 4 compact indices not contiguous
+    if (begin == end)
+        return true; // geometry probe
+    __m256d acc_lo = _mm256_loadu_pd(lanes);
+    __m256d acc_hi = _mm256_loadu_pd(lanes + 4);
+    std::uint64_t h = begin; // 4-aligned per the dispatch contract
+    for (; h + 4 <= end; h += 4) {
+        const std::uint64_t i0 = expandIndex(h, bits, k) | match;
+        const __m256d v0 = load2(amps + i0);
+        const __m256d v1 = load2(amps + i0 + 2);
+        acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(v0, v0));
+        acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(v1, v1));
+    }
+    _mm256_storeu_pd(lanes, acc_lo);
+    _mm256_storeu_pd(lanes + 4, acc_hi);
+    for (; h < end; ++h) {
+        const std::uint64_t i = expandIndex(h, bits, k) | match;
+        const double re = amps[i].real();
+        const double im = amps[i].imag();
+        lanes[2 * (h & 3)] += re * re;
+        lanes[2 * (h & 3) + 1] += im * im;
+    }
+    return true;
+}
+
+bool
+probLanesAvx2(const Complex *amps, double *probs, std::uint64_t begin,
+              std::uint64_t end, double *lanes)
+{
+    if (begin == end)
+        return true;
+    __m256d acc_lo = _mm256_loadu_pd(lanes);
+    __m256d acc_hi = _mm256_loadu_pd(lanes + 4);
+    std::uint64_t i = begin; // 8-aligned
+    for (; i + 8 <= end; i += 8) {
+        // hadd(a, b) = [a0+a1, b0+b1, a2+a3, b2+b3]; reorder to
+        // [p0, p1, p2, p3] with a 0,2,1,3 permute. Each pair sum
+        // rounds once, exactly like scalar re*re + im*im; the lane
+        // accumulators then see the *stored* pair sums (plain
+        // lanes[j & 7] rule), so the fused total is the same fold
+        // sumLanes would produce over probs.
+        const __m256d sq0 =
+            _mm256_mul_pd(load2(amps + i), load2(amps + i));
+        const __m256d sq1 =
+            _mm256_mul_pd(load2(amps + i + 2), load2(amps + i + 2));
+        const __m256d p0 = _mm256_permute4x64_pd(
+            _mm256_hadd_pd(sq0, sq1), 0b11011000);
+        const __m256d sq2 =
+            _mm256_mul_pd(load2(amps + i + 4), load2(amps + i + 4));
+        const __m256d sq3 =
+            _mm256_mul_pd(load2(amps + i + 6), load2(amps + i + 6));
+        const __m256d p1 = _mm256_permute4x64_pd(
+            _mm256_hadd_pd(sq2, sq3), 0b11011000);
+        _mm256_storeu_pd(probs + i, p0);
+        _mm256_storeu_pd(probs + i + 4, p1);
+        acc_lo = _mm256_add_pd(acc_lo, p0);
+        acc_hi = _mm256_add_pd(acc_hi, p1);
+    }
+    _mm256_storeu_pd(lanes, acc_lo);
+    _mm256_storeu_pd(lanes + 4, acc_hi);
+    for (; i < end; ++i) {
+        const double re = amps[i].real();
+        const double im = amps[i].imag();
+        const double p = re * re + im * im;
+        probs[i] = p;
+        lanes[i & 7] += p;
+    }
+    return true;
+}
+
+bool
+normsAvx2(const Complex *amps, std::uint64_t begin, std::uint64_t end,
+          double *out)
+{
+    if (begin == end)
+        return true;
+    std::uint64_t i = begin; // 4-aligned
+    for (; i + 4 <= end; i += 4) {
+        const __m256d sq0 =
+            _mm256_mul_pd(load2(amps + i), load2(amps + i));
+        const __m256d sq1 =
+            _mm256_mul_pd(load2(amps + i + 2), load2(amps + i + 2));
+        const __m256d had = _mm256_hadd_pd(sq0, sq1);
+        _mm256_storeu_pd(out + (i - begin),
+                         _mm256_permute4x64_pd(had, 0b11011000));
+    }
+    for (; i < end; ++i) {
+        const double re = amps[i].real();
+        const double im = amps[i].imag();
+        out[i - begin] = re * re + im * im;
+    }
+    return true;
+}
+
+bool
+sumLanesAvx2(const double *w, std::uint64_t begin, std::uint64_t end,
+             double *lanes)
+{
+    if (begin == end)
+        return true;
+    __m256d acc_lo = _mm256_loadu_pd(lanes);
+    __m256d acc_hi = _mm256_loadu_pd(lanes + 4);
+    std::uint64_t j = begin; // 8-aligned
+    for (; j + 8 <= end; j += 8) {
+        acc_lo = _mm256_add_pd(acc_lo, _mm256_loadu_pd(w + j));
+        acc_hi = _mm256_add_pd(acc_hi, _mm256_loadu_pd(w + j + 4));
+    }
+    _mm256_storeu_pd(lanes, acc_lo);
+    _mm256_storeu_pd(lanes + 4, acc_hi);
+    for (; j < end; ++j)
+        lanes[j & 7] += w[j];
+    return true;
+}
+
 } // namespace
 
 const KernelTable kAvx2Table = {
     general1qAvx2,    diagonal1qAvx2,  antidiagonal1qAvx2,
     phaseOnMaskAvx2,  controlled1qAvx2, general2qAvx2,
+};
+
+const ReduceTable kAvx2Reduce = {
+    normSqLanesAvx2,
+    probLanesAvx2,
+    normsAvx2,
+    sumLanesAvx2,
 };
 
 } // namespace simd

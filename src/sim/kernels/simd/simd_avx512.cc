@@ -290,11 +290,135 @@ general2qAvx512(Complex *amps, std::uint64_t n, Qubit q0, Qubit q1,
     return true;
 }
 
+// ---- reductions ------------------------------------------------------
+//
+// One __m512d accumulator covers all eight lane slots (dispatch.hh):
+// a 4-complex load is [re0, im0, ..., re3, im3], so acc lane j is
+// exactly lanes[j]. Block starts are 4-aligned, making the mapping
+// global; the caller folds lanes left to right.
+
+bool
+normSqLanesAvx512(const Complex *amps, std::uint64_t begin,
+                  std::uint64_t end, const std::uint64_t *bits,
+                  std::size_t k, std::uint64_t match, double *lanes)
+{
+    if (k != 0 && bits[0] < 4)
+        return false; // group of 4 compact indices not contiguous
+    if (begin == end)
+        return true; // geometry probe
+    __m512d acc = _mm512_loadu_pd(lanes);
+    std::uint64_t h = begin; // 4-aligned per the dispatch contract
+    for (; h + kW <= end; h += kW) {
+        const __m512d v =
+            load4(amps + (expandIndex(h, bits, k) | match));
+        acc = _mm512_add_pd(acc, _mm512_mul_pd(v, v));
+    }
+    _mm512_storeu_pd(lanes, acc);
+    for (; h < end; ++h) {
+        const std::uint64_t i = expandIndex(h, bits, k) | match;
+        const double re = amps[i].real();
+        const double im = amps[i].imag();
+        lanes[2 * (h & 3)] += re * re;
+        lanes[2 * (h & 3) + 1] += im * im;
+    }
+    return true;
+}
+
+/** probs pair-add: evens + odds of the squared vector, each pair sum
+ * rounding once, exactly like scalar re*re + im*im. */
+inline __m256d
+pairSums(__m512d sq)
+{
+    const __m512i idxe = _mm512_setr_epi64(0, 2, 4, 6, 0, 0, 0, 0);
+    const __m512i idxo = _mm512_setr_epi64(1, 3, 5, 7, 0, 0, 0, 0);
+    const __m256d evens =
+        _mm512_castpd512_pd256(_mm512_permutexvar_pd(idxe, sq));
+    const __m256d odds =
+        _mm512_castpd512_pd256(_mm512_permutexvar_pd(idxo, sq));
+    return _mm256_add_pd(evens, odds);
+}
+
+bool
+probLanesAvx512(const Complex *amps, double *probs,
+                std::uint64_t begin, std::uint64_t end, double *lanes)
+{
+    if (begin == end)
+        return true;
+    __m512d acc = _mm512_loadu_pd(lanes);
+    std::uint64_t i = begin; // 8-aligned
+    for (; i + 8 <= end; i += 8) {
+        // The lane accumulator sees the *stored* pair sums (plain
+        // lanes[j & 7] rule): one zmm of eight probs per step, the
+        // same shape sumLanes folds, so the fused total is exactly
+        // what sumLanes would produce over probs.
+        const __m512d v0 = load4(amps + i);
+        const __m512d v1 = load4(amps + i + 4);
+        const __m256d p0 = pairSums(_mm512_mul_pd(v0, v0));
+        const __m256d p1 = pairSums(_mm512_mul_pd(v1, v1));
+        const __m512d p = _mm512_insertf64x4(
+            _mm512_castpd256_pd512(p0), p1, 1);
+        _mm512_storeu_pd(probs + i, p);
+        acc = _mm512_add_pd(acc, p);
+    }
+    _mm512_storeu_pd(lanes, acc);
+    for (; i < end; ++i) {
+        const double re = amps[i].real();
+        const double im = amps[i].imag();
+        const double p = re * re + im * im;
+        probs[i] = p;
+        lanes[i & 7] += p;
+    }
+    return true;
+}
+
+bool
+normsAvx512(const Complex *amps, std::uint64_t begin,
+            std::uint64_t end, double *out)
+{
+    if (begin == end)
+        return true;
+    std::uint64_t i = begin; // 4-aligned
+    for (; i + kW <= end; i += kW) {
+        const __m512d v = load4(amps + i);
+        _mm256_storeu_pd(out + (i - begin),
+                         pairSums(_mm512_mul_pd(v, v)));
+    }
+    for (; i < end; ++i) {
+        const double re = amps[i].real();
+        const double im = amps[i].imag();
+        out[i - begin] = re * re + im * im;
+    }
+    return true;
+}
+
+bool
+sumLanesAvx512(const double *w, std::uint64_t begin, std::uint64_t end,
+               double *lanes)
+{
+    if (begin == end)
+        return true;
+    __m512d acc = _mm512_loadu_pd(lanes);
+    std::uint64_t j = begin; // 8-aligned
+    for (; j + 8 <= end; j += 8)
+        acc = _mm512_add_pd(acc, _mm512_loadu_pd(w + j));
+    _mm512_storeu_pd(lanes, acc);
+    for (; j < end; ++j)
+        lanes[j & 7] += w[j];
+    return true;
+}
+
 } // namespace
 
 const KernelTable kAvx512Table = {
     general1qAvx512,   diagonal1qAvx512,   antidiagonal1qAvx512,
     phaseOnMaskAvx512, controlled1qAvx512, general2qAvx512,
+};
+
+const ReduceTable kAvx512Reduce = {
+    normSqLanesAvx512,
+    probLanesAvx512,
+    normsAvx512,
+    sumLanesAvx512,
 };
 
 } // namespace simd

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
 namespace qra {
 namespace kernels {
 
@@ -37,6 +40,29 @@ envBlockBytes()
 /** 0 = "use the default/env value" (so env changes in tests apply). */
 std::atomic<std::size_t> gBlockBytes{0};
 
+/** Per-thread override (EngineOptions::cacheBlockBytes per shard). */
+thread_local std::size_t tBlockBytes = 0;
+
+/**
+ * The auto heuristic chose Blocked: count it and (at debug level)
+ * say why, so a surprising traversal switch on a new host is
+ * attributable to its stride/budget numbers.
+ */
+void
+recordBlockedTrigger(std::uint64_t stride_bytes, std::size_t budget)
+{
+    if (obs::metricsEnabled()) {
+        static const obs::CounterHandle handle =
+            obs::MetricsRegistry::global().counter(
+                "sim.kernels.traversal.blocked");
+        obs::count(handle);
+    }
+    if (Logger::level() <= LogLevel::Debug)
+        logDebug("blocked traversal: stride exceeds cache budget",
+                 {{"stride_bytes", std::to_string(stride_bytes)},
+                  {"budget_bytes", std::to_string(budget)}});
+}
+
 } // namespace
 
 const char *
@@ -56,6 +82,8 @@ traversalName(Traversal traversal)
 std::size_t
 cacheBlockBytes()
 {
+    if (tBlockBytes != 0)
+        return tBlockBytes;
     const std::size_t configured =
         gBlockBytes.load(std::memory_order_relaxed);
     return configured != 0 ? configured : envBlockBytes();
@@ -71,6 +99,19 @@ setCacheBlockBytes(std::size_t bytes)
     if (bytes < kMinBlockBytes)
         bytes = kMinBlockBytes;
     gBlockBytes.store(floorPow2(bytes), std::memory_order_relaxed);
+}
+
+CacheBlockScope::CacheBlockScope(std::size_t bytes)
+    : saved_(tBlockBytes)
+{
+    if (bytes != 0)
+        tBlockBytes =
+            floorPow2(bytes < kMinBlockBytes ? kMinBlockBytes : bytes);
+}
+
+CacheBlockScope::~CacheBlockScope()
+{
+    tBlockBytes = saved_;
 }
 
 Traversal
@@ -93,7 +134,11 @@ resolveTraversal(Traversal requested, std::uint64_t n,
         std::max<std::uint64_t>(std::uint64_t{1} << 10,
                                 block / (resident_per_index *
                                          sizeof(Complex)));
-    return count > tile ? Traversal::Blocked : Traversal::Linear;
+    if (count > tile) {
+        recordBlockedTrigger(stride_bytes, block);
+        return Traversal::Blocked;
+    }
+    return Traversal::Linear;
 }
 
 } // namespace kernels

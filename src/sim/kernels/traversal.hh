@@ -49,8 +49,10 @@ enum class Traversal : std::uint8_t
 const char *traversalName(Traversal traversal);
 
 /**
- * Tile footprint budget in bytes (power of two). Default 1 MiB, or
- * the QRA_CACHE_BLOCK environment variable at first use.
+ * Tile footprint budget in bytes (power of two). Selection, highest
+ * wins: a thread-local CacheBlockScope (EngineOptions::cacheBlockBytes
+ * installed per shard), then setCacheBlockBytes(), then the
+ * QRA_CACHE_BLOCK environment variable, then the 1 MiB default.
  */
 std::size_t cacheBlockBytes();
 
@@ -61,6 +63,27 @@ std::size_t cacheBlockBytes();
  * runs (tests, startup).
  */
 void setCacheBlockBytes(std::size_t bytes);
+
+/**
+ * RAII thread-local tile-footprint override, mirroring TierScope:
+ * the engine installs one per shard runner from
+ * EngineOptions::cacheBlockBytes, so one plan's budget never leaks
+ * into jobs sharing the pool. @p bytes 0 inherits the surrounding
+ * selection; non-zero values round down to a power of two with a
+ * 4 KiB floor.
+ */
+class CacheBlockScope
+{
+  public:
+    explicit CacheBlockScope(std::size_t bytes);
+    ~CacheBlockScope();
+
+    CacheBlockScope(const CacheBlockScope &) = delete;
+    CacheBlockScope &operator=(const CacheBlockScope &) = delete;
+
+  private:
+    std::size_t saved_;
+};
 
 /**
  * Resolve an Auto traversal for a kernel whose widest operand bit is

@@ -207,11 +207,13 @@ StateVector::probabilityOfOne(Qubit q) const
 }
 
 std::vector<double>
-StateVector::probabilities() const
+StateVector::probabilities(double *total) const
 {
     std::vector<double> probs(amps_.size());
-    kernels::computeProbabilities(amps_.data(), amps_.size(),
-                                  probs.data());
+    const double sum = kernels::computeProbabilities(
+        amps_.data(), amps_.size(), probs.data());
+    if (total != nullptr)
+        *total = sum;
     return probs;
 }
 

@@ -91,8 +91,13 @@ class StateVector
     /** Non-destructive P(qubit q == 1). */
     double probabilityOfOne(Qubit q) const;
 
-    /** Probability of every basis state (|a_i|^2). */
-    std::vector<double> probabilities() const;
+    /**
+     * Probability of every basis state (|a_i|^2). When @p total is
+     * non-null it receives the deterministic block-folded sum of the
+     * vector in the same pass (the fused reduction sampled execution
+     * hands to AliasTable, saving the prefix re-scan).
+     */
+    std::vector<double> probabilities(double *total = nullptr) const;
 
     /**
      * Marginal distribution over @p qubits: entry b is the probability

@@ -103,9 +103,18 @@ buildSampledDistribution(const Circuit &circuit)
     for (std::size_t j = 0; identity_marginal && j < measured.size();
          ++j)
         identity_marginal = measured[j] == j;
-    dist->table = kernels::AliasTable(
-        identity_marginal ? state.probabilities()
-                          : state.marginalProbabilities(measured));
+    if (identity_marginal) {
+        // The fused kernel returns the block-folded total alongside
+        // the probabilities, so the alias build skips its prefix
+        // re-scan; the AliasTable guards the total (zero/non-finite
+        // throws ValueError instead of renormalising into garbage).
+        double total = 0.0;
+        std::vector<double> probs = state.probabilities(&total);
+        dist->table = kernels::AliasTable(probs, total);
+    } else {
+        dist->table = kernels::AliasTable(
+            state.marginalProbabilities(measured));
+    }
     return dist;
 }
 

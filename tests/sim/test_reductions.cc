@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Bit-exactness parity suite for the vectorized measurement pipeline:
+ * the reduction kernels (normSquaredOnMask, computeProbabilities,
+ * sumWeights, marginalProbabilities), the fused-total AliasTable
+ * handoff and its renormalisation guards, the CacheBlockScope budget
+ * override, and the end-to-end sampled-counts invariant.
+ *
+ * The contract (kernels.hh "parallel measurement/sampling
+ * reductions"): every reduction accumulates fixed kReduceBlock blocks
+ * into a fixed 8-double lane array folded in a static order, so the
+ * result is *bit-identical* — memcmp, never EXPECT_NEAR — across SIMD
+ * tiers, thread counts, and lane counts. The forced-scalar loops are
+ * the oracle, exactly like the gate-kernel suite. Tiers above what
+ * this CPU supports are clamped away by dispatch, so the suite
+ * exercises exactly availableTiers() and stays green on scalar-only
+ * hardware and -DQRA_ENABLE_*=OFF builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "common/error.hh"
+#include "math/types.hh"
+#include "obs/metrics.hh"
+#include "runtime/execution_engine.hh"
+#include "runtime/thread_pool.hh"
+#include "sim/kernels/alias_table.hh"
+#include "sim/kernels/kernels.hh"
+#include "sim/kernels/parallel.hh"
+#include "sim/kernels/simd/dispatch.hh"
+#include "sim/kernels/traversal.hh"
+#include "sim/state_vector.hh"
+#include "sim/statevector_simulator.hh"
+
+using namespace qra;
+using namespace qra::kernels;
+using runtime::EngineOptions;
+using runtime::ExecutionEngine;
+using runtime::Job;
+using simd::Tier;
+using simd::TierScope;
+
+namespace {
+
+/** Unnormalised random state: parity needs arithmetic, not physics. */
+std::vector<Complex>
+randomState(std::size_t num_qubits, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<Complex> amps(std::size_t{1} << num_qubits);
+    for (Complex &a : amps)
+        a = Complex{dist(rng), dist(rng)};
+    return amps;
+}
+
+/** Random plain weights, odd sizes included. */
+std::vector<double>
+randomWeights(std::size_t n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    std::vector<double> w(n);
+    for (double &x : w)
+        x = dist(rng);
+    return w;
+}
+
+/** Bitwise double equality: distinguishes -0.0/0.0, catches NaN. */
+::testing::AssertionResult
+bitEqual(double a, double b)
+{
+    if (std::memcmp(&a, &b, sizeof(double)) == 0)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " and " << b << " differ bitwise";
+}
+
+::testing::AssertionResult
+bitEqual(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure() << "size mismatch";
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0)
+            return ::testing::AssertionFailure()
+                   << "first divergence at entry " << i << ": " << a[i]
+                   << " vs " << b[i];
+    return ::testing::AssertionSuccess();
+}
+
+/**
+ * Evaluate @p reduce under a forced scalar scope (serial), then under
+ * every available tier serially and with 4 lanes; every result must
+ * be bitwise equal to the scalar oracle.
+ */
+template <typename Reduce>
+void
+expectReductionParity(const Reduce &reduce, const char *what)
+{
+    double oracle;
+    {
+        TierScope scope(static_cast<int>(Tier::Scalar));
+        oracle = reduce();
+    }
+    runtime::ThreadPool pool(4);
+    for (Tier tier : simd::availableTiers()) {
+        TierScope scope(static_cast<int>(tier));
+        EXPECT_TRUE(bitEqual(oracle, reduce()))
+            << what << ": tier " << simd::tierName(tier) << " serial";
+        {
+            ParallelScope lanes(&pool, 4);
+            EXPECT_TRUE(bitEqual(oracle, reduce()))
+                << what << ": tier " << simd::tierName(tier)
+                << " with 4 lanes";
+        }
+    }
+}
+
+} // namespace
+
+// ---- normSquaredOnMask -------------------------------------------------
+
+TEST(ReductionParity, NormSquaredOnMaskAcrossTiersAndLanes)
+{
+    // 17 qubits = two kReduceBlock blocks plus a ragged tail in the
+    // compact space once a mask strips bits.
+    const std::vector<Complex> amps = randomState(17, 101);
+    const std::uint64_t n = amps.size();
+
+    struct Case
+    {
+        std::uint64_t mask;
+        std::uint64_t match;
+    };
+    const Case cases[] = {
+        {0, 0},                   // total norm, pure sum
+        {1, 1},                   // q0: vector support rejected (k>0,
+                                  // lowest bit < 4) -> scalar fallback
+        {2, 0},                   // q1: still scalar fallback
+        {4, 4},                   // q2: lowest vector-friendly qubit
+        {std::uint64_t{1} << 16, 0},            // high qubit
+        {(std::uint64_t{1} << 16) | 4, 4},      // multi-bit mask
+        {0b11000, 0b01000},                     // adjacent mid bits
+    };
+    for (const Case &c : cases)
+        expectReductionParity(
+            [&]() {
+                return normSquaredOnMask(amps.data(), n, c.mask,
+                                         c.match);
+            },
+            "normSquaredOnMask");
+}
+
+TEST(ReductionParity, NormSquaredOnMaskSmallAndEdgeSizes)
+{
+    // Sizes around the vector width: tails of every phase, plus the
+    // single-amplitude state.
+    for (std::size_t nq : {0u, 1u, 2u, 3u, 5u}) {
+        const std::vector<Complex> amps = randomState(nq, 7 + nq);
+        expectReductionParity(
+            [&]() {
+                return normSquaredOnMask(amps.data(), amps.size(), 0,
+                                         0);
+            },
+            "normSquaredOnMask small");
+    }
+}
+
+// ---- computeProbabilities ----------------------------------------------
+
+TEST(ReductionParity, ComputeProbabilitiesAcrossTiersAndLanes)
+{
+    const std::vector<Complex> amps = randomState(16, 202);
+    const std::uint64_t n = amps.size();
+
+    std::vector<double> oracle_probs(n);
+    double oracle_total;
+    {
+        TierScope scope(static_cast<int>(Tier::Scalar));
+        oracle_total =
+            computeProbabilities(amps.data(), n, oracle_probs.data());
+    }
+    // The scalar elementwise values are std::norm exactly.
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_TRUE(bitEqual(oracle_probs[i], std::norm(amps[i])));
+
+    runtime::ThreadPool pool(4);
+    for (Tier tier : simd::availableTiers()) {
+        TierScope scope(static_cast<int>(tier));
+        for (int lanes = 1; lanes <= 4; lanes += 3) {
+            std::vector<double> probs(n, -1.0);
+            double total;
+            if (lanes > 1) {
+                ParallelScope scope_lanes(&pool, 4);
+                total = computeProbabilities(amps.data(), n,
+                                             probs.data());
+            } else {
+                total = computeProbabilities(amps.data(), n,
+                                             probs.data());
+            }
+            EXPECT_TRUE(bitEqual(oracle_total, total))
+                << "tier " << simd::tierName(tier) << " lanes "
+                << lanes;
+            EXPECT_TRUE(bitEqual(oracle_probs, probs))
+                << "tier " << simd::tierName(tier) << " lanes "
+                << lanes;
+        }
+    }
+}
+
+TEST(ReductionParity, FusedTotalMatchesSumWeightsExactly)
+{
+    // The documented contract: the fused total is the exact value a
+    // subsequent sumWeights over the written probabilities returns,
+    // on every tier — AliasTable's two-arg constructor relies on it.
+    const std::vector<Complex> amps = randomState(14, 303);
+    for (Tier tier : simd::availableTiers()) {
+        TierScope scope(static_cast<int>(tier));
+        std::vector<double> probs(amps.size());
+        const double total = computeProbabilities(
+            amps.data(), amps.size(), probs.data());
+        EXPECT_TRUE(bitEqual(
+            total, sumWeights(probs.data(), probs.size())))
+            << "tier " << simd::tierName(tier);
+    }
+}
+
+// ---- sumWeights --------------------------------------------------------
+
+TEST(ReductionParity, SumWeightsOddSizesAcrossTiersAndLanes)
+{
+    // Odd / prime / block-straddling lengths: every tail shape.
+    for (std::size_t n :
+         {std::size_t{1}, std::size_t{3}, std::size_t{7},
+          std::size_t{1000}, std::size_t{(1 << 16) - 1},
+          std::size_t{(1 << 16) + 13}}) {
+        const std::vector<double> w = randomWeights(n, n);
+        expectReductionParity(
+            [&]() { return sumWeights(w.data(), n); }, "sumWeights");
+    }
+}
+
+// ---- marginalProbabilities ---------------------------------------------
+
+TEST(ReductionParity, MarginalProbabilitiesAcrossTiersAndLanes)
+{
+    const std::vector<Complex> amps = randomState(12, 404);
+    const std::uint64_t n = amps.size();
+
+    const std::vector<std::vector<Qubit>> marginals = {
+        {0},           // single low qubit
+        {11},          // single high qubit
+        {0, 3, 5},     // scattered ascending
+        {5, 3, 0},     // scattered descending (bit order matters)
+        {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, // identity-width
+    };
+    runtime::ThreadPool pool(4);
+    for (const std::vector<Qubit> &qubits : marginals) {
+        std::vector<double> oracle;
+        {
+            TierScope scope(static_cast<int>(Tier::Scalar));
+            oracle = marginalProbabilities(amps.data(), n, qubits);
+        }
+        for (Tier tier : simd::availableTiers()) {
+            TierScope scope(static_cast<int>(tier));
+            EXPECT_TRUE(bitEqual(
+                oracle, marginalProbabilities(amps.data(), n, qubits)))
+                << "tier " << simd::tierName(tier) << " serial";
+            {
+                ParallelScope lanes(&pool, 4);
+                EXPECT_TRUE(bitEqual(
+                    oracle,
+                    marginalProbabilities(amps.data(), n, qubits)))
+                    << "tier " << simd::tierName(tier)
+                    << " with 4 lanes";
+            }
+        }
+    }
+}
+
+// ---- StateVector measure-probability path ------------------------------
+
+TEST(ReductionParity, ProbabilityOfOneAcrossTiers)
+{
+    Circuit circuit(9);
+    for (Qubit q = 0; q < 9; ++q)
+        circuit.h(q);
+    for (Qubit q = 0; q + 1 < 9; ++q)
+        circuit.cx(q, q + 1);
+    circuit.rz(0.37, 4).ry(1.1, 7);
+
+    std::vector<double> oracle(9);
+    {
+        TierScope scope(static_cast<int>(Tier::Scalar));
+        StatevectorSimulator sim(5);
+        const StateVector state = sim.finalState(circuit);
+        for (Qubit q = 0; q < 9; ++q)
+            oracle[q] = state.probabilityOfOne(q);
+    }
+    for (Tier tier : simd::availableTiers()) {
+        TierScope scope(static_cast<int>(tier));
+        StatevectorSimulator sim(5);
+        const StateVector state = sim.finalState(circuit);
+        for (Qubit q = 0; q < 9; ++q)
+            EXPECT_TRUE(bitEqual(oracle[q], state.probabilityOfOne(q)))
+                << "tier " << simd::tierName(tier) << " qubit " << q;
+    }
+}
+
+// ---- AliasTable guards ---------------------------------------------------
+
+TEST(AliasTableGuards, ZeroTotalThrowsInsteadOfDividing)
+{
+    EXPECT_THROW(AliasTable({0.0, 0.0, 0.0}), ValueError);
+    EXPECT_THROW(AliasTable({0.25, 0.75}, 0.0), ValueError);
+}
+
+TEST(AliasTableGuards, NonFiniteTotalThrowsInsteadOfDividing)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(AliasTable({1.0, inf}), ValueError);
+    EXPECT_THROW(AliasTable({1.0, nan}), ValueError);
+    EXPECT_THROW(AliasTable({0.5, 0.5}, inf), ValueError);
+    EXPECT_THROW(AliasTable({0.5, 0.5}, nan), ValueError);
+}
+
+TEST(AliasTableGuards, DenormalUnderflowStateThrowsNotGarbage)
+{
+    // |amp|^2 of a ~1e-300 amplitude underflows past the subnormal
+    // range to exactly 0.0, so the fused total of a denormal-heavy
+    // state is 0 — the renormalising constructor must refuse it.
+    std::vector<Complex> amps(1 << 6, Complex{1e-300, 0.0});
+    std::vector<double> probs(amps.size());
+    const double total =
+        computeProbabilities(amps.data(), amps.size(), probs.data());
+    EXPECT_EQ(total, 0.0);
+    EXPECT_THROW(AliasTable(probs, total), ValueError);
+}
+
+TEST(AliasTableGuards, InfiniteAmplitudeSurfacesThroughFusedTotal)
+{
+    std::vector<Complex> amps = randomState(6, 55);
+    amps[17] = Complex{std::numeric_limits<double>::infinity(), 0.0};
+    std::vector<double> probs(amps.size());
+    const double total =
+        computeProbabilities(amps.data(), amps.size(), probs.data());
+    EXPECT_FALSE(std::isfinite(total));
+    EXPECT_THROW(AliasTable(probs, total), ValueError);
+}
+
+TEST(AliasTableGuards, FusedTotalConstructorSamplesLikeOnePass)
+{
+    // Same weights, delegating vs fused-total construction: identical
+    // tables, hence identical draws under the same RNG stream.
+    const std::vector<double> w = randomWeights(97, 31);
+    const AliasTable one_arg(w);
+    const AliasTable two_arg(w, sumWeights(w.data(), w.size()));
+    Rng rng_a(123), rng_b(123);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(one_arg.sample(rng_a), two_arg.sample(rng_b));
+}
+
+// ---- CacheBlockScope -----------------------------------------------------
+
+TEST(CacheBlock, ScopeOverridesAndRestores)
+{
+    const std::size_t ambient = cacheBlockBytes();
+    {
+        CacheBlockScope scope(8192);
+        EXPECT_EQ(cacheBlockBytes(), 8192u);
+        {
+            // 0 inherits the surrounding selection.
+            CacheBlockScope inner(0);
+            EXPECT_EQ(cacheBlockBytes(), 8192u);
+        }
+        {
+            // Non-power-of-two rounds down; tiny values hit the floor.
+            CacheBlockScope inner(12345);
+            EXPECT_EQ(cacheBlockBytes(), 8192u);
+        }
+        {
+            CacheBlockScope inner(1);
+            EXPECT_EQ(cacheBlockBytes(), 4096u);
+        }
+        EXPECT_EQ(cacheBlockBytes(), 8192u);
+    }
+    EXPECT_EQ(cacheBlockBytes(), ambient);
+}
+
+TEST(CacheBlock, ScopeWinsOverProcessSetting)
+{
+    setCacheBlockBytes(1 << 16);
+    {
+        CacheBlockScope scope(4096);
+        EXPECT_EQ(cacheBlockBytes(), 4096u);
+    }
+    EXPECT_EQ(cacheBlockBytes(), std::size_t{1} << 16);
+    setCacheBlockBytes(0);
+}
+
+// ---- obs counters --------------------------------------------------------
+
+TEST(ReduceCounters, RecordSelectedTier)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    const auto before =
+        registry.snapshot().counters["sim.kernels.reduce.scalar"];
+    obs::setMetricsEnabled(true);
+    {
+        TierScope scope(static_cast<int>(Tier::Scalar));
+        const std::vector<Complex> amps = randomState(6, 1);
+        normSquaredOnMask(amps.data(), amps.size(), 0, 0);
+    }
+    obs::setMetricsEnabled(false);
+    const auto after =
+        registry.snapshot().counters["sim.kernels.reduce.scalar"];
+    EXPECT_GT(after, before);
+}
+
+// ---- end-to-end sampled counts -------------------------------------------
+
+namespace {
+
+/** Terminal-measurement circuit hitting the identity-marginal path. */
+Circuit
+measureAllCircuit()
+{
+    Circuit circuit(5, 5);
+    circuit.h(0).cx(0, 1).cx(1, 2).ry(0.4, 3).cx(2, 4).rz(0.9, 4);
+    circuit.measureAll();
+    return circuit;
+}
+
+/** Scrambled-subset measurement: the true-marginal alias path. */
+Circuit
+subsetMeasureCircuit()
+{
+    Circuit circuit(6, 3);
+    circuit.h(0).cx(0, 3).ry(0.8, 5).cx(3, 5).h(2);
+    circuit.measure(4, 0).measure(1, 1).measure(5, 2);
+    return circuit;
+}
+
+std::map<std::uint64_t, std::size_t>
+sampledCounts(const Circuit &circuit, int tier, std::size_t threads,
+              bool adaptive)
+{
+    ExecutionEngine engine(EngineOptions{.threads = threads,
+                                         .shardShots = 512,
+                                         .maxShards = 8,
+                                         .simdTier = tier});
+    Job job(circuit, 2048, "statevector", 99);
+    if (!adaptive)
+        return engine.run(job).rawCounts();
+    job.stopping.waveShots = 512;
+    return engine.runAdaptive(job).rawCounts();
+}
+
+} // namespace
+
+TEST(SampledCountsParity, IdenticalAcrossTiersThreadsAndWaves)
+{
+    for (const Circuit &circuit :
+         {measureAllCircuit(), subsetMeasureCircuit()}) {
+        const auto oracle = sampledCounts(
+            circuit, static_cast<int>(Tier::Scalar), 1, false);
+        ASSERT_FALSE(oracle.empty());
+        for (Tier tier : simd::availableTiers()) {
+            for (std::size_t threads : {std::size_t{1},
+                                        std::size_t{4}}) {
+                EXPECT_EQ(oracle,
+                          sampledCounts(circuit,
+                                        static_cast<int>(tier),
+                                        threads, false))
+                    << "run: tier " << simd::tierName(tier)
+                    << " threads " << threads;
+                EXPECT_EQ(oracle,
+                          sampledCounts(circuit,
+                                        static_cast<int>(tier),
+                                        threads, true))
+                    << "runAdaptive: tier " << simd::tierName(tier)
+                    << " threads " << threads;
+            }
+        }
+    }
+}
+
+TEST(SampledCountsParity, CacheBlockBudgetIsCountsInvariant)
+{
+    // The blocked-traversal budget is a pure locality knob: forcing a
+    // tiny per-plan budget (so Auto picks Blocked everywhere) must
+    // not move a single count.
+    const Circuit circuit = measureAllCircuit();
+    const auto oracle = sampledCounts(
+        circuit, static_cast<int>(Tier::Scalar), 1, false);
+    ExecutionEngine engine(EngineOptions{.threads = 4,
+                                         .shardShots = 512,
+                                         .maxShards = 8,
+                                         .simdTier = -1,
+                                         .cacheBlockBytes = 4096});
+    Job job(circuit, 2048, "statevector", 99);
+    EXPECT_EQ(oracle, engine.run(job).rawCounts());
+}

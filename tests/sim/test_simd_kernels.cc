@@ -432,6 +432,8 @@ TEST(SimdDispatch, ParseTierRoundTrips)
     Tier tier;
     ASSERT_TRUE(simd::parseTier("scalar", &tier));
     EXPECT_EQ(tier, Tier::Scalar);
+    ASSERT_TRUE(simd::parseTier("portable", &tier));
+    EXPECT_EQ(tier, Tier::Portable);
     ASSERT_TRUE(simd::parseTier("avx2", &tier));
     EXPECT_EQ(tier, Tier::Avx2);
     ASSERT_TRUE(simd::parseTier("avx512", &tier));
@@ -466,11 +468,11 @@ TEST(SimdDispatch, DispatchCountersRecordSelectedTier)
 TEST(SimdDispatch, EngineOptionsValidatesTier)
 {
     EXPECT_THROW(runtime::ExecutionEngine(
-                     runtime::EngineOptions{.threads = 1, .simdTier = 3}),
+                     runtime::EngineOptions{.threads = 1, .simdTier = 4}),
                  ValueError);
     // -1 (auto) and every real tier construct fine; the tier is
     // clamped at dispatch time, not rejected.
-    for (int tier = -1; tier <= 2; ++tier)
+    for (int tier = -1; tier <= 3; ++tier)
         EXPECT_NO_THROW(runtime::ExecutionEngine(
             runtime::EngineOptions{.threads = 1, .simdTier = tier}));
 }

@@ -46,7 +46,8 @@ def is_metric(key, value):
     if not isinstance(value, (int, float)):
         return False
     return (key.endswith("_per_sec") or key.startswith("speedup")
-            or key == "simd_speedup" or key == "swap_reduction"
+            or key == "simd_speedup" or key == "reduce_speedup"
+            or key == "swap_reduction"
             or key == "shots_saved_frac" or key == "saved_frac")
 
 

@@ -13,7 +13,7 @@
  *           [--intra-threads N] [--fusion 0|1|2] [--seed S]
  *           [--passes legacy|postlayout] [--reuse-ancillas]
  *           [--no-barriers] [--target-halfwidth W] [--min-shots N]
- *           [--wave-shots N] [--simd scalar|avx2|avx512]
+ *           [--wave-shots N] [--simd scalar|portable|avx2|avx512]
  *           [--deadline-ms MS] [--retries N] [--inject-fault=SPEC]
  *           [--metrics[=FILE]] [--trace=FILE]
  *           [--trace-jsonl=FILE] [--dump-pipeline] [--draw]
@@ -107,7 +107,7 @@ usage()
         "[--reuse-ancillas]\n"
         "               [--no-barriers] [--target-halfwidth W]\n"
         "               [--min-shots N] [--wave-shots N]\n"
-        "               [--simd scalar|avx2|avx512]\n"
+        "               [--simd scalar|portable|avx2|avx512]\n"
         "               [--deadline-ms MS] [--retries N]\n"
         "               [--inject-fault=SPEC]\n"
         "               [--metrics[=FILE]] [--trace=FILE]\n"
@@ -254,8 +254,8 @@ parseArgs(int argc, char **argv, Options &opts)
             }
             kernels::simd::Tier tier;
             if (!kernels::simd::parseTier(v, &tier)) {
-                std::fprintf(stderr, "--simd must be scalar, avx2 or "
-                                     "avx512\n");
+                std::fprintf(stderr, "--simd must be scalar, portable, "
+                                     "avx2 or avx512\n");
                 return false;
             }
             opts.simdTier = static_cast<int>(tier);
