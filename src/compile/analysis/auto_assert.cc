@@ -1,0 +1,266 @@
+#include "compile/analysis/auto_assert.hh"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "assertions/classical_assertion.hh"
+#include "assertions/entanglement_assertion.hh"
+#include "assertions/superposition_assertion.hh"
+#include "common/hash.hh"
+#include "compile/passes.hh"
+#include "obs/metrics.hh"
+
+namespace qra {
+namespace compile {
+
+namespace {
+
+/** Registered-once handles for the analysis counters. */
+struct AnalysisMetrics
+{
+    obs::CounterHandle cliffordPrefixGates;
+    obs::CounterHandle groups;
+    obs::CounterHandle checksInjected;
+};
+
+const AnalysisMetrics &
+analysisMetrics()
+{
+    static const AnalysisMetrics metrics = []() {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        AnalysisMetrics m;
+        m.cliffordPrefixGates =
+            reg.counter("compile.analysis.clifford_prefix_gates");
+        m.groups = reg.counter("compile.analysis.groups");
+        m.checksInjected =
+            reg.counter("compile.analysis.checks_injected");
+        return m;
+    }();
+    return metrics;
+}
+
+/** Check strength rank: lower wins ties at equal cut depth. */
+enum KindRank
+{
+    kEntanglement = 0,
+    kSuperposition = 1,
+    kClassical = 2,
+};
+
+struct Candidate
+{
+    int rank = kClassical;
+    std::size_t cut = 0;
+    std::vector<Qubit> qubits;
+    std::uint64_t bits = 0;
+    bool minusPhase = false;
+    bool oddParity = false;
+};
+
+bool
+deeperFirst(const Candidate &a, const Candidate &b)
+{
+    if (a.cut != b.cut)
+        return a.cut > b.cut;
+    if (a.rank != b.rank)
+        return a.rank < b.rank;
+    return a.qubits.front() < b.qubits.front();
+}
+
+AssertionSpec
+toSpec(const Candidate &candidate)
+{
+    AssertionSpec spec;
+    spec.targets = candidate.qubits;
+    spec.insertAt = candidate.cut;
+    switch (candidate.rank) {
+      case kEntanglement:
+        spec.assertion = std::make_shared<EntanglementAssertion>(
+            candidate.qubits.size(),
+            candidate.oddParity ? EntanglementAssertion::Parity::Odd
+                                : EntanglementAssertion::Parity::Even);
+        spec.label = "auto:entangled";
+        break;
+      case kSuperposition:
+        spec.assertion = std::make_shared<SuperpositionAssertion>(
+            candidate.minusPhase
+                ? SuperpositionAssertion::Target::Minus
+                : SuperpositionAssertion::Target::Plus);
+        spec.label = "auto:superposition";
+        break;
+      default:
+        spec.assertion = std::make_shared<ClassicalAssertion>(
+            candidate.bits, candidate.qubits.size());
+        spec.label = "auto:classical";
+        break;
+    }
+    return spec;
+}
+
+} // namespace
+
+std::vector<AssertionSpec>
+generateAssertions(const analysis::CircuitAnalysis &analysis,
+                   const AutoAssertOptions &options)
+{
+    const std::size_t min_depth = std::max<std::size_t>(
+        options.minPrefixDepth, 1);
+
+    std::vector<Candidate> candidates;
+    for (const analysis::GroupFact &fact : analysis.facts) {
+        if (fact.prefixGates < min_depth || fact.qubits.empty())
+            continue;
+        Candidate c;
+        c.cut = fact.cutIndex;
+        c.qubits = fact.qubits;
+        switch (fact.state) {
+          case analysis::GroupState::KnownBasis:
+            if (fact.qubits.size() > 64)
+                continue;
+            c.rank = kClassical;
+            c.bits = fact.basisBits;
+            break;
+          case analysis::GroupState::UniformSuperposition:
+            c.rank = kSuperposition;
+            c.minusPhase = fact.minusPhase;
+            break;
+          case analysis::GroupState::GhzLike:
+            c.rank = kEntanglement;
+            c.oddParity = fact.oddParity;
+            break;
+          case analysis::GroupState::Other:
+            continue;
+        }
+        candidates.push_back(std::move(c));
+    }
+    for (const analysis::FrontierFact &fact : analysis.frontier) {
+        if (fact.opsTouched < min_depth)
+            continue;
+        Candidate c;
+        c.rank = kClassical;
+        c.cut = fact.cutIndex;
+        c.qubits = {fact.qubit};
+        c.bits = static_cast<std::uint64_t>(fact.value);
+        candidates.push_back(std::move(c));
+    }
+
+    std::sort(candidates.begin(), candidates.end(), deeperFirst);
+
+    // Greedy selection, deepest first: at most one classical check
+    // per qubit (the frontier and the tableau both produce basis
+    // facts; the deeper cut covers strictly more of the circuit).
+    std::vector<char> classical_covered(analysis.numQubits, 0);
+    std::vector<Candidate> selected;
+    for (Candidate &candidate : candidates) {
+        if (selected.size() >= options.maxChecks)
+            break;
+        if (candidate.rank == kClassical) {
+            bool overlap = false;
+            for (Qubit q : candidate.qubits)
+                overlap = overlap || classical_covered[q];
+            if (overlap)
+                continue;
+            for (Qubit q : candidate.qubits)
+                classical_covered[q] = 1;
+        }
+        selected.push_back(std::move(candidate));
+    }
+
+    std::sort(selected.begin(), selected.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.cut != b.cut)
+                      return a.cut < b.cut;
+                  return a.qubits.front() < b.qubits.front();
+              });
+
+    std::vector<AssertionSpec> specs;
+    specs.reserve(selected.size());
+    for (const Candidate &candidate : selected)
+        specs.push_back(toSpec(candidate));
+    return specs;
+}
+
+std::string
+AnalyzePass::describe() const
+{
+    return "analyze (tableau-prefix, separability, known-basis)";
+}
+
+void
+AnalyzePass::run(CompileContext &ctx) const
+{
+    auto result = std::make_shared<analysis::CircuitAnalysis>(
+        analysis::analyzeCircuit(ctx.circuit));
+    obs::count(analysisMetrics().cliffordPrefixGates,
+               result->cliffordPrefixGates);
+    obs::count(analysisMetrics().groups, result->finalGroups.size());
+    ctx.pendingNote = std::to_string(result->finalGroups.size()) +
+                      " groups, " +
+                      std::to_string(result->cliffordPrefixGates) +
+                      " clifford-prefix gates, " +
+                      std::to_string(result->facts.size()) + " facts";
+    ctx.analysis = std::move(result);
+}
+
+std::uint64_t
+AutoAssertPass::fingerprint(std::uint64_t h) const
+{
+    // The generated specs are a pure function of (circuit, options);
+    // the circuit hash is already part of every cache key, so folding
+    // the budget plus the user-visible weave inputs suffices.
+    h = fnv1aMix64(h, options_.maxChecks);
+    h = fnv1aMix64(h, options_.minPrefixDepth);
+    h = fnv1aMix64(h, userSpecs_.size());
+    for (const AssertionSpec &spec : userSpecs_)
+        h = foldAssertionSpec(h, spec);
+    return foldInstrumentOptions(h, instrumentOptions_);
+}
+
+std::string
+AutoAssertPass::describe() const
+{
+    std::string text = "auto-assert (max " +
+                       std::to_string(options_.maxChecks) +
+                       " checks, min depth " +
+                       std::to_string(options_.minPrefixDepth);
+    if (!userSpecs_.empty())
+        text += ", +" + std::to_string(userSpecs_.size()) + " user";
+    if (instrumentOptions_.reuseAncillas)
+        text += ", reuse-ancillas";
+    if (!instrumentOptions_.barriers)
+        text += ", no-barriers";
+    return text + ")";
+}
+
+void
+AutoAssertPass::run(CompileContext &ctx) const
+{
+    std::shared_ptr<const analysis::CircuitAnalysis> result =
+        ctx.analysis;
+    if (!result)
+        result = std::make_shared<analysis::CircuitAnalysis>(
+            analysis::analyzeCircuit(ctx.circuit));
+
+    std::vector<AssertionSpec> specs = userSpecs_;
+    std::vector<AssertionSpec> generated =
+        generateAssertions(*result, options_);
+    specs.insert(specs.end(), generated.begin(), generated.end());
+
+    auto instrumented = std::make_shared<InstrumentedCircuit>(
+        detail::weaveAssertions(ctx.circuit, specs,
+                                instrumentOptions_));
+    ctx.circuit = instrumented->circuit();
+    ctx.instrumented = std::move(instrumented);
+
+    obs::count(analysisMetrics().checksInjected, generated.size());
+    ctx.pendingNote = std::to_string(generated.size()) +
+                      " auto checks" +
+                      (userSpecs_.empty()
+                           ? std::string()
+                           : ", " + std::to_string(userSpecs_.size()) +
+                                 " user");
+}
+
+} // namespace compile
+} // namespace qra

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Automatic assertion generation on top of the static analysis: turn
+ * GroupFacts / FrontierFacts into the paper's classical /
+ * superposition / entanglement checks at high-value cut points, under
+ * a cost budget — any circuit becomes an assertion workload with zero
+ * annotation (ROADMAP item 4(c); quAssert, arXiv:2303.01487).
+ *
+ * Two passes plug this into the compile pipeline:
+ *  - AnalyzePass runs analyzeCircuit once and publishes the result on
+ *    the CompileContext (memoised with the prepared circuit in the
+ *    JobQueue cache);
+ *  - AutoAssertPass derives AssertionSpecs from the facts, appends
+ *    them to any user-written specs, and weaves the combined set.
+ */
+
+#ifndef QRA_COMPILE_ANALYSIS_AUTO_ASSERT_HH
+#define QRA_COMPILE_ANALYSIS_AUTO_ASSERT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "assertions/injector.hh"
+#include "compile/analysis/analysis.hh"
+#include "compile/pass.hh"
+
+namespace qra {
+namespace compile {
+
+/** Cost budget for automatic check generation. */
+struct AutoAssertOptions
+{
+    /** Hard cap on the number of injected checks. */
+    std::size_t maxChecks = 8;
+
+    /**
+     * Minimum gates a fact's prefix must cover to be worth a check
+     * (a check on an untouched |0> wire detects nothing but idle
+     * noise and costs an ancilla).
+     */
+    std::size_t minPrefixDepth = 1;
+};
+
+/**
+ * Derive assertion specs from @p analysis facts under @p options.
+ *
+ * Selection is deterministic: candidates are ranked by cut depth
+ * (later cuts cover more of the circuit), then by check strength
+ * (entanglement > superposition > classical), then by target qubit;
+ * per-qubit classical candidates collapse to the deepest one. The
+ * returned specs carry "auto:" labels and ascending insertAt.
+ */
+std::vector<AssertionSpec>
+generateAssertions(const analysis::CircuitAnalysis &analysis,
+                   const AutoAssertOptions &options = {});
+
+/** Run analyzeCircuit and publish the result on the context. */
+class AnalyzePass : public Pass
+{
+  public:
+    std::string name() const override { return "analyze"; }
+    std::string describe() const override;
+    void run(CompileContext &ctx) const override;
+};
+
+/**
+ * Inject automatically generated checks (plus any user specs) into
+ * the working circuit. Consumes the AnalyzePass result when present,
+ * otherwise analyzes on the spot.
+ */
+class AutoAssertPass : public Pass
+{
+  public:
+    AutoAssertPass(std::vector<AssertionSpec> user_specs,
+                   InstrumentOptions instrument_options,
+                   AutoAssertOptions options)
+        : userSpecs_(std::move(user_specs)),
+          instrumentOptions_(instrument_options), options_(options)
+    {
+    }
+
+    std::string name() const override { return "auto-assert"; }
+    std::uint64_t fingerprint(std::uint64_t h) const override;
+    std::string describe() const override;
+    void run(CompileContext &ctx) const override;
+
+  private:
+    std::vector<AssertionSpec> userSpecs_;
+    InstrumentOptions instrumentOptions_;
+    AutoAssertOptions options_;
+};
+
+} // namespace compile
+} // namespace qra
+
+#endif // QRA_COMPILE_ANALYSIS_AUTO_ASSERT_HH

@@ -28,6 +28,10 @@
 namespace qra {
 namespace compile {
 
+namespace analysis {
+struct CircuitAnalysis;
+} // namespace analysis
+
 /** Statistics one pass execution leaves behind. */
 struct PassStats
 {
@@ -69,6 +73,13 @@ struct CompileContext
     std::size_t reversedCx = 0;
     std::size_t cancelledGates = 0;
     std::size_t mergedRotations = 0;
+
+    /**
+     * Static-analysis result published by AnalyzePass; null when the
+     * pipeline has no analysis stage. Shared with the JobQueue cache
+     * so repeated submissions reuse the facts.
+     */
+    std::shared_ptr<const analysis::CircuitAnalysis> analysis;
 
     /** One entry per executed pass, in pipeline order. */
     std::vector<PassStats> passStats;

@@ -63,14 +63,22 @@ PassManager
 preparePipeline(const PrepareSpec &spec)
 {
     PassManager pm;
-    const bool inject = !spec.assertions.empty();
+    const bool autogen =
+        spec.injection == InjectionStrategy::AutoGenerate;
+    const bool inject = !autogen && !spec.assertions.empty();
     const bool post_layout =
         inject && spec.coupling != nullptr &&
         spec.injection == InjectionStrategy::PostLayout;
 
-    if (inject && !post_layout)
+    if (autogen) {
+        pm.add(std::make_shared<AnalyzePass>());
+        pm.add(std::make_shared<AutoAssertPass>(
+            spec.assertions, spec.instrumentOptions,
+            spec.autoAssert));
+    } else if (inject && !post_layout) {
         pm.add(std::make_shared<InstrumentPass>(
             spec.assertions, spec.instrumentOptions));
+    }
 
     if (spec.coupling != nullptr) {
         if (post_layout) {
@@ -107,12 +115,16 @@ prepare(Circuit payload, const PrepareSpec &spec,
 {
     // Legacy naming: instrumentation suffixes "+asserts", device
     // transpilation suffixes "@<n>q" on top of whatever entered it.
-    const std::string base_name =
+    std::string base_name =
         spec.assertions.empty() ? payload.name()
                                 : payload.name() + "+asserts";
 
     CompileContext ctx =
         pipeline.run(std::move(payload), spec.coupling);
+    // Auto-generated checks earn the suffix only once they exist.
+    if (spec.assertions.empty() && ctx.instrumented &&
+        !ctx.instrumented->checks().empty())
+        base_name += "+asserts";
     if (spec.coupling != nullptr)
         ctx.circuit.setName(base_name + "@" +
                             std::to_string(spec.coupling->numQubits()) +

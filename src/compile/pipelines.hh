@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "assertions/injector.hh"
+#include "compile/analysis/auto_assert.hh"
 #include "compile/pass_manager.hh"
 #include "transpile/transpiler.hh"
 
@@ -36,6 +37,15 @@ enum class InjectionStrategy
      * spec has no coupling map (there is no layout to exploit).
      */
     PostLayout,
+
+    /**
+     * Derive the checks statically instead of taking them from the
+     * spec: AnalyzePass + AutoAssertPass run the three-domain
+     * analysis (stabilizer prefix, separability, known-basis
+     * frontier) and weave generated checks — plus any user specs —
+     * before layout. See compile/analysis/auto_assert.hh.
+     */
+    AutoGenerate,
 };
 
 /**
@@ -55,6 +65,8 @@ struct PrepareSpec
     std::vector<AssertionSpec> assertions;
     InstrumentOptions instrumentOptions;
     InjectionStrategy injection = InjectionStrategy::PreLayout;
+    /** Budget for InjectionStrategy::AutoGenerate. */
+    AutoAssertOptions autoAssert;
     /** Not owned; null = no device transpilation. */
     const CouplingMap *coupling = nullptr;
     TranspileOptions transpileOptions;

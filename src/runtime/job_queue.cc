@@ -51,6 +51,7 @@ prepareSpec(const JobSpec &spec)
     prep.assertions = spec.assertions;
     prep.instrumentOptions = spec.instrumentOptions;
     prep.injection = spec.injection;
+    prep.autoAssert = spec.autoAssert;
     prep.coupling = spec.coupling;
     prep.transpileOptions = spec.transpileOptions;
     return prep;
@@ -158,6 +159,7 @@ JobQueue::prepare(const JobSpec &spec, bool count_stats,
             info->seconds = prepare_seconds;
         auto prepared = std::make_shared<Prepared>();
         prepared->instrumented = ctx.instrumented;
+        prepared->analysis = ctx.analysis;
         prepared->circuit =
             std::make_shared<const Circuit>(std::move(ctx.circuit));
 
@@ -396,6 +398,12 @@ std::shared_ptr<const InstrumentedCircuit>
 JobQueue::instrumented(const JobSpec &spec)
 {
     return prepare(spec, /*count_stats=*/false)->instrumented;
+}
+
+std::shared_ptr<const compile::analysis::CircuitAnalysis>
+JobQueue::analysis(const JobSpec &spec)
+{
+    return prepare(spec, /*count_stats=*/false)->analysis;
 }
 
 std::size_t

@@ -84,6 +84,14 @@ struct JobSpec
         compile::InjectionStrategy::PreLayout;
 
     /**
+     * Budget for InjectionStrategy::AutoGenerate (max checks, min
+     * prefix depth). Part of the prepare key only when the strategy
+     * is AutoGenerate (the auto-assert pass folds it); inert
+     * otherwise.
+     */
+    compile::AutoAssertOptions autoAssert;
+
+    /**
      * Early-stopping policy. When its convergence target is set,
      * submissions of this spec execute in shot waves and stop as
      * soon as the watched statistic's Wilson 95% half-width reaches
@@ -183,6 +191,15 @@ class JobQueue
     instrumented(const JobSpec &spec);
 
     /**
+     * The static-analysis result of @p spec's pipeline (memoised with
+     * the prepared circuit), or null when the pipeline runs no
+     * analysis stage (injection != AutoGenerate). Introspection only:
+     * leaves the cache statistics untouched.
+     */
+    std::shared_ptr<const compile::analysis::CircuitAnalysis>
+    analysis(const JobSpec &spec);
+
+    /**
      * Prepared-circuit cache hits since construction. Only submit()
      * counts toward the hit/miss statistics; instrumented() is
      * introspection and leaves them untouched. Per-queue thin reads;
@@ -222,6 +239,9 @@ class JobQueue
         std::shared_ptr<const Circuit> circuit;
         /** Set when the spec requested assertion injection. */
         std::shared_ptr<const InstrumentedCircuit> instrumented;
+        /** Set when the pipeline ran an analysis stage. */
+        std::shared_ptr<const compile::analysis::CircuitAnalysis>
+            analysis;
     };
 
     /** How one submission's preparation went (for ExecStats). */

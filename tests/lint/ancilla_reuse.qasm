@@ -1,0 +1,9 @@
+// QRA-L004: q[0] is measured, then reused as a CNOT control with no
+// intervening reset — the collapsed outcome leaks into q[1].
+OPENQASM 2.0;
+qreg q[2];
+creg c[2];
+h q[0];
+measure q[0] -> c[0];
+cx q[0],q[1];
+measure q[1] -> c[1];

@@ -1,0 +1,8 @@
+// QRA-L002: the final x on q[0] lands after the qubit's last
+// measurement — dead code nothing downstream can observe.
+OPENQASM 2.0;
+qreg q[1];
+creg c[1];
+h q[0];
+measure q[0] -> c[0];
+x q[0];

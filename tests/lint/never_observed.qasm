@@ -1,0 +1,8 @@
+// QRA-L001: q[1] is gated but never measured, asserted, or
+// post-selected — everything done to it is unobservable.
+OPENQASM 2.0;
+qreg q[2];
+creg c[2];
+h q[0];
+x q[1];
+measure q[0] -> c[0];

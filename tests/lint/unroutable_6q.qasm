@@ -1,0 +1,13 @@
+// QRA-L005 (with --device ibmqx4): six qubits cannot be laid out on
+// the five-qubit ibmqx4 device under any mapping.
+OPENQASM 2.0;
+qreg q[6];
+creg c[6];
+h q[0];
+cx q[4],q[5];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];
+measure q[4] -> c[4];
+measure q[5] -> c[5];

@@ -1,0 +1,11 @@
+// QRA-L003: the entanglement assertion targets two qubits the
+// analyzer proves are in a product state (no 2q gate ever joins
+// them), so the parity check is vacuous.
+OPENQASM 2.0;
+qreg q[2];
+creg c[2];
+h q[0];
+h q[1];
+// qra:assert-entangled q[0], q[1]
+measure q[0] -> c[0];
+measure q[1] -> c[1];

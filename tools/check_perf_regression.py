@@ -21,10 +21,15 @@ THRESHOLD = 0.25
 
 # Lower-is-better metrics checked against an absolute ceiling instead
 # of drift vs baseline: telemetry overhead is a hard design budget
-# (enabled-path cost < 3%), and a retry policy on the fault-free path
-# must stay within 10% (it only adds a try/catch and an atomic), so
-# the current value alone decides.
-LOWER_IS_BETTER_ABS = {"overhead_frac": 0.03, "retry_overhead_frac": 0.10}
+# (enabled-path cost < 3%), a retry policy on the fault-free path
+# must stay within 10% (it only adds a try/catch and an atomic), and
+# auto-derived assertions may insert at most 1.25x the hand-annotated
+# gate overhead, so the current value alone decides.
+LOWER_IS_BETTER_ABS = {
+    "overhead_frac": 0.03,
+    "retry_overhead_frac": 0.10,
+    "overhead_ratio": 1.25,
+}
 
 # Keys that identify a record rather than measure it. "threads" is
 # deliberately absent: it describes the host (the committed baseline
@@ -38,7 +43,7 @@ LOWER_IS_BETTER_ABS = {"overhead_frac": 0.03, "retry_overhead_frac": 0.10}
 IDENTITY_KEYS = (
     "bench", "section", "gate", "kernel_class", "qubits", "lanes",
     "shots", "jobs", "level", "subset_qubits", "pass", "pipeline",
-    "scale", "tier", "detected", "traversal",
+    "scale", "tier", "detected", "traversal", "circuit",
 )
 
 
@@ -48,7 +53,8 @@ def is_metric(key, value):
     return (key.endswith("_per_sec") or key.startswith("speedup")
             or key == "simd_speedup" or key == "reduce_speedup"
             or key == "swap_reduction"
-            or key == "shots_saved_frac" or key == "saved_frac")
+            or key == "shots_saved_frac" or key == "saved_frac"
+            or key == "auto_rate" or key == "hand_rate")
 
 
 def load_records(paths):

@@ -11,7 +11,8 @@
  *   qra_run FILE.qasm [--shots N] [--device ideal|ibmqx4]
  *           [--backend NAME|auto] [--jobs N] [--threads N]
  *           [--intra-threads N] [--fusion 0|1|2] [--seed S]
- *           [--passes legacy|postlayout] [--reuse-ancillas]
+ *           [--passes legacy|postlayout] [--auto-assert]
+ *           [--max-checks N] [--min-depth N] [--reuse-ancillas]
  *           [--no-barriers] [--target-halfwidth W] [--min-shots N]
  *           [--wave-shots N] [--simd scalar|portable|avx2|avx512]
  *           [--deadline-ms MS] [--retries N] [--inject-fault=SPEC]
@@ -24,6 +25,13 @@
  * run in waves and stop once the any-assertion error rate's Wilson
  * 95% half-width is at or below W (requires qra:assert-* directives;
  * --shots becomes the budget rather than a fixed count).
+ *
+ * --auto-assert derives checks statically: the compile pipeline runs
+ * the analyze pass (tableau-prefix / separability / known-basis
+ * dataflow) and injects the assertions it can prove, subject to
+ * --max-checks and --min-depth; qra:assert-* directives in the file
+ * are woven in alongside the derived checks. --dump-pipeline shows
+ * the resulting pass list.
  *
  * Robustness: --deadline-ms cancels the run once the wall clock
  * passes MS milliseconds (the partial result is reported, exit 3);
@@ -73,6 +81,8 @@ struct Options
     std::uint64_t seed = 7;
     compile::InjectionStrategy injection =
         compile::InjectionStrategy::PreLayout;
+    bool autoAssert = false;
+    compile::AutoAssertOptions autoOptions;
     bool reuseAncillas = false;
     bool barriers = true;
     double targetHalfWidth = 0.0; // 0 = fixed-shot execution
@@ -104,6 +114,8 @@ usage()
         "               [--intra-threads N] [--fusion 0|1|2] [--seed "
         "S]\n"
         "               [--passes legacy|postlayout] "
+        "[--auto-assert]\n"
+        "               [--max-checks N] [--min-depth N] "
         "[--reuse-ancillas]\n"
         "               [--no-barriers] [--target-halfwidth W]\n"
         "               [--min-shots N] [--wave-shots N]\n"
@@ -193,6 +205,20 @@ parseArgs(int argc, char **argv, Options &opts)
                                      "postlayout\n");
                 return false;
             }
+        } else if (arg == "--auto-assert") {
+            opts.autoAssert = true;
+        } else if (arg == "--max-checks") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.autoOptions.maxChecks =
+                std::strtoull(v, nullptr, 10);
+        } else if (arg == "--min-depth") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.autoOptions.minPrefixDepth =
+                std::strtoull(v, nullptr, 10);
         } else if (arg == "--target-halfwidth") {
             const char *v = next();
             if (!v)
@@ -409,6 +435,13 @@ main(int argc, char **argv)
         spec.instrumentOptions.reuseAncillas = opts.reuseAncillas;
         spec.instrumentOptions.barriers = opts.barriers;
         spec.injection = opts.injection;
+        if (opts.autoAssert) {
+            // Statically derived checks; any qra:assert-* directives
+            // in the file are woven in alongside them.
+            spec.injection =
+                compile::InjectionStrategy::AutoGenerate;
+            spec.autoAssert = opts.autoOptions;
+        }
         if (opts.targetHalfWidth > 0.0) {
             // Confidence-driven early stopping on the any-assertion
             // error rate; --shots is the per-job budget.
